@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces the Section 6.2 headline result: "RID has found 83 new bugs
+ * out of 355 reports in Linux involving DPM".
+ *
+ * The synthetic corpus plants 83 RID-detectable bugs (40 missing-put
+ * misuses of the Figure 8 shape and 43 wrapper-caller bugs of the
+ * Figure 9 shape), 27 bugs RID is expected to miss (Figure 10 shape and
+ * path-explosion shape) and 272 false-positive inducers (Section 6.4
+ * shapes). "Confirmed by developers" becomes "matches an injected bug
+ * site". The harness prints detected/missed/false-positive counts per
+ * pattern kind and checks the paper's shape: 83 true reports, ~355
+ * total, per-kind detection exactly as labeled.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "core/rid.h"
+#include "kernel/dpm_specs.h"
+#include "kernel/generator.h"
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.002;
+    uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 0x101;
+
+    auto mix = rid::kernel::CorpusMix::paperCalibrated(scale);
+    auto corpus = rid::kernel::generateCorpus(mix, seed);
+
+    rid::Rid tool;
+    tool.loadSpecText(rid::kernel::dpmSpecText());
+    for (const auto &file : corpus.files)
+        tool.addSource(file.text);
+    rid::RunResult result = tool.run();
+
+    std::set<std::string> reported;
+    for (const auto &report : result.reports)
+        reported.insert(report.function);
+
+    int true_reports = 0, false_positives = 0, missed_bugs = 0;
+    int mislabeled = 0;
+    std::map<rid::kernel::PatternKind, std::pair<int, int>> per_kind;
+    for (const auto &truth : corpus.truth) {
+        bool hit = reported.count(truth.name) != 0;
+        auto &bucket = per_kind[truth.kind];
+        bucket.second++;
+        if (hit)
+            bucket.first++;
+        if (truth.has_bug && hit)
+            true_reports++;
+        if (!truth.has_bug && hit)
+            false_positives++;
+        if (truth.has_bug && !hit)
+            missed_bugs++;
+        // Ground-truth fidelity: detection must match the label.
+        bool expect_hit = truth.rid_detects || truth.induces_fp;
+        if (hit != expect_hit)
+            mislabeled++;
+    }
+
+    std::printf("== Section 6.2: bugs detected in the DPM corpus ==\n\n");
+    std::printf("%-26s %10s %10s\n", "", "measured", "paper");
+    std::printf("%-26s %10zu %10d\n", "total reports",
+                result.reports.size(), 355);
+    std::printf("%-26s %10d %10d\n", "confirmed (real) bugs",
+                true_reports, 83);
+    std::printf("%-26s %10d %10s\n", "false positives", false_positives,
+                "~272");
+    std::printf("%-26s %10d %10s\n", "real bugs missed", missed_bugs,
+                "(27)");
+
+    std::printf("\nper-pattern detection:\n");
+    std::printf("  %-24s %10s\n", "pattern", "hit/total");
+    for (const auto &[kind, bucket] : per_kind) {
+        std::printf("  %-24s %6d/%-6d\n",
+                    rid::kernel::patternKindName(kind), bucket.first,
+                    bucket.second);
+    }
+
+    bool ok = true_reports == 83 && mislabeled == 0;
+    std::printf("\nshape check (83 true reports, all labels exact): %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reproduces the Section 6.3 misuse study: the syntactic brute-force
+ * search over the corpus finds 96 pm_runtime_get call sites with error
+ * handling; 67 of them (~70%) miss the balancing decrement; RID detects
+ * 40 of the 67, missing the rest because the paths are distinguishable
+ * (Figure 10 shape) or the path cap truncates the function.
+ *
+ * Also runs the path-limit ablation: shrinking max_paths lowers the
+ * detection count (the limits explain part of the 67-40 gap).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "core/rid.h"
+#include "frontend/parser.h"
+#include "kernel/dpm_specs.h"
+#include "kernel/generator.h"
+#include "kernel/scanner.h"
+
+namespace {
+
+struct StudyResult
+{
+    int sites = 0;
+    int misuses = 0;
+    int detected = 0;
+};
+
+StudyResult
+runStudy(const rid::kernel::Corpus &corpus, int max_paths)
+{
+    StudyResult out;
+
+    // Syntactic ground truth (the paper's regular-expression search).
+    std::set<std::string> misuse_functions;
+    for (const auto &file : corpus.files) {
+        auto unit = rid::frontend::parseUnit(file.text);
+        auto scan = rid::kernel::scanUnit(unit, rid::kernel::dpmGetFamily(),
+                                          rid::kernel::dpmPutFamily());
+        out.sites += static_cast<int>(scan.sites.size());
+        for (const auto &site : scan.sites) {
+            if (site.missing_put) {
+                out.misuses++;
+                misuse_functions.insert(site.function);
+            }
+        }
+    }
+
+    // RID's detections among the misuse population.
+    rid::analysis::AnalyzerOptions opts;
+    opts.max_paths = max_paths;
+    rid::Rid tool(opts);
+    tool.loadSpecText(rid::kernel::dpmSpecText());
+    for (const auto &file : corpus.files)
+        tool.addSource(file.text);
+    rid::RunResult result = tool.run();
+    std::set<std::string> reported;
+    for (const auto &report : result.reports)
+        reported.insert(report.function);
+    for (const auto &fn : misuse_functions)
+        if (reported.count(fn))
+            out.detected++;
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 0) : 0x101;
+    auto mix = rid::kernel::CorpusMix::paperCalibrated(0.002);
+    auto corpus = rid::kernel::generateCorpus(mix, seed);
+
+    std::printf("== Section 6.3: pm_runtime_get misuse study ==\n\n");
+    StudyResult study = runStudy(corpus, /*max_paths=*/100);
+
+    std::printf("%-44s %10s %10s\n", "", "measured", "paper");
+    std::printf("%-44s %10d %10d\n",
+                "error-handled pm_runtime_get call sites", study.sites,
+                96);
+    std::printf("%-44s %10d %10d\n", "sites missing the decrement",
+                study.misuses, 67);
+    std::printf("%-44s %9.0f%% %9.0f%%\n", "misuse ratio",
+                100.0 * study.misuses / study.sites, 70.0);
+    std::printf("%-44s %10d %10d\n", "misuses detected by RID",
+                study.detected, 40);
+
+    std::printf("\n== ablation: path limit vs detections ==\n");
+    std::printf("%10s %12s\n", "max_paths", "detected");
+    for (int max_paths : {4, 16, 64, 100, 1024}) {
+        StudyResult ablation = runStudy(corpus, max_paths);
+        std::printf("%10d %12d\n", max_paths, ablation.detected);
+    }
+    std::printf("(Figure 10-shape misuses stay undetected at any limit; "
+                "path-explosion ones\nappear once the limit covers their "
+                "branch cascade)\n");
+
+    bool ok = study.sites == 96 && study.misuses == 67 &&
+              study.detected == 40;
+    std::printf("\nshape check (96 / 67 / 40): %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Scan a synthetic Linux-DPM driver tree, the way the paper's evaluation
+ * scans the kernel (Section 6.2).
+ *
+ * Generates a seeded corpus of driver functions (correct code, the bug
+ * shapes of Figures 8-10, the false-positive inducers of Section 6.4 and
+ * refcount-irrelevant filler), runs RID over it, and scores the reports
+ * against the generator's ground truth.
+ *
+ * Usage: linux_dpm_scan [scale] [seed]
+ *   scale  multiplier for the filler populations (default 0.01)
+ *   seed   corpus RNG seed (default 0x101)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "core/rid.h"
+#include "kernel/dpm_specs.h"
+#include "kernel/generator.h"
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.01;
+    uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 0) : 0x101;
+
+    auto mix = rid::kernel::CorpusMix::paperCalibrated(scale);
+    auto corpus = rid::kernel::generateCorpus(mix, seed);
+    auto totals = corpus.totals();
+    std::printf("corpus: %d functions in %zu files "
+                "(%d real bugs, %d detectable, %d FP inducers)\n",
+                totals.functions, corpus.files.size(), totals.real_bugs,
+                totals.rid_detectable_bugs, totals.fp_inducers);
+
+    rid::Rid tool;
+    tool.loadSpecText(rid::kernel::dpmSpecText());
+    for (const auto &file : corpus.files)
+        tool.addSource(file.text);
+
+    rid::RunResult result = tool.run();
+
+    std::set<std::string> reported;
+    for (const auto &report : result.reports)
+        reported.insert(report.function);
+
+    int true_bugs = 0, false_positives = 0;
+    for (const auto &truth : corpus.truth) {
+        if (!reported.count(truth.name))
+            continue;
+        if (truth.has_bug)
+            true_bugs++;
+        else
+            false_positives++;
+    }
+
+    std::printf("\nRID: %zu reports — %d real bugs, %d false positives\n",
+                result.reports.size(), true_bugs, false_positives);
+    std::printf("(the paper reports 83 confirmed bugs out of 355 reports "
+                "on Linux 3.17 DPM)\n\n");
+
+    std::printf("sample reports:\n");
+    int shown = 0;
+    for (const auto &report : result.reports) {
+        const auto *truth = corpus.truthFor(report.function);
+        std::printf("  [%s] %s\n",
+                    truth && truth->has_bug ? "BUG" : "FP ",
+                    report.str().c_str());
+        if (++shown >= 5)
+            break;
+    }
+
+    std::printf("\n%s", result.str().c_str());
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: the paper's running example (Figures 1 and 2).
+ *
+ * Defines the refcount API specifications for a tiny device-driver world,
+ * feeds the example function foo() through RID, and prints the complete
+ * analysis: the lowered IR, the computed function summaries of the
+ * callees and of foo() itself, and the inconsistent path pair report.
+ */
+
+#include <cstdio>
+
+#include "core/rid.h"
+
+namespace {
+
+// The specifications of the two refcount-relevant APIs. reg_read() is
+// refcount-free but its return value matters, so it gets entries keyed on
+// the result; inc_pmcount() increments the PM count of a non-null device.
+const char *kSpecs = R"(
+summary inc_pmcount(d) -> void {
+  entry { cons: [d] != null; change: [d].pm += 1; return: none; }
+  entry { cons: [d] == null; return: none; }
+}
+
+summary reg_read(d, reg) -> int {
+  entry { cons: [d] != null && [0] >= 0; return: [0]; }
+  entry { cons: [0] == -1; return: -1; }
+}
+)";
+
+// Figure 1 of the paper: the PM count is incremented only when the
+// device register holds a positive value, yet both paths return 0 — an
+// inconsistent path pair.
+const char *kFooSource = R"(
+int foo(struct device *dev) {
+    assert(dev != NULL);
+    int v = reg_read(dev, 0x54);
+    if (v <= 0)
+        goto exit;
+    inc_pmcount(dev);
+    // more register reads/writes
+exit:
+    return 0;
+}
+)";
+
+} // anonymous namespace
+
+int
+main()
+{
+    rid::Rid tool;
+    tool.loadSpecText(kSpecs);
+    tool.addSource(kFooSource);
+
+    std::printf("== Lowered IR (the Figure 3 abstraction) ==\n%s\n",
+                tool.module().str().c_str());
+
+    rid::RunResult result = tool.run();
+
+    std::printf("== Inconsistent path pairs ==\n");
+    if (result.reports.empty())
+        std::printf("(none)\n");
+    for (const auto &report : result.reports)
+        std::printf("%s\n", report.str().c_str());
+
+    std::printf("\n== Function summary computed for foo() ==\n");
+    if (const auto *summary = tool.summaries().find("foo"))
+        std::printf("%s", summary->str().c_str());
+
+    std::printf("\n== Analysis statistics ==\n%s", result.str().c_str());
+    return result.reports.empty() ? 1 : 0;
+}

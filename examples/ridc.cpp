@@ -1,0 +1,198 @@
+/**
+ * @file
+ * ridc — a command-line front door to the checker.
+ *
+ * Checks Kernel-C source files against refcount API specifications:
+ *
+ *     ridc --spec dpm.spec [--spec more.spec] file1.c file2.c ...
+ *
+ * Options:
+ *   --spec FILE        load predefined summaries (repeatable)
+ *   --builtin-dpm      load the bundled Linux DPM specs
+ *   --builtin-pyc      load the bundled Python/C specs
+ *   --import FILE      import previously computed summaries
+ *   --export FILE      write computed summaries for later --import
+ *   --max-paths N      path cap per function (default 100)
+ *   --max-subcases N   subcase cap per path (default 10)
+ *   --threads N        analyze SCC levels with N workers
+ *   --no-classify      analyze every function (skip Section 5.2 tiers)
+ *   --model-bits       Section 5.4 extension: model `x & CONST` bit tests
+ *   --model-stores     Section 5.4 extension: track caller-visible stores
+ *   --json             emit reports and statistics as JSON
+ *   --grouped          group report listing by function
+ *   --dot-callgraph    print the call graph (DOT, category-colored)
+ *   --dot-cfg FN       print the control-flow graph of function FN (DOT)
+ *   --dump-ir          print the lowered IR before analyzing
+ *   --summaries        print all computed summaries after analyzing
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dot.h"
+#include "core/report_format.h"
+#include "core/rid.h"
+#include "kernel/dpm_specs.h"
+#include "pyc/pyc_specs.h"
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "ridc: cannot open %s\n", path.c_str());
+        std::exit(2);
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ridc [--spec FILE] [--builtin-dpm] "
+                 "[--builtin-pyc]\n"
+                 "            [--import FILE] [--export FILE] "
+                 "[--max-paths N]\n"
+                 "            [--max-subcases N] [--threads N] "
+                 "[--no-classify]\n"
+                 "            [--dump-ir] [--summaries] file.c ...\n");
+    std::exit(2);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    rid::analysis::AnalyzerOptions opts;
+    rid::frontend::LowerOptions lower_opts;
+    std::vector<std::string> spec_files, sources, imports;
+    std::string export_path;
+    bool dump_ir = false, dump_summaries = false;
+    bool json = false, grouped = false;
+    bool dot_callgraph = false;
+    std::string dot_cfg;
+    bool builtin_dpm = false, builtin_pyc = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--spec")
+            spec_files.push_back(next());
+        else if (arg == "--builtin-dpm")
+            builtin_dpm = true;
+        else if (arg == "--builtin-pyc")
+            builtin_pyc = true;
+        else if (arg == "--import")
+            imports.push_back(next());
+        else if (arg == "--export")
+            export_path = next();
+        else if (arg == "--max-paths")
+            opts.max_paths = std::atoi(next().c_str());
+        else if (arg == "--max-subcases")
+            opts.max_subcases = std::atoi(next().c_str());
+        else if (arg == "--threads")
+            opts.threads = std::atoi(next().c_str());
+        else if (arg == "--no-classify")
+            opts.classify = false;
+        else if (arg == "--model-bits")
+            lower_opts.model_bit_tests = true;
+        else if (arg == "--model-stores")
+            lower_opts.model_field_stores = true;
+        else if (arg == "--json")
+            json = true;
+        else if (arg == "--dot-callgraph")
+            dot_callgraph = true;
+        else if (arg == "--dot-cfg")
+            dot_cfg = next();
+        else if (arg == "--grouped")
+            grouped = true;
+        else if (arg == "--dump-ir")
+            dump_ir = true;
+        else if (arg == "--summaries")
+            dump_summaries = true;
+        else if (arg == "--help" || arg[0] == '-')
+            usage();
+        else
+            sources.push_back(arg);
+    }
+    if (sources.empty())
+        usage();
+    if (spec_files.empty() && !builtin_dpm && !builtin_pyc) {
+        std::fprintf(stderr, "ridc: no API specifications given; use "
+                             "--spec, --builtin-dpm or --builtin-pyc\n");
+        return 2;
+    }
+
+    rid::Rid tool(opts, lower_opts);
+    try {
+        if (builtin_dpm)
+            tool.loadSpecText(rid::kernel::dpmSpecText());
+        if (builtin_pyc)
+            tool.loadSpecText(rid::pyc::pycSpecText());
+        for (const auto &path : spec_files)
+            tool.loadSpecFile(path);
+        for (const auto &path : imports)
+            tool.importSummaries(readFile(path));
+        for (const auto &path : sources)
+            tool.addSource(readFile(path));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ridc: %s\n", e.what());
+        return 2;
+    }
+
+    if (dump_ir)
+        std::printf("%s\n", tool.module().str().c_str());
+    if (!dot_cfg.empty()) {
+        const rid::ir::Function *fn = tool.module().find(dot_cfg);
+        if (!fn || fn->isDeclaration()) {
+            std::fprintf(stderr, "ridc: no definition of %s\n",
+                         dot_cfg.c_str());
+            return 2;
+        }
+        std::printf("%s", rid::analysis::cfgToDot(*fn).c_str());
+        return 0;
+    }
+
+    rid::RunResult result = tool.run();
+    if (dot_callgraph) {
+        rid::analysis::CallGraph cg(tool.module());
+        rid::summary::SummaryDb db;
+        // Color by a fresh classification over the loaded specs.
+        std::vector<std::string> seeds = tool.summaries().namesWithChanges();
+        rid::analysis::FunctionClassifier classifier(tool.module(), seeds);
+        std::printf("%s", rid::analysis::callGraphToDot(cg, &classifier)
+                              .c_str());
+        return 0;
+    }
+    if (json) {
+        std::printf("%s\n", rid::toJson(result).c_str());
+    } else if (grouped) {
+        std::printf("%s", rid::groupedText(result).c_str());
+    } else {
+        for (const auto &report : result.reports)
+            std::printf("%s\n", report.str().c_str());
+        std::fprintf(stderr, "%s", result.str().c_str());
+    }
+
+    if (dump_summaries)
+        std::printf("%s", tool.exportSummaries().c_str());
+    if (!export_path.empty()) {
+        std::ofstream out(export_path);
+        out << tool.exportSummaries();
+    }
+    return result.reports.empty() ? 0 : 1;
+}

@@ -1,0 +1,217 @@
+#include "analysis/analyzer.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "analysis/callgraph.h"
+#include "analysis/paths.h"
+
+namespace rid::analysis {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+} // anonymous namespace
+
+Analyzer::Analyzer(const ir::Module &mod, summary::SummaryDb &db,
+                   AnalyzerOptions opts)
+    : mod_(mod), db_(db), opts_(opts)
+{}
+
+std::vector<BugReport>
+Analyzer::analyzeFunction(const ir::Function &fn)
+{
+    smt::Solver solver;
+
+    auto paths = enumeratePaths(fn, opts_.max_paths);
+    ExecOptions exec_opts;
+    exec_opts.max_subcases = opts_.max_subcases;
+    exec_opts.prune_infeasible = opts_.prune_infeasible;
+
+    std::vector<summary::SummaryEntry> path_entries;
+    bool truncated = paths.truncated;
+    if (opts_.path_threads > 1 && paths.paths.size() > 1) {
+        // Section 7 future work: paths are independent, so their
+        // summaries can be computed in parallel. Results are collected
+        // per path index to keep entry order (and therefore the whole
+        // analysis) deterministic.
+        std::vector<ExecResult> results(paths.paths.size());
+        std::atomic<size_t> cursor{0};
+        int workers =
+            std::min<int>(opts_.path_threads,
+                          static_cast<int>(paths.paths.size()));
+        std::vector<std::future<void>> futures;
+        for (int w = 0; w < workers; w++) {
+            futures.push_back(std::async(std::launch::async, [&]() {
+                smt::Solver local_solver;
+                while (true) {
+                    size_t i = cursor.fetch_add(1);
+                    if (i >= paths.paths.size())
+                        break;
+                    results[i] = executePath(fn, paths.paths[i],
+                                             static_cast<int>(i), db_,
+                                             local_solver, exec_opts);
+                }
+            }));
+        }
+        for (auto &f : futures)
+            f.get();
+        for (auto &exec : results) {
+            truncated = truncated || exec.truncated;
+            for (auto &e : exec.entries)
+                path_entries.push_back(std::move(e));
+        }
+    } else {
+        for (size_t i = 0; i < paths.paths.size(); i++) {
+            auto exec = executePath(fn, paths.paths[i],
+                                    static_cast<int>(i), db_, solver,
+                                    exec_opts);
+            truncated = truncated || exec.truncated;
+            for (auto &e : exec.entries)
+                path_entries.push_back(std::move(e));
+        }
+    }
+
+    IppOptions ipp_opts;
+    ipp_opts.drop_seed = opts_.drop_seed;
+    size_t num_entries = path_entries.size();
+    auto ipp = checkAndMerge(fn.name(), std::move(path_entries), solver,
+                             ipp_opts);
+
+    summary::FunctionSummary summary;
+    summary.function = fn.name();
+    summary.params = fn.params();
+    summary.returns_value = fn.returnsValue();
+    summary.entries = std::move(ipp.entries);
+    summary.is_truncated = truncated;
+    if (opts_.summary_check) {
+        for (auto &extra : opts_.summary_check(summary))
+            ipp.reports.push_back(std::move(extra));
+    }
+    if (truncated || summary.entries.empty()) {
+        // Limits cut the analysis short: weaken with the default entry so
+        // callers never trust an incomplete summary too much
+        // (Section 5.2).
+        summary::SummaryEntry dflt;
+        dflt.cons = smt::Formula::top();
+        if (fn.returnsValue())
+            dflt.ret = smt::Expr::ret();
+        summary.entries.push_back(std::move(dflt));
+    }
+    db_.addComputed(std::move(summary));
+
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.functions_analyzed++;
+        stats_.paths_enumerated += paths.paths.size();
+        stats_.entries_computed += num_entries;
+        if (truncated)
+            stats_.functions_truncated++;
+    }
+    return std::move(ipp.reports);
+}
+
+void
+Analyzer::run()
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    // Seeds are every known summary that changes a refcount: the
+    // predefined APIs plus summaries imported from earlier separate-file
+    // passes (Section 5.3).
+    std::vector<std::string> seeds = db_.namesWithChanges();
+
+    if (opts_.classify)
+        classifier_ = std::make_unique<FunctionClassifier>(mod_, seeds);
+    stats_.classify_seconds = secondsSince(t0);
+    if (classifier_)
+        stats_.categories = classifier_->stats();
+
+    auto shouldAnalyze = [this](const ir::Function &fn) {
+        if (fn.isDeclaration() || db_.hasPredefined(fn.name()))
+            return false;
+        if (!opts_.classify)
+            return true;
+        switch (classifier_->categoryOf(fn.name())) {
+          case Category::RefcountChanging:
+            return true;
+          case Category::Affecting:
+            // Selective analysis: only simple value-filtering helpers
+            // (Section 5.2).
+            return fn.countCondBranches() <= opts_.max_cat2_branches;
+          case Category::Other:
+            return false;
+        }
+        return false;
+    };
+
+    auto t1 = std::chrono::steady_clock::now();
+    CallGraph cg(mod_);
+
+    auto processNode = [&](int node) -> std::vector<BugReport> {
+        const ir::Function *fn = mod_.find(cg.nameOf(node));
+        if (!fn)
+            return {};
+        if (!shouldAnalyze(*fn)) {
+            if (!fn->isDeclaration() && !db_.hasPredefined(fn->name())) {
+                db_.addComputed(summary::FunctionSummary::defaultFor(
+                    fn->name(), fn->returnsValue()));
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                stats_.functions_defaulted++;
+            }
+            return {};
+        }
+        return analyzeFunction(*fn);
+    };
+
+    if (opts_.threads <= 1) {
+        for (int node : cg.reverseTopoOrder()) {
+            auto reports = processNode(node);
+            for (auto &r : reports)
+                reports_.push_back(std::move(r));
+        }
+    } else {
+        // Process SCC levels bottom-up; components within one level are
+        // independent and run concurrently (Section 5.3).
+        for (const auto &level : cg.sccLevels()) {
+            std::vector<std::future<std::vector<BugReport>>> futures;
+            std::atomic<size_t> cursor{0};
+            int workers = std::min<int>(opts_.threads,
+                                        static_cast<int>(level.size()));
+            for (int w = 0; w < workers; w++) {
+                futures.push_back(std::async(std::launch::async, [&]() {
+                    std::vector<BugReport> local;
+                    while (true) {
+                        size_t k = cursor.fetch_add(1);
+                        if (k >= level.size())
+                            break;
+                        for (int member : cg.sccMembers(level[k])) {
+                            auto reports = processNode(member);
+                            for (auto &r : reports)
+                                local.push_back(std::move(r));
+                        }
+                    }
+                    return local;
+                }));
+            }
+            for (auto &f : futures) {
+                auto local = f.get();
+                for (auto &r : local)
+                    reports_.push_back(std::move(r));
+            }
+        }
+    }
+    stats_.analyze_seconds = secondsSince(t1);
+}
+
+} // namespace rid::analysis

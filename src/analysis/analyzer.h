@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Whole-module analysis driver.
+ *
+ * Runs the full RID pipeline on an IR module: call-graph construction,
+ * function classification, and a bottom-up traversal that enumerates
+ * paths, summarizes them symbolically, checks inconsistent path pairs and
+ * stores the resulting function summaries. Category-2 functions are only
+ * analyzed when simple enough (conditional-branch budget); category-3
+ * functions are skipped entirely. SCC levels may be processed in parallel
+ * for large corpora.
+ */
+
+#ifndef RID_ANALYSIS_ANALYZER_H
+#define RID_ANALYSIS_ANALYZER_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/classifier.h"
+#include "analysis/ipp.h"
+#include "analysis/summary_check.h"
+#include "analysis/symexec.h"
+#include "ir/function.h"
+#include "summary/db.h"
+
+namespace rid::analysis {
+
+struct AnalyzerOptions
+{
+    /** Path cap per function (paper configuration: 100). */
+    int max_paths = 100;
+    /** Subcase cap per path (paper configuration: 10). */
+    int max_subcases = 10;
+    /** Conditional-branch budget for category-2 functions (paper: 3). */
+    int max_cat2_branches = 3;
+    /** Prune infeasible states during symbolic execution. */
+    bool prune_infeasible = true;
+    /** Classify first and skip category-3 functions (Section 5.2).
+     *  Disabled: every defined function is fully analyzed. */
+    bool classify = true;
+    /** Worker threads for SCC-level parallelism (1 = sequential). */
+    int threads = 1;
+    /** Worker threads for path-level parallelism inside one function
+     *  (the Section 7 future-work item: "symbolically executing
+     *  multiple paths in parallel"). 1 = sequential. */
+    int path_threads = 1;
+    /** Seed for the inconsistent-entry drop choice. */
+    uint64_t drop_seed = 0x5eed;
+    /** Optional stronger-property check run on every computed summary
+     *  (Sections 2.1 / 4.5); its reports are appended to the IPP ones.
+     *  See makeEscapeRuleCheck(). */
+    SummaryCheck summary_check;
+};
+
+struct AnalyzerStats
+{
+    ClassifierStats categories;
+    size_t functions_analyzed = 0;
+    size_t functions_defaulted = 0;
+    size_t paths_enumerated = 0;
+    size_t entries_computed = 0;
+    size_t functions_truncated = 0;
+    double classify_seconds = 0;
+    double analyze_seconds = 0;
+};
+
+class Analyzer
+{
+  public:
+    /**
+     * @param mod IR module to analyze (must outlive the Analyzer)
+     * @param db  summary database pre-loaded with the refcount API
+     *            specifications; computed summaries are added to it
+     */
+    Analyzer(const ir::Module &mod, summary::SummaryDb &db,
+             AnalyzerOptions opts = {});
+
+    /** Run the full pipeline; reports accumulate across calls. */
+    void run();
+
+    const std::vector<BugReport> &reports() const { return reports_; }
+    const AnalyzerStats &stats() const { return stats_; }
+
+    /** Classification result (valid after run() when classify is on). */
+    const FunctionClassifier *classifier() const
+    {
+        return classifier_.get();
+    }
+
+  private:
+    /** Analyze one function and store its summary; returns its reports. */
+    std::vector<BugReport> analyzeFunction(const ir::Function &fn);
+
+    const ir::Module &mod_;
+    summary::SummaryDb &db_;
+    AnalyzerOptions opts_;
+    std::vector<BugReport> reports_;
+    AnalyzerStats stats_;
+    std::unique_ptr<FunctionClassifier> classifier_;
+    std::mutex stats_mutex_;
+};
+
+} // namespace rid::analysis
+
+#endif // RID_ANALYSIS_ANALYZER_H

@@ -1,0 +1,141 @@
+#include "analysis/classifier.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/slicer.h"
+
+namespace rid::analysis {
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::RefcountChanging:
+        return "functions with refcount changes";
+      case Category::Affecting:
+        return "functions affecting those with refcount changes";
+      case Category::Other:
+        return "the others";
+    }
+    return "?";
+}
+
+FunctionClassifier::FunctionClassifier(
+    const ir::Module &mod, const std::vector<std::string> &seeds)
+    : mod_(mod)
+{
+    CallGraph cg(mod);
+    std::set<std::string> seed_set(seeds.begin(), seeds.end());
+
+    const size_t n = cg.size();
+    std::vector<bool> rc_changing(n, false);
+    for (const auto &seed : seeds) {
+        int node = cg.nodeOf(seed);
+        if (node >= 0)
+            rc_changing[node] = true;
+    }
+
+    // Phase 1: propagate "has refcount changes" in reverse topological
+    // order (callees first). Recursive cycles are handled by iterating a
+    // whole SCC until stable (equivalently: an SCC is refcount-changing
+    // if any member calls a refcount-changing function).
+    auto order = cg.reverseTopoOrder();
+    for (int node : order) {
+        if (rc_changing[node])
+            continue;
+        for (int callee : cg.calleesOf(node)) {
+            if (rc_changing[callee]) {
+                rc_changing[node] = true;
+                break;
+            }
+        }
+    }
+    // One fixpoint round for cycles whose member order hid the seed.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int node : order) {
+            if (rc_changing[node])
+                continue;
+            for (int callee : cg.calleesOf(node)) {
+                if (rc_changing[callee]) {
+                    rc_changing[node] = true;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Phase 2: in topological order (callers first), slice every
+    // refcount-changing function on its return values and the actual
+    // arguments of refcount-changing calls; callees invoked inside the
+    // slice become category 2.
+    std::vector<bool> affecting(n, false);
+    std::vector<int> topo(order.rbegin(), order.rend());
+    for (int node : topo) {
+        if (!rc_changing[node])
+            continue;
+        const ir::Function *fn = mod_.find(cg.nameOf(node));
+        if (!fn || fn->isDeclaration())
+            continue;
+        auto isRcCall = [&](const ir::Instruction &in) {
+            int callee = cg.nodeOf(in.callee);
+            return callee >= 0 && rc_changing[callee];
+        };
+        auto slice = backwardSlice(*fn, /*include_returns=*/true, isRcCall);
+        for (const auto &ref : slice) {
+            const auto &in = fn->block(ref.block).instrs.at(ref.index);
+            if (in.op != ir::Opcode::Call)
+                continue;
+            int callee = cg.nodeOf(in.callee);
+            if (callee >= 0 && !rc_changing[callee])
+                affecting[callee] = true;
+        }
+    }
+
+    for (const auto &fn : mod_.functions()) {
+        order_.push_back(fn->name());
+        int node = cg.nodeOf(fn->name());
+        Category c = Category::Other;
+        if (node >= 0 && rc_changing[node])
+            c = Category::RefcountChanging;
+        else if (node >= 0 && affecting[node])
+            c = Category::Affecting;
+        category_[fn->name()] = c;
+    }
+}
+
+Category
+FunctionClassifier::categoryOf(const std::string &fn) const
+{
+    auto it = category_.find(fn);
+    return it == category_.end() ? Category::Other : it->second;
+}
+
+ClassifierStats
+FunctionClassifier::stats() const
+{
+    ClassifierStats s;
+    for (const auto &[name, c] : category_) {
+        switch (c) {
+          case Category::RefcountChanging: s.refcount_changing++; break;
+          case Category::Affecting: s.affecting++; break;
+          case Category::Other: s.other++; break;
+        }
+    }
+    return s;
+}
+
+std::vector<std::string>
+FunctionClassifier::functionsIn(Category c) const
+{
+    std::vector<std::string> out;
+    for (const auto &name : order_)
+        if (category_.at(name) == c)
+            out.push_back(name);
+    return out;
+}
+
+} // namespace rid::analysis

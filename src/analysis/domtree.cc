@@ -1,0 +1,96 @@
+#include "analysis/domtree.h"
+
+#include <cassert>
+
+namespace rid::analysis {
+
+namespace {
+
+/** Successor lists plus a virtual exit node (index = numBlocks). */
+std::vector<std::vector<int>>
+successorsWithExit(const ir::Function &fn)
+{
+    const int n = static_cast<int>(fn.numBlocks());
+    std::vector<std::vector<int>> succ(n + 1);
+    for (int b = 0; b < n; b++) {
+        auto s = fn.block(b).successors();
+        if (s.empty()) {
+            succ[b].push_back(n);  // Return -> virtual exit
+        } else {
+            for (auto t : s)
+                succ[b].push_back(t);
+        }
+    }
+    return succ;
+}
+
+} // anonymous namespace
+
+PostDominators::PostDominators(const ir::Function &fn)
+    : num_blocks_(fn.numBlocks())
+{
+    const int n = static_cast<int>(num_blocks_);
+    const int exit = n;
+    auto succ = successorsWithExit(fn);
+
+    // pdom[exit] = {exit}; pdom[b] = {b} ∪ ⋂ pdom[s] over successors.
+    pdom_.assign(n + 1, std::vector<bool>(n + 1, true));
+    pdom_[exit].assign(n + 1, false);
+    pdom_[exit][exit] = true;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Iterating in reverse block order converges quickly for the
+        // mostly-forward CFGs the front-end produces.
+        for (int b = n - 1; b >= 0; b--) {
+            std::vector<bool> next(n + 1, true);
+            if (succ[b].empty())
+                next.assign(n + 1, false);
+            for (int s : succ[b]) {
+                for (int i = 0; i <= n; i++)
+                    next[i] = next[i] && pdom_[s][i];
+            }
+            next[b] = true;
+            if (next != pdom_[b]) {
+                pdom_[b] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+PostDominators::postDominates(ir::BlockId a, ir::BlockId b) const
+{
+    return pdom_.at(b).at(a);
+}
+
+ControlDeps::ControlDeps(const ir::Function &fn)
+{
+    const int n = static_cast<int>(fn.numBlocks());
+    PostDominators pdom(fn);
+    deps_.assign(n, {});
+
+    for (int c = 0; c < n; c++) {
+        const auto &bb = fn.block(c);
+        if (!bb.hasTerminator() ||
+            bb.terminator().op != ir::Opcode::CondBranch) {
+            continue;
+        }
+        // B is control dependent on C iff B post-dominates some successor
+        // of C but does not post-dominate C itself.
+        for (int b = 0; b < n; b++) {
+            if (pdom.postDominates(b, c))
+                continue;
+            for (int s : bb.successors()) {
+                if (b == s || pdom.postDominates(b, s)) {
+                    deps_[b].push_back(c);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace rid::analysis

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Post-dominator computation and control dependence for IR functions.
+ *
+ * The backward slicer (Section 5.2) needs control dependence: a block B is
+ * control dependent on a conditional branch whose outcome decides whether
+ * B executes. We compute post-dominators over the CFG augmented with a
+ * virtual exit node joining every Return block, using the classic
+ * iterative dataflow formulation (CFGs here are small).
+ */
+
+#ifndef RID_ANALYSIS_DOMTREE_H
+#define RID_ANALYSIS_DOMTREE_H
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace rid::analysis {
+
+/** Post-dominator sets for one function. */
+class PostDominators
+{
+  public:
+    explicit PostDominators(const ir::Function &fn);
+
+    /** True if block @p a post-dominates block @p b. */
+    bool postDominates(ir::BlockId a, ir::BlockId b) const;
+
+    /** Number of real blocks covered. */
+    size_t numBlocks() const { return num_blocks_; }
+
+  private:
+    size_t num_blocks_;
+    // pdom_[b] is a bitset (as vector<bool>) of blocks post-dominating b.
+    std::vector<std::vector<bool>> pdom_;
+};
+
+/**
+ * Control dependence: for each block, the set of (block, branch) pairs it
+ * is control dependent on. A block B is control dependent on branch block
+ * C iff C has successors S1, S2 where B post-dominates S1 (or B == S1 on
+ * the path) but B does not post-dominate C.
+ */
+class ControlDeps
+{
+  public:
+    explicit ControlDeps(const ir::Function &fn);
+
+    /** Branch blocks that block @p b is control dependent on. */
+    const std::vector<ir::BlockId> &depsOf(ir::BlockId b) const
+    {
+        return deps_.at(b);
+    }
+
+  private:
+    std::vector<std::vector<ir::BlockId>> deps_;
+};
+
+} // namespace rid::analysis
+
+#endif // RID_ANALYSIS_DOMTREE_H

@@ -1,0 +1,153 @@
+#include "analysis/dot.h"
+
+#include <sstream>
+
+namespace rid::analysis {
+
+namespace {
+
+/** Escape a label for DOT: quotes and backslashes. */
+std::string
+dotEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\l";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+const char *
+categoryColor(Category c)
+{
+    switch (c) {
+      case Category::RefcountChanging:
+        return "lightcoral";
+      case Category::Affecting:
+        return "khaki";
+      case Category::Other:
+        return "lightgray";
+    }
+    return "white";
+}
+
+} // anonymous namespace
+
+std::string
+cfgToDot(const ir::Function &fn)
+{
+    std::ostringstream os;
+    os << "digraph \"" << dotEscape(fn.name()) << "\" {\n";
+    os << "  node [shape=box, fontname=\"monospace\"];\n";
+    for (size_t b = 0; b < fn.numBlocks(); b++) {
+        const auto &bb = fn.block(static_cast<ir::BlockId>(b));
+        std::ostringstream label;
+        label << "bb" << b;
+        if (!bb.label.empty())
+            label << " (" << bb.label << ")";
+        label << "\n";
+        for (const auto &in : bb.instrs)
+            label << in.str() << "\n";
+        os << "  bb" << b << " [label=\"" << dotEscape(label.str())
+           << "\"];\n";
+        if (!bb.hasTerminator())
+            continue;
+        const auto &term = bb.terminator();
+        if (term.op == ir::Opcode::Branch) {
+            os << "  bb" << b << " -> bb" << term.target << ";\n";
+        } else if (term.op == ir::Opcode::CondBranch) {
+            os << "  bb" << b << " -> bb" << term.target
+               << " [label=\"T\"];\n";
+            os << "  bb" << b << " -> bb" << term.target_else
+               << " [label=\"F\"];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+callGraphToDot(const CallGraph &cg, const FunctionClassifier *classifier)
+{
+    std::ostringstream os;
+    os << "digraph callgraph {\n";
+    os << "  node [shape=ellipse];\n";
+
+    // Cluster multi-member SCCs (recursion groups).
+    for (size_t s = 0; s < cg.numSccs(); s++) {
+        const auto &members = cg.sccMembers(static_cast<int>(s));
+        if (members.size() < 2)
+            continue;
+        os << "  subgraph cluster_scc" << s << " {\n";
+        os << "    label=\"scc " << s << "\";\n";
+        for (int node : members)
+            os << "    n" << node << ";\n";
+        os << "  }\n";
+    }
+
+    for (size_t n = 0; n < cg.size(); n++) {
+        os << "  n" << n << " [label=\"" << dotEscape(cg.nameOf(
+                  static_cast<int>(n)))
+           << "\"";
+        if (classifier) {
+            os << ", style=filled, fillcolor="
+               << categoryColor(
+                      classifier->categoryOf(cg.nameOf(
+                          static_cast<int>(n))));
+        }
+        os << "];\n";
+    }
+    for (size_t n = 0; n < cg.size(); n++) {
+        for (int callee : cg.calleesOf(static_cast<int>(n)))
+            os << "  n" << n << " -> n" << callee << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+scheduleToDot(const FileSchedule &schedule)
+{
+    std::ostringstream os;
+    os << "digraph schedule {\n";
+    os << "  rankdir=BT;\n";
+    os << "  node [shape=box];\n";
+    int batch_id = 0;
+    std::vector<std::vector<int>> ids_per_level;
+    for (const auto &level : schedule.levels) {
+        ids_per_level.emplace_back();
+        for (const auto &batch : level) {
+            std::ostringstream label;
+            for (const auto &file : batch.files)
+                label << file << "\n";
+            os << "  b" << batch_id << " [label=\""
+               << dotEscape(label.str()) << "\"];\n";
+            ids_per_level.back().push_back(batch_id);
+            batch_id++;
+        }
+    }
+    // Same-rank constraint per level, and level-to-level ordering edges.
+    for (size_t l = 0; l < ids_per_level.size(); l++) {
+        os << "  { rank=same;";
+        for (int id : ids_per_level[l])
+            os << " b" << id << ";";
+        os << " }\n";
+        if (l == 0)
+            continue;
+        for (int from : ids_per_level[l - 1])
+            for (int to : ids_per_level[l])
+                os << "  b" << from << " -> b" << to
+                   << " [style=dashed, arrowhead=none];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace rid::analysis

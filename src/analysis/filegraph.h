@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Separate-file analysis scheduling (Section 5.3 of the paper).
+ *
+ * When a program is analyzed one source file at a time, the files must be
+ * visited so that a file's callees are summarized before its callers. The
+ * paper builds a dependency graph of the sources (A depends on B iff A
+ * uses a symbol defined in B), condenses strongly connected components —
+ * mutually-dependent files are linked and analyzed as one unit — and
+ * walks the condensation in reverse topological order; SCCs on the same
+ * level are independent and can run in parallel.
+ *
+ * This module provides exactly that: a FileGraph built from symbol
+ * definitions/uses, and a schedule of batches (one batch per SCC) grouped
+ * into parallel-safe levels.
+ */
+
+#ifndef RID_ANALYSIS_FILEGRAPH_H
+#define RID_ANALYSIS_FILEGRAPH_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rid::analysis {
+
+/** Symbol interface of one source file. */
+struct FileSymbols
+{
+    std::string name;
+    std::set<std::string> defines;  ///< functions defined in the file
+    std::set<std::string> uses;     ///< functions called in the file
+};
+
+/** One unit of work: the files of one SCC, analyzed together. */
+struct FileBatch
+{
+    std::vector<std::string> files;
+};
+
+/** The full schedule: levels of mutually independent batches. A batch may
+ *  start once every batch in every earlier level finished. */
+struct FileSchedule
+{
+    std::vector<std::vector<FileBatch>> levels;
+
+    size_t
+    totalBatches() const
+    {
+        size_t n = 0;
+        for (const auto &level : levels)
+            n += level.size();
+        return n;
+    }
+};
+
+class FileGraph
+{
+  public:
+    explicit FileGraph(std::vector<FileSymbols> files);
+
+    /** Files that @p file depends on (whose symbols it uses). */
+    std::vector<std::string> dependenciesOf(const std::string &file) const;
+
+    /**
+     * Build the analysis schedule: SCCs of the dependency graph in
+     * reverse topological order, stratified into parallel levels.
+     */
+    FileSchedule schedule() const;
+
+  private:
+    std::vector<FileSymbols> files_;
+    std::map<std::string, int> index_;
+    std::vector<std::vector<int>> deps_;  // file -> files it depends on
+};
+
+/**
+ * Extract the symbol interface of a Kernel-C source file without full
+ * lowering (parse only).
+ *
+ * @throws frontend::ParseError on syntax errors.
+ */
+FileSymbols scanFileSymbols(const std::string &name,
+                            const std::string &source);
+
+} // namespace rid::analysis
+
+#endif // RID_ANALYSIS_FILEGRAPH_H

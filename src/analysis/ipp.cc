@@ -1,0 +1,100 @@
+#include "analysis/ipp.h"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+
+namespace rid::analysis {
+
+std::string
+BugReport::str() const
+{
+    std::ostringstream os;
+    os << function << ": refcount " << refcount
+       << " changed inconsistently: " << (delta_a >= 0 ? "+" : "")
+       << delta_a << " when (" << cons_a << ")";
+    if (!lines_a.empty()) {
+        os << " [lines";
+        for (int l : lines_a)
+            os << " " << l;
+        os << "]";
+    }
+    os << " vs " << (delta_b >= 0 ? "+" : "") << delta_b << " when ("
+       << cons_b << ")";
+    if (!lines_b.empty()) {
+        os << " [lines";
+        for (int l : lines_b)
+            os << " " << l;
+        os << "]";
+    }
+    return os.str();
+}
+
+IppResult
+checkAndMerge(const std::string &function,
+              std::vector<summary::SummaryEntry> entries,
+              smt::Solver &solver, const IppOptions &opts)
+{
+    IppResult result;
+    std::mt19937_64 rng(opts.drop_seed ^
+                        std::hash<std::string>()(function));
+
+    // Pairwise check. `entries` shrinks as inconsistent/merged entries
+    // are removed, so indices restart after every mutation.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < entries.size() && !changed; i++) {
+            for (size_t j = i + 1; j < entries.size() && !changed; j++) {
+                smt::Formula overlap =
+                    entries[i].cons.land(entries[j].cons);
+                if (!solver.isSat(overlap))
+                    continue;
+                if (!summary::SummaryEntry::sameStores(entries[i],
+                                                       entries[j])) {
+                    // Under the field-store extension the paths are
+                    // distinguishable by their writes to caller-visible
+                    // structures: not an IPP (and not mergeable either).
+                    continue;
+                }
+                auto diffs = summary::SummaryEntry::changedDifferently(
+                    entries[i], entries[j]);
+                if (diffs.empty()) {
+                    // Consistent overlap: merge with disjunction
+                    // (Section 4.3).
+                    summary::SummaryEntry merged =
+                        summary::SummaryEntry::merge(entries[i],
+                                                     entries[j]);
+                    entries.erase(entries.begin() + j);
+                    entries[i] = std::move(merged);
+                    changed = true;
+                    break;
+                }
+                // Inconsistent path pair: report each refcount that
+                // differs, then drop one entry of the pair.
+                for (const auto &[rc, deltas] : diffs) {
+                    BugReport report;
+                    report.function = function;
+                    report.refcount = rc.str();
+                    report.delta_a = deltas.first;
+                    report.delta_b = deltas.second;
+                    report.cons_a = entries[i].cons.str();
+                    report.cons_b = entries[j].cons.str();
+                    report.lines_a = entries[i].origin.change_lines;
+                    report.lines_b = entries[j].origin.change_lines;
+                    report.return_line_a = entries[i].origin.return_line;
+                    report.return_line_b = entries[j].origin.return_line;
+                    result.reports.push_back(std::move(report));
+                }
+                size_t drop = (rng() & 1) ? i : j;
+                entries.erase(entries.begin() + drop);
+                changed = true;
+            }
+        }
+    }
+
+    result.entries = std::move(entries);
+    return result;
+}
+
+} // namespace rid::analysis

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Path enumeration (Step I of the per-function analysis, Section 4.2).
+ *
+ * All entry-to-exit paths of a function are enumerated, with loops
+ * unrolled at most once (each block may appear at most twice on a path)
+ * and a configurable cap on the number of paths. Paths passing through an
+ * __assert_fail call model assertion-failure exits and are skipped, as in
+ * the paper's running example.
+ */
+
+#ifndef RID_ANALYSIS_PATHS_H
+#define RID_ANALYSIS_PATHS_H
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace rid::analysis {
+
+/** One enumerated path: the block sequence from entry to a Return. */
+struct Path
+{
+    std::vector<ir::BlockId> blocks;
+};
+
+struct PathEnumResult
+{
+    std::vector<Path> paths;
+    /** True if the path cap stopped enumeration early (the function must
+     *  then get a default summary entry — Section 5.2). */
+    bool truncated = false;
+};
+
+/**
+ * Enumerate paths of @p fn.
+ *
+ * @param max_paths   cap on the number of returned paths
+ * @param max_visits  how many times one block may appear on a path
+ *                    (2 = the paper's unroll-loops-once rule)
+ */
+PathEnumResult enumeratePaths(const ir::Function &fn, int max_paths,
+                              int max_visits = 2);
+
+} // namespace rid::analysis
+
+#endif // RID_ANALYSIS_PATHS_H

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Static intra-procedural backward slicing (Section 5.2).
+ *
+ * The classifier computes, for each function, a backward slice whose
+ * criteria are the function's return values and every actual argument
+ * passed to a refcount-changing callee. Any call instruction inside the
+ * slice may affect refcount behaviour, putting its callee in the second
+ * category ("functions affecting those with refcount changes").
+ *
+ * The slice is the standard closure over data dependence (definitions of
+ * variables used by slice members, without kill analysis — a sound
+ * over-approximation) and control dependence (branches deciding whether a
+ * slice member executes).
+ */
+
+#ifndef RID_ANALYSIS_SLICER_H
+#define RID_ANALYSIS_SLICER_H
+
+#include <functional>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace rid::analysis {
+
+/** Location of an instruction within a function. */
+struct InstrRef
+{
+    ir::BlockId block = 0;
+    int index = 0;
+
+    bool operator<(const InstrRef &o) const
+    {
+        return block != o.block ? block < o.block : index < o.index;
+    }
+    bool operator==(const InstrRef &o) const
+    {
+        return block == o.block && index == o.index;
+    }
+};
+
+/**
+ * Compute the backward slice of @p fn.
+ *
+ * @param fn               the function to slice
+ * @param include_returns  add all Return instructions to the criteria
+ * @param call_criterion   called per Call instruction; returning true adds
+ *                         the call (and thus its argument definitions) to
+ *                         the criteria
+ * @return instruction refs in the slice, sorted
+ */
+std::vector<InstrRef>
+backwardSlice(const ir::Function &fn, bool include_returns,
+              const std::function<bool(const ir::Instruction &)>
+                  &call_criterion);
+
+} // namespace rid::analysis
+
+#endif // RID_ANALYSIS_SLICER_H

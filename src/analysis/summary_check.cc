@@ -1,0 +1,75 @@
+#include "analysis/summary_check.h"
+
+namespace rid::analysis {
+
+namespace {
+
+/** Root atom of a (possibly nested) field expression. */
+smt::Expr
+rootOf(smt::Expr e)
+{
+    while (e.kind() == smt::ExprKind::Field)
+        e = e.base();
+    return e;
+}
+
+} // anonymous namespace
+
+std::vector<BugReport>
+escapeRuleViolations(const summary::FunctionSummary &summary,
+                     const EscapeRuleOptions &opts)
+{
+    std::vector<BugReport> reports;
+    if (summary.is_default || summary.is_predefined)
+        return reports;
+
+    for (const auto &entry : summary.entries) {
+        for (const auto &[rc, delta] : entry.changes) {
+            smt::Expr root = rootOf(rc);
+            int expected;
+            switch (root.kind()) {
+              case smt::ExprKind::Ret:
+                // The object escapes by being returned: the function
+                // must hand the caller exactly one reference.
+                expected = 1;
+                break;
+              case smt::ExprKind::Temp:
+              case smt::ExprKind::Local:
+                // The object never leaves the function.
+                expected = 0;
+                break;
+              case smt::ExprKind::Arg:
+                if (!opts.check_arguments)
+                    continue;
+                expected = 0;
+                break;
+              default:
+                continue;
+            }
+            if (delta == expected)
+                continue;
+            BugReport report;
+            report.function = summary.function;
+            report.refcount = rc.str();
+            report.delta_a = delta;
+            report.delta_b = expected;
+            report.cons_a = entry.cons.str();
+            report.cons_b = "(escape rule: expected " +
+                            std::to_string(expected) + ")";
+            report.lines_a = entry.origin.change_lines;
+            report.return_line_a = entry.origin.return_line;
+            reports.push_back(std::move(report));
+        }
+    }
+    return reports;
+}
+
+SummaryCheck
+makeEscapeRuleCheck(EscapeRuleOptions opts)
+{
+    return [opts](const summary::FunctionSummary &summary) {
+        return escapeRuleViolations(summary, opts);
+    };
+}
+
+} // namespace rid::analysis

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Pluggable checks on computed function summaries.
+ *
+ * The paper notes (Sections 2.1 and 4.5) that IPP checking deliberately
+ * uses a weak property, and that stronger properties — like
+ * Pungi/Cpychecker's "the change of a refcount must equal the number of
+ * escaping references" — can be integrated simply by adding checks on
+ * the function summaries RID computes anyway. This module provides that
+ * hook: an AnalyzerOptions::summary_check callback invoked on every
+ * computed summary, plus the escape-count rule as a ready-made instance.
+ *
+ * The escape rule inspects each entry's refcount changes by the root of
+ * the refcount expression:
+ *   - rooted at the return value [0]: one reference escapes, the net
+ *     change must be +1 (a returned new reference) or the key absent;
+ *   - rooted at an analysis temp (an object that died inside the
+ *     function): nothing escapes, any nonzero change is a leak or an
+ *     over-release;
+ *   - rooted at an argument: the caller owns it, a nonzero net change
+ *     violates the rule (this is exactly the assumption that flags every
+ *     refcount wrapper, so kernel-style code should keep it off).
+ *
+ * Like the original tools, the rule is stronger than IPP checking: it
+ * catches uniform bugs RID misses but inherits the stealing/borrowing
+ * blind spots unless attributes are supplied.
+ */
+
+#ifndef RID_ANALYSIS_SUMMARY_CHECK_H
+#define RID_ANALYSIS_SUMMARY_CHECK_H
+
+#include <functional>
+#include <vector>
+
+#include "analysis/ipp.h"
+#include "summary/summary.h"
+
+namespace rid::analysis {
+
+/** Callback applied to every computed function summary. */
+using SummaryCheck = std::function<std::vector<BugReport>(
+    const summary::FunctionSummary &)>;
+
+struct EscapeRuleOptions
+{
+    /** Also enforce the rule on argument-rooted refcounts (flags every
+     *  wrapper on kernel-style code — Section 2.1). */
+    bool check_arguments = false;
+};
+
+/** Violations of the escape-count rule in one summary. */
+std::vector<BugReport>
+escapeRuleViolations(const summary::FunctionSummary &summary,
+                     const EscapeRuleOptions &opts = {});
+
+/** Make a SummaryCheck from the escape rule. */
+SummaryCheck makeEscapeRuleCheck(EscapeRuleOptions opts = {});
+
+} // namespace rid::analysis
+
+#endif // RID_ANALYSIS_SUMMARY_CHECK_H

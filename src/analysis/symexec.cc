@@ -1,0 +1,466 @@
+#include "analysis/symexec.h"
+
+#include <cassert>
+#include <map>
+
+#include "frontend/lower.h"
+#include "summary/summary.h"
+
+namespace rid::analysis {
+
+namespace {
+
+using smt::Expr;
+using smt::ExprKind;
+using smt::Formula;
+using summary::SummaryEntry;
+
+/** A constraint part, tagged with the branch instruction that added it so
+ *  a re-executed branch (unrolled loop) can replace its old condition. */
+struct ConsPart
+{
+    const ir::Instruction *source = nullptr;  // null: call constraint
+    Formula formula;
+};
+
+/** One symbolic execution state (Section 4.4). */
+struct State
+{
+    std::vector<ConsPart> cons_parts;
+    summary::ChangeMap changes;
+    summary::StoreSet stores;
+    std::map<std::string, Expr> vmap;
+    std::vector<int> change_lines;
+    /** Per-call-site execution counts, for deterministic temp naming. */
+    std::map<const ir::Instruction *, int> call_occurrence;
+
+    Formula
+    consFormula() const
+    {
+        std::vector<Formula> parts;
+        parts.reserve(cons_parts.size());
+        for (const auto &p : cons_parts)
+            parts.push_back(p.formula);
+        return Formula::conj(std::move(parts));
+    }
+};
+
+/** Evaluate an operand under a state's vmap. */
+Expr
+valueOf(const ir::Value &v, const ir::Function &fn,
+        const std::map<std::string, Expr> &vmap)
+{
+    switch (v.kind()) {
+      case ir::ValueKind::Var: {
+        auto it = vmap.find(v.varName());
+        if (it != vmap.end())
+            return it->second;
+        // Default valuation: formal arguments are argument atoms, other
+        // names are unconstrained locals.
+        if (fn.isParam(v.varName()))
+            return Expr::arg(v.varName());
+        return Expr::local(v.varName());
+      }
+      case ir::ValueKind::IntConst:
+        return Expr::intConst(v.intValue());
+      case ir::ValueKind::BoolConst:
+        return Expr::boolConst(v.boolValue());
+      case ir::ValueKind::Null:
+        return Expr::null();
+      case ir::ValueKind::None:
+        return Expr();
+    }
+    return Expr();
+}
+
+/**
+ * Build the symbolic result of a comparison, folding comparisons of a
+ * boolean-valued expression against 0/1 back into the boolean itself so
+ * `if (ok)` over `ok = (a == b)` keeps its precision.
+ */
+Expr
+makeCmp(smt::Pred pred, const Expr &lhs, const Expr &rhs)
+{
+    if (lhs.isConst() && rhs.isConst()) {
+        int64_t l = lhs.kind() == ExprKind::BoolConst
+                        ? (lhs.boolValue() ? 1 : 0)
+                        : lhs.intValue();
+        int64_t r = rhs.kind() == ExprKind::BoolConst
+                        ? (rhs.boolValue() ? 1 : 0)
+                        : rhs.intValue();
+        return Expr::boolConst(smt::evalPred(pred, l, r));
+    }
+    auto foldBool = [](const Expr &b, smt::Pred p,
+                       int64_t k) -> Expr {
+        // b is boolean-valued, compared against constant k.
+        if (k == 0) {
+            if (p == smt::Pred::Ne || p == smt::Pred::Gt)
+                return b;
+            if (p == smt::Pred::Eq || p == smt::Pred::Le)
+                return b.negated();
+        } else if (k == 1) {
+            if (p == smt::Pred::Eq || p == smt::Pred::Ge)
+                return b;
+            if (p == smt::Pred::Ne || p == smt::Pred::Lt)
+                return b.negated();
+        }
+        return Expr();
+    };
+    if (lhs.isBoolean() && rhs.kind() == ExprKind::IntConst) {
+        if (Expr e = foldBool(lhs, pred, rhs.intValue()))
+            return e;
+    }
+    if (rhs.isBoolean() && lhs.kind() == ExprKind::IntConst) {
+        if (Expr e = foldBool(rhs, smt::swapPred(pred), lhs.intValue()))
+            return e;
+    }
+    if (lhs.isBoolean() || rhs.isBoolean()) {
+        // Comparison over booleans outside the foldable cases: the result
+        // is unconstrained (outside the LIA abstraction).
+        return Expr();
+    }
+    return Expr::cmp(pred, lhs, rhs);
+}
+
+/** The condition literal asserted when branching on @p cond_value. */
+Formula
+branchCondition(const Expr &cond_value, bool taken)
+{
+    if (!cond_value)
+        return Formula::top();
+    Expr cond = cond_value;
+    if (!cond.isBoolean())
+        cond = Expr::cmp(smt::Pred::Ne, cond, Expr::intConst(0));
+    if (!taken)
+        cond = cond.negated();
+    return Formula::lit(cond);
+}
+
+/** Collect the top-level conjunct literals of a formula. */
+std::vector<Expr>
+topLevelLiterals(const Formula &f)
+{
+    std::vector<Expr> lits;
+    if (f.kind() == smt::FormulaKind::Lit) {
+        lits.push_back(f.literal());
+    } else if (f.kind() == smt::FormulaKind::And) {
+        for (const auto &c : f.children())
+            if (c.kind() == smt::FormulaKind::Lit)
+                lits.push_back(c.literal());
+    }
+    return lits;
+}
+
+bool
+isLocalAtom(const Expr &e)
+{
+    return e.kind() == ExprKind::Local || e.kind() == ExprKind::Temp;
+}
+
+/**
+ * Project local state out of a summary entry: use top-level equalities to
+ * rewrite local atoms into argument/return terms, then drop any literal
+ * still mentioning local state (Section 3.3.3). Refcount-change keys and
+ * the return expression are rewritten by the same substitutions so that
+ * e.g. the refcount of a freshly created and returned object becomes
+ * [0].rc.
+ */
+void
+projectEntryLocals(SummaryEntry &entry)
+{
+    for (int round = 0; round < 64; round++) {
+        bool substituted = false;
+        for (const Expr &lit : topLevelLiterals(entry.cons.nnf())) {
+            if (lit.kind() != ExprKind::Cmp ||
+                lit.pred() != smt::Pred::Eq) {
+                continue;
+            }
+            Expr from, to;
+            if (isLocalAtom(lit.lhs()) &&
+                !lit.rhs().mentionsLocalState()) {
+                from = lit.lhs();
+                to = lit.rhs();
+            } else if (isLocalAtom(lit.rhs()) &&
+                       !lit.lhs().mentionsLocalState()) {
+                from = lit.rhs();
+                to = lit.lhs();
+            } else {
+                continue;
+            }
+            entry.cons = entry.cons.substitute(from, to);
+            if (entry.ret)
+                entry.ret = entry.ret.substitute(from, to);
+            summary::ChangeMap new_changes;
+            for (const auto &[rc, delta] : entry.changes)
+                new_changes[rc.substitute(from, to)] += delta;
+            entry.changes = std::move(new_changes);
+            summary::StoreSet new_stores;
+            for (const auto &s : entry.stores)
+                new_stores.insert(s.substitute(from, to));
+            entry.stores = std::move(new_stores);
+            substituted = true;
+            break;
+        }
+        if (!substituted)
+            break;
+    }
+    entry.cons = entry.cons.dropLiteralsIf(
+        [](const Expr &lit) { return lit.mentionsLocalState(); });
+    // Store effects on objects that died with the function are not
+    // observable by callers.
+    for (auto it = entry.stores.begin(); it != entry.stores.end();) {
+        if (it->mentionsLocalState())
+            it = entry.stores.erase(it);
+        else
+            ++it;
+    }
+    entry.normalizeChanges();
+}
+
+} // anonymous namespace
+
+smt::Formula
+projectLocals(const smt::Formula &cons)
+{
+    SummaryEntry e;
+    e.cons = cons;
+    projectEntryLocals(e);
+    return e.cons;
+}
+
+ExecResult
+executePath(const ir::Function &fn, const Path &path, int path_index,
+            const summary::SummaryDb &db, smt::Solver &solver,
+            const ExecOptions &opts)
+{
+    ExecResult result;
+
+    State initial;
+    for (const auto &p : fn.params())
+        initial.vmap[p] = Expr::arg(p);
+
+    std::vector<State> states{std::move(initial)};
+
+    auto pruneState = [&](const State &s) {
+        return opts.prune_infeasible && !solver.isSat(s.consFormula());
+    };
+
+    for (size_t step = 0; step < path.blocks.size(); step++) {
+        ir::BlockId b = path.blocks[step];
+        const auto &bb = fn.block(b);
+        for (size_t idx = 0; idx < bb.instrs.size(); idx++) {
+            const ir::Instruction &in = bb.instrs[idx];
+            switch (in.op) {
+              case ir::Opcode::Assign:
+                for (auto &s : states)
+                    s.vmap[in.dst] = valueOf(in.a, fn, s.vmap);
+                break;
+              case ir::Opcode::FieldLoad:
+                for (auto &s : states) {
+                    Expr base = valueOf(in.a, fn, s.vmap);
+                    if (base.isConst() || base.isBoolean()) {
+                        // Field of a constant: unconstrained.
+                        s.vmap[in.dst] = Expr::temp(
+                            "f" + std::to_string(b) + "_" +
+                            std::to_string(idx));
+                    } else {
+                        s.vmap[in.dst] = Expr::field(base, in.field);
+                    }
+                }
+                break;
+              case ir::Opcode::FieldStore:
+                // Extension (Section 5.4): a store to a caller-visible
+                // structure is an observable path effect. Stores to
+                // local objects are invisible outside and are dropped.
+                for (auto &s : states) {
+                    Expr base = valueOf(in.a, fn, s.vmap);
+                    if (base && !base.isConst() && !base.isBoolean() &&
+                        !base.mentionsLocalState()) {
+                        s.stores.insert(Expr::field(base, in.field));
+                    }
+                }
+                break;
+              case ir::Opcode::Random:
+                for (auto &s : states) {
+                    int occ = s.call_occurrence[&in]++;
+                    s.vmap[in.dst] = Expr::temp(
+                        "r" + std::to_string(b) + "_" +
+                        std::to_string(idx) + "_" + std::to_string(occ));
+                }
+                break;
+              case ir::Opcode::Cmp:
+                for (auto &s : states) {
+                    Expr l = valueOf(in.a, fn, s.vmap);
+                    Expr r = valueOf(in.b, fn, s.vmap);
+                    Expr c = makeCmp(in.pred, l, r);
+                    if (c)
+                        s.vmap[in.dst] = c;
+                    else
+                        s.vmap[in.dst] = Expr::temp(
+                            "b" + std::to_string(b) + "_" +
+                            std::to_string(idx));
+                }
+                break;
+              case ir::Opcode::Branch:
+                break;
+              case ir::Opcode::CondBranch: {
+                assert(step + 1 < path.blocks.size());
+                bool taken = path.blocks[step + 1] == in.target;
+                std::vector<State> kept;
+                for (auto &s : states) {
+                    Expr cond;
+                    if (in.a.isVar()) {
+                        cond = valueOf(in.a, fn, s.vmap);
+                    }
+                    Formula lit = branchCondition(cond, taken);
+                    // Replace any condition this instruction added on an
+                    // earlier (unrolled) execution (Figure 6).
+                    std::erase_if(s.cons_parts, [&in](const ConsPart &p) {
+                        return p.source == &in;
+                    });
+                    s.cons_parts.push_back(ConsPart{&in, lit});
+                    if (!pruneState(s))
+                        kept.push_back(std::move(s));
+                }
+                states = std::move(kept);
+                break;
+              }
+              case ir::Opcode::Call: {
+                if (in.callee == frontend::kAssertFailFn) {
+                    states.clear();
+                    break;
+                }
+                const summary::FunctionSummary *callee = db.find(in.callee);
+                std::vector<State> next;
+                for (auto &s : states) {
+                    std::vector<Expr> actuals;
+                    actuals.reserve(in.args.size());
+                    for (const auto &a : in.args)
+                        actuals.push_back(valueOf(a, fn, s.vmap));
+                    int occ = s.call_occurrence[&in]++;
+                    std::string temp_name =
+                        "c" + std::to_string(b) + "_" +
+                        std::to_string(idx) + "_" + std::to_string(occ);
+
+                    if (!callee) {
+                        // No summary at all: default behaviour inline.
+                        if (!in.dst.empty())
+                            s.vmap[in.dst] = Expr::temp(temp_name);
+                        next.push_back(std::move(s));
+                        continue;
+                    }
+                    for (const auto &entry : callee->entries) {
+                        if (static_cast<int>(next.size()) >=
+                            opts.max_subcases) {
+                            result.truncated = true;
+                            break;
+                        }
+                        // Instantiate formals first, then decide how the
+                        // return value is represented (Algorithm 1).
+                        SummaryEntry inst = summary::instantiate(
+                            entry, callee->params, actuals, Expr());
+                        Expr res;
+                        if (inst.ret) {
+                            bool opaque = inst.ret.containsIf(
+                                [](const Expr &e) {
+                                    return e.kind() == ExprKind::Ret;
+                                }) || inst.ret.mentionsLocalState();
+                            res = opaque ? Expr::temp(temp_name) : inst.ret;
+                        } else if (!in.dst.empty()) {
+                            res = Expr::temp(temp_name);
+                        }
+                        if (res) {
+                            inst.cons =
+                                inst.cons.substitute(Expr::ret(), res);
+                            summary::ChangeMap keyed;
+                            for (const auto &[rc, d] : inst.changes)
+                                keyed[rc.substitute(Expr::ret(), res)] += d;
+                            inst.changes = std::move(keyed);
+                        }
+
+                        State forked = s;
+                        forked.cons_parts.push_back(
+                            ConsPart{nullptr, inst.cons});
+                        for (const auto &[rc, delta] : inst.changes) {
+                            forked.changes[rc] += delta;
+                            forked.change_lines.push_back(in.line);
+                        }
+                        for (const auto &store : inst.stores) {
+                            if (!store.mentionsLocalState())
+                                forked.stores.insert(store);
+                        }
+                        if (!in.dst.empty())
+                            forked.vmap[in.dst] =
+                                res ? res : Expr::temp(temp_name);
+                        if (!pruneState(forked))
+                            next.push_back(std::move(forked));
+                    }
+                }
+                states = std::move(next);
+                break;
+              }
+              case ir::Opcode::Return: {
+                for (auto &s : states) {
+                    SummaryEntry entry;
+                    entry.changes = s.changes;
+                    entry.stores = s.stores;
+                    Expr retval = valueOf(in.a, fn, s.vmap);
+                    std::vector<Formula> parts;
+                    for (auto &p : s.cons_parts)
+                        parts.push_back(p.formula);
+                    if (retval) {
+                        if (retval.isConst()) {
+                            entry.ret = retval;
+                            parts.push_back(Formula::lit(Expr::cmp(
+                                smt::Pred::Eq, Expr::ret(), retval)));
+                        } else if (retval.isBoolean()) {
+                            // Returning a comparison: [0] is its 0/1
+                            // encoding.
+                            entry.ret = Expr::ret();
+                            Formula as_one = Formula::conj(
+                                {Formula::lit(retval),
+                                 Formula::lit(Expr::cmp(
+                                     smt::Pred::Eq, Expr::ret(),
+                                     Expr::intConst(1)))});
+                            Formula as_zero = Formula::conj(
+                                {Formula::lit(retval.negated()),
+                                 Formula::lit(Expr::cmp(
+                                     smt::Pred::Eq, Expr::ret(),
+                                     Expr::intConst(0)))});
+                            parts.push_back(
+                                Formula::disj({as_one, as_zero}));
+                        } else {
+                            entry.ret = Expr::ret();
+                            parts.push_back(Formula::lit(Expr::cmp(
+                                smt::Pred::Eq, Expr::ret(), retval)));
+                        }
+                    }
+                    entry.cons = Formula::conj(std::move(parts));
+                    projectEntryLocals(entry);
+                    entry.origin.change_lines = s.change_lines;
+                    entry.origin.return_line = in.line;
+                    entry.origin.path_index = path_index;
+                    if (static_cast<int>(result.entries.size()) <
+                        opts.max_subcases) {
+                        result.entries.push_back(std::move(entry));
+                    } else {
+                        result.truncated = true;
+                    }
+                }
+                return result;
+              }
+            }
+            if (states.empty())
+                return result;
+            if (static_cast<int>(states.size()) > opts.max_subcases) {
+                states.resize(opts.max_subcases);
+                result.truncated = true;
+            }
+        }
+    }
+    // A path must end in a Return (verified IR guarantees a terminator on
+    // every block; enumeration stops at Return blocks).
+    return result;
+}
+
+} // namespace rid::analysis

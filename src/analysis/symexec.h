@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Path summary calculation by symbolic execution (Section 4.4).
+ *
+ * A state is (ip, cons, changes, return, vmap). Instructions are
+ * evaluated as in Figure 6; call instructions instantiate the callee's
+ * summary entries and fork one state per satisfiable entry (Algorithm 1).
+ * When a Return executes, the state becomes a summary entry: the return
+ * value is bound to the atom [0], conditions on local state are projected
+ * out (by equality substitution where possible, otherwise by dropping the
+ * literal — a sound weakening), and the entry is recorded.
+ */
+
+#ifndef RID_ANALYSIS_SYMEXEC_H
+#define RID_ANALYSIS_SYMEXEC_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/paths.h"
+#include "ir/function.h"
+#include "smt/solver.h"
+#include "summary/db.h"
+
+namespace rid::analysis {
+
+struct ExecOptions
+{
+    /** Cap on summary entries produced from a single path ("subcases" in
+     *  the paper's configuration; default 10 — Section 6.1). */
+    int max_subcases = 10;
+    /** Discard states whose constraint is unsatisfiable as soon as the
+     *  branch/entry constraint is added. */
+    bool prune_infeasible = true;
+};
+
+struct ExecResult
+{
+    std::vector<summary::SummaryEntry> entries;
+    /** True if max_subcases truncated the expansion. */
+    bool truncated = false;
+};
+
+/**
+ * Execute one path of @p fn symbolically and produce its summary entries.
+ *
+ * @param fn      the function (definition)
+ * @param path    the block sequence to follow
+ * @param path_index index recorded in entry provenance
+ * @param db      summary database for callee lookup; callees without a
+ *                summary get the default (no change, unconstrained)
+ * @param solver  satisfiability checker used for pruning
+ */
+ExecResult executePath(const ir::Function &fn, const Path &path,
+                       int path_index, const summary::SummaryDb &db,
+                       smt::Solver &solver, const ExecOptions &opts);
+
+/**
+ * Project local state out of an entry constraint: rewrite Local/Temp
+ * atoms into argument/return terms where an equality in @p cons allows
+ * it, then drop any literal still mentioning local state. Exposed for
+ * testing and used by executePath().
+ */
+smt::Formula projectLocals(const smt::Formula &cons);
+
+} // namespace rid::analysis
+
+#endif // RID_ANALYSIS_SYMEXEC_H

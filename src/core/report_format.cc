@@ -1,0 +1,136 @@
+#include "core/report_format.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace rid {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+jsonIntArray(const std::vector<int> &values)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < values.size(); i++) {
+        if (i)
+            out += ",";
+        out += std::to_string(values[i]);
+    }
+    out += "]";
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+toJson(const analysis::BugReport &report)
+{
+    std::ostringstream os;
+    os << "{"
+       << "\"function\":\"" << jsonEscape(report.function) << "\","
+       << "\"refcount\":\"" << jsonEscape(report.refcount) << "\","
+       << "\"delta_a\":" << report.delta_a << ","
+       << "\"delta_b\":" << report.delta_b << ","
+       << "\"cons_a\":\"" << jsonEscape(report.cons_a) << "\","
+       << "\"cons_b\":\"" << jsonEscape(report.cons_b) << "\","
+       << "\"lines_a\":" << jsonIntArray(report.lines_a) << ","
+       << "\"lines_b\":" << jsonIntArray(report.lines_b) << ","
+       << "\"return_line_a\":" << report.return_line_a << ","
+       << "\"return_line_b\":" << report.return_line_b << "}";
+    return os.str();
+}
+
+std::string
+toJson(const RunResult &result)
+{
+    std::ostringstream os;
+    os << "{\"reports\":[";
+    for (size_t i = 0; i < result.reports.size(); i++) {
+        if (i)
+            os << ",";
+        os << toJson(result.reports[i]);
+    }
+    os << "],\"stats\":{"
+       << "\"refcount_changing\":"
+       << result.stats.categories.refcount_changing << ","
+       << "\"affecting\":" << result.stats.categories.affecting << ","
+       << "\"other\":" << result.stats.categories.other << ","
+       << "\"functions_analyzed\":" << result.stats.functions_analyzed
+       << ","
+       << "\"functions_defaulted\":" << result.stats.functions_defaulted
+       << ","
+       << "\"functions_truncated\":" << result.stats.functions_truncated
+       << ","
+       << "\"paths_enumerated\":" << result.stats.paths_enumerated << ","
+       << "\"entries_computed\":" << result.stats.entries_computed << ","
+       << "\"classify_seconds\":" << result.stats.classify_seconds << ","
+       << "\"analyze_seconds\":" << result.stats.analyze_seconds
+       << "}}";
+    return os.str();
+}
+
+std::string
+groupedText(const RunResult &result)
+{
+    std::map<std::string, std::vector<const analysis::BugReport *>>
+        by_function;
+    for (const auto &report : result.reports)
+        by_function[report.function].push_back(&report);
+
+    std::vector<std::pair<std::string, size_t>> order;
+    for (const auto &[fn, reports] : by_function)
+        order.push_back({fn, reports.size()});
+    std::sort(order.begin(), order.end(), [](const auto &a, const auto &b) {
+        return a.second != b.second ? a.second > b.second
+                                    : a.first < b.first;
+    });
+
+    std::ostringstream os;
+    os << result.reports.size() << " report(s) in " << by_function.size()
+       << " function(s)\n";
+    for (const auto &[fn, count] : order) {
+        os << "\n" << fn << " (" << count << "):\n";
+        for (const auto *report : by_function[fn]) {
+            os << "  refcount " << report->refcount << ": "
+               << (report->delta_a >= 0 ? "+" : "") << report->delta_a
+               << " vs " << (report->delta_b >= 0 ? "+" : "")
+               << report->delta_b << "\n";
+            os << "    when " << report->cons_a << "\n";
+            os << "    vs   " << report->cons_b << "\n";
+        }
+    }
+    os << "\nfunctions: " << result.stats.categories.refcount_changing
+       << " refcount-changing, " << result.stats.categories.affecting
+       << " affecting, " << result.stats.categories.other << " others; "
+       << result.stats.functions_analyzed << " analyzed, "
+       << result.stats.paths_enumerated << " paths\n";
+    return os.str();
+}
+
+} // namespace rid

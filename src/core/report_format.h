@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Report rendering: grouped plain text and machine-readable JSON.
+ *
+ * The analysis produces one BugReport per inconsistent refcount; tooling
+ * usually wants them grouped by function and consumable by scripts. This
+ * module renders a RunResult either as a human-oriented grouped listing
+ * or as a self-contained JSON document (reports, statistics, tool
+ * configuration echoes).
+ */
+
+#ifndef RID_CORE_REPORT_FORMAT_H
+#define RID_CORE_REPORT_FORMAT_H
+
+#include <string>
+
+#include "core/rid.h"
+
+namespace rid {
+
+/** Escape a string for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &text);
+
+/** Render one report as a JSON object. */
+std::string toJson(const analysis::BugReport &report);
+
+/** Render a full run (reports + statistics) as a JSON document. */
+std::string toJson(const RunResult &result);
+
+/**
+ * Render a run as a grouped listing: reports bucketed per function,
+ * functions ordered by report count (most first), with the analysis
+ * statistics as a trailer.
+ */
+std::string groupedText(const RunResult &result);
+
+} // namespace rid
+
+#endif // RID_CORE_REPORT_FORMAT_H

@@ -1,0 +1,84 @@
+#include "core/rid.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "frontend/lower.h"
+#include "summary/spec.h"
+
+namespace rid {
+
+std::string
+RunResult::str() const
+{
+    std::ostringstream os;
+    os << reports.size() << " report(s)\n";
+    for (const auto &r : reports)
+        os << "  " << r.str() << "\n";
+    os << "functions: " << stats.categories.refcount_changing
+       << " refcount-changing, " << stats.categories.affecting
+       << " affecting, " << stats.categories.other << " others; "
+       << stats.functions_analyzed << " analyzed ("
+       << stats.functions_truncated << " truncated), "
+       << stats.paths_enumerated << " paths\n";
+    return os.str();
+}
+
+Rid::Rid(analysis::AnalyzerOptions opts, frontend::LowerOptions lower_opts)
+    : opts_(opts), lower_opts_(lower_opts)
+{}
+
+void
+Rid::loadSpecText(const std::string &text)
+{
+    summary::loadSpecsInto(text, db_);
+}
+
+void
+Rid::loadSpecFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open spec file: " + path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    loadSpecText(buf.str());
+}
+
+void
+Rid::addSource(const std::string &kernel_c_source)
+{
+    module_.absorb(frontend::compile(kernel_c_source, lower_opts_));
+}
+
+void
+Rid::addModule(ir::Module mod)
+{
+    module_.absorb(std::move(mod));
+}
+
+void
+Rid::importSummaries(const std::string &spec_text)
+{
+    for (auto &parsed : summary::parseSpecs(spec_text))
+        db_.addComputed(std::move(parsed.summary));
+}
+
+std::string
+Rid::exportSummaries() const
+{
+    return db_.saveComputed();
+}
+
+RunResult
+Rid::run()
+{
+    analysis::Analyzer analyzer(module_, db_, opts_);
+    analyzer.run();
+    RunResult result;
+    result.reports = analyzer.reports();
+    result.stats = analyzer.stats();
+    return result;
+}
+
+} // namespace rid

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Public façade of the RID checker.
+ *
+ * Typical use:
+ *
+ *     rid::Rid tool;
+ *     tool.loadSpecText(dpm_specs);          // refcount API specification
+ *     tool.addSource(kernel_c_source);       // Kernel-C translation units
+ *     rid::RunResult result = tool.run();
+ *     for (const auto &report : result.reports)
+ *         std::cout << report.str() << "\n";
+ *
+ * The only required configuration is the set of predefined summaries for
+ * the basic refcount APIs (Section 5.1); wrappers are summarized
+ * automatically.
+ */
+
+#ifndef RID_CORE_RID_H
+#define RID_CORE_RID_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "frontend/lower.h"
+#include "ir/function.h"
+#include "summary/db.h"
+
+namespace rid {
+
+/** Result of one analysis run. */
+struct RunResult
+{
+    std::vector<analysis::BugReport> reports;
+    analysis::AnalyzerStats stats;
+
+    /** Human-readable multi-line report. */
+    std::string str() const;
+};
+
+class Rid
+{
+  public:
+    explicit Rid(analysis::AnalyzerOptions opts = {},
+                 frontend::LowerOptions lower_opts = {});
+
+    /** Load predefined API summaries from spec text (Section 5.1 format).
+     *  @throws summary::SpecError on malformed specs. */
+    void loadSpecText(const std::string &text);
+
+    /** Load predefined API summaries from a spec file.
+     *  @throws std::runtime_error if unreadable, SpecError if malformed. */
+    void loadSpecFile(const std::string &path);
+
+    /** Parse and add a Kernel-C translation unit.
+     *  @throws frontend::ParseError on syntax errors. */
+    void addSource(const std::string &kernel_c_source);
+
+    /** Add an already-lowered IR module. */
+    void addModule(ir::Module mod);
+
+    /** Import previously computed summaries (separate-file analysis,
+     *  Section 5.3). */
+    void importSummaries(const std::string &spec_text);
+
+    /** Export the summaries computed by run() for reuse. */
+    std::string exportSummaries() const;
+
+    /** Run the analysis over everything added so far. */
+    RunResult run();
+
+    /** Access the loaded module (e.g. to print IR). */
+    const ir::Module &module() const { return module_; }
+
+    /** Access the summary database (specs + computed summaries). */
+    const summary::SummaryDb &summaries() const { return db_; }
+
+    analysis::AnalyzerOptions &options() { return opts_; }
+
+    /** Abstraction extensions (Section 5.4); adjust before addSource(). */
+    frontend::LowerOptions &lowerOptions() { return lower_opts_; }
+
+  private:
+    analysis::AnalyzerOptions opts_;
+    frontend::LowerOptions lower_opts_;
+    ir::Module module_;
+    summary::SummaryDb db_;
+};
+
+} // namespace rid
+
+#endif // RID_CORE_RID_H

@@ -1,0 +1,337 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstring>
+#include <map>
+
+namespace rid::frontend {
+
+const char *
+tokName(Tok t)
+{
+    switch (t) {
+      case Tok::End: return "<eof>";
+      case Tok::Ident: return "identifier";
+      case Tok::Number: return "number";
+      case Tok::String: return "string";
+      case Tok::KwInt: return "int";
+      case Tok::KwVoid: return "void";
+      case Tok::KwStruct: return "struct";
+      case Tok::KwEnum: return "enum";
+      case Tok::KwUnion: return "union";
+      case Tok::KwIf: return "if";
+      case Tok::KwElse: return "else";
+      case Tok::KwWhile: return "while";
+      case Tok::KwFor: return "for";
+      case Tok::KwReturn: return "return";
+      case Tok::KwGoto: return "goto";
+      case Tok::KwNull: return "NULL";
+      case Tok::KwTrue: return "true";
+      case Tok::KwFalse: return "false";
+      case Tok::KwAssert: return "assert";
+      case Tok::KwStatic: return "static";
+      case Tok::KwExtern: return "extern";
+      case Tok::KwConst: return "const";
+      case Tok::KwUnsigned: return "unsigned";
+      case Tok::KwSigned: return "signed";
+      case Tok::KwLong: return "long";
+      case Tok::KwShort: return "short";
+      case Tok::KwChar: return "char";
+      case Tok::KwBool: return "bool";
+      case Tok::KwBreak: return "break";
+      case Tok::KwContinue: return "continue";
+      case Tok::KwInline: return "inline";
+      case Tok::KwVolatile: return "volatile";
+      case Tok::KwTypedef: return "typedef";
+      case Tok::KwSizeof: return "sizeof";
+      case Tok::KwDo: return "do";
+      case Tok::KwSwitch: return "switch";
+      case Tok::KwCase: return "case";
+      case Tok::KwDefault: return "default";
+      case Tok::LParen: return "(";
+      case Tok::RParen: return ")";
+      case Tok::LBrace: return "{";
+      case Tok::RBrace: return "}";
+      case Tok::LBracket: return "[";
+      case Tok::RBracket: return "]";
+      case Tok::Semi: return ";";
+      case Tok::Comma: return ",";
+      case Tok::Colon: return ":";
+      case Tok::Question: return "?";
+      case Tok::Assign: return "=";
+      case Tok::PlusAssign: return "+=";
+      case Tok::MinusAssign: return "-=";
+      case Tok::StarAssign: return "*=";
+      case Tok::SlashAssign: return "/=";
+      case Tok::PercentAssign: return "%=";
+      case Tok::AmpAssign: return "&=";
+      case Tok::PipeAssign: return "|=";
+      case Tok::CaretAssign: return "^=";
+      case Tok::ShlAssign: return "<<=";
+      case Tok::ShrAssign: return ">>=";
+      case Tok::Eq: return "==";
+      case Tok::Ne: return "!=";
+      case Tok::Lt: return "<";
+      case Tok::Le: return "<=";
+      case Tok::Gt: return ">";
+      case Tok::Ge: return ">=";
+      case Tok::AndAnd: return "&&";
+      case Tok::OrOr: return "||";
+      case Tok::Not: return "!";
+      case Tok::Plus: return "+";
+      case Tok::Minus: return "-";
+      case Tok::Star: return "*";
+      case Tok::Slash: return "/";
+      case Tok::Percent: return "%";
+      case Tok::Amp: return "&";
+      case Tok::Pipe: return "|";
+      case Tok::Caret: return "^";
+      case Tok::Tilde: return "~";
+      case Tok::Shl: return "<<";
+      case Tok::Shr: return ">>";
+      case Tok::PlusPlus: return "++";
+      case Tok::MinusMinus: return "--";
+      case Tok::Arrow: return "->";
+      case Tok::Dot: return ".";
+      case Tok::Ellipsis: return "...";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::map<std::string, Tok> &
+keywords()
+{
+    static const std::map<std::string, Tok> kw = {
+        {"int", Tok::KwInt},         {"void", Tok::KwVoid},
+        {"struct", Tok::KwStruct},   {"enum", Tok::KwEnum},
+        {"union", Tok::KwUnion},     {"if", Tok::KwIf},
+        {"else", Tok::KwElse},       {"while", Tok::KwWhile},
+        {"for", Tok::KwFor},         {"return", Tok::KwReturn},
+        {"goto", Tok::KwGoto},       {"NULL", Tok::KwNull},
+        {"true", Tok::KwTrue},       {"false", Tok::KwFalse},
+        {"assert", Tok::KwAssert},   {"static", Tok::KwStatic},
+        {"extern", Tok::KwExtern},   {"const", Tok::KwConst},
+        {"unsigned", Tok::KwUnsigned}, {"signed", Tok::KwSigned},
+        {"long", Tok::KwLong},       {"short", Tok::KwShort},
+        {"char", Tok::KwChar},       {"bool", Tok::KwBool},
+        {"break", Tok::KwBreak},     {"continue", Tok::KwContinue},
+        {"inline", Tok::KwInline},   {"volatile", Tok::KwVolatile},
+        {"typedef", Tok::KwTypedef}, {"sizeof", Tok::KwSizeof},
+        {"do", Tok::KwDo},           {"switch", Tok::KwSwitch},
+        {"case", Tok::KwCase},       {"default", Tok::KwDefault},
+    };
+    return kw;
+}
+
+} // anonymous namespace
+
+std::vector<Token>
+tokenize(const std::string &src)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1;
+    const size_t n = src.size();
+
+    auto peek = [&](size_t off = 0) -> char {
+        return i + off < n ? src[i + off] : '\0';
+    };
+    auto push = [&](Tok kind, std::string text = "", int64_t num = 0) {
+        out.push_back(Token{kind, std::move(text), num, line});
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            line++;
+            i++;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            i++;
+            continue;
+        }
+        // Preprocessor lines: skip to end of line (no continuations).
+        if (c == '#') {
+            while (i < n && src[i] != '\n')
+                i++;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && src[i] != '\n')
+                i++;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            size_t start_line = line;
+            i += 2;
+            while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+                if (src[i] == '\n')
+                    line++;
+                i++;
+            }
+            if (i >= n)
+                throw ParseError("unterminated comment", start_line);
+            i += 2;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            while (i < n && (std::isalnum(static_cast<unsigned char>(src[i]))
+                             || src[i] == '_')) {
+                i++;
+            }
+            std::string word = src.substr(start, i - start);
+            auto it = keywords().find(word);
+            if (it != keywords().end())
+                push(it->second, word);
+            else
+                push(Tok::Ident, std::move(word));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            int base = 10;
+            if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+                base = 16;
+                i += 2;
+            }
+            while (i < n &&
+                   (std::isalnum(static_cast<unsigned char>(src[i])))) {
+                i++;
+            }
+            std::string text = src.substr(start, i - start);
+            // Strip integer suffixes (u, l, ul, ull...).
+            std::string digits = text;
+            while (!digits.empty() &&
+                   strchr("uUlL", digits.back()) != nullptr) {
+                digits.pop_back();
+            }
+            int64_t value = 0;
+            try {
+                value = std::stoll(digits, nullptr, base == 16 ? 16 : 10);
+            } catch (const std::exception &) {
+                throw ParseError("bad numeric literal '" + text + "'", line);
+            }
+            push(Tok::Number, text, value);
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            size_t start_line = line;
+            i++;
+            std::string text;
+            while (i < n && src[i] != quote) {
+                if (src[i] == '\\' && i + 1 < n) {
+                    text += src[i];
+                    text += src[i + 1];
+                    i += 2;
+                    continue;
+                }
+                if (src[i] == '\n')
+                    line++;
+                text += src[i++];
+            }
+            if (i >= n)
+                throw ParseError("unterminated string", start_line);
+            i++;
+            if (quote == '\'') {
+                // Character constants become their numeric value.
+                int64_t v = text.empty() ? 0
+                            : text[0] == '\\' ? 0
+                                              : static_cast<int64_t>(text[0]);
+                push(Tok::Number, text, v);
+            } else {
+                push(Tok::String, std::move(text));
+            }
+            continue;
+        }
+
+        auto two = [&](char c2) { return peek(1) == c2; };
+        switch (c) {
+          case '(': push(Tok::LParen); i++; break;
+          case ')': push(Tok::RParen); i++; break;
+          case '{': push(Tok::LBrace); i++; break;
+          case '}': push(Tok::RBrace); i++; break;
+          case '[': push(Tok::LBracket); i++; break;
+          case ']': push(Tok::RBracket); i++; break;
+          case ';': push(Tok::Semi); i++; break;
+          case ',': push(Tok::Comma); i++; break;
+          case ':': push(Tok::Colon); i++; break;
+          case '?': push(Tok::Question); i++; break;
+          case '~': push(Tok::Tilde); i++; break;
+          case '=':
+            if (two('=')) { push(Tok::Eq); i += 2; }
+            else { push(Tok::Assign); i++; }
+            break;
+          case '!':
+            if (two('=')) { push(Tok::Ne); i += 2; }
+            else { push(Tok::Not); i++; }
+            break;
+          case '<':
+            if (two('=')) { push(Tok::Le); i += 2; }
+            else if (two('<')) {
+                if (peek(2) == '=') { push(Tok::ShlAssign); i += 3; }
+                else { push(Tok::Shl); i += 2; }
+            } else { push(Tok::Lt); i++; }
+            break;
+          case '>':
+            if (two('=')) { push(Tok::Ge); i += 2; }
+            else if (two('>')) {
+                if (peek(2) == '=') { push(Tok::ShrAssign); i += 3; }
+                else { push(Tok::Shr); i += 2; }
+            } else { push(Tok::Gt); i++; }
+            break;
+          case '&':
+            if (two('&')) { push(Tok::AndAnd); i += 2; }
+            else if (two('=')) { push(Tok::AmpAssign); i += 2; }
+            else { push(Tok::Amp); i++; }
+            break;
+          case '|':
+            if (two('|')) { push(Tok::OrOr); i += 2; }
+            else if (two('=')) { push(Tok::PipeAssign); i += 2; }
+            else { push(Tok::Pipe); i++; }
+            break;
+          case '^':
+            if (two('=')) { push(Tok::CaretAssign); i += 2; }
+            else { push(Tok::Caret); i++; }
+            break;
+          case '+':
+            if (two('+')) { push(Tok::PlusPlus); i += 2; }
+            else if (two('=')) { push(Tok::PlusAssign); i += 2; }
+            else { push(Tok::Plus); i++; }
+            break;
+          case '-':
+            if (two('-')) { push(Tok::MinusMinus); i += 2; }
+            else if (two('=')) { push(Tok::MinusAssign); i += 2; }
+            else if (two('>')) { push(Tok::Arrow); i += 2; }
+            else { push(Tok::Minus); i++; }
+            break;
+          case '*':
+            if (two('=')) { push(Tok::StarAssign); i += 2; }
+            else { push(Tok::Star); i++; }
+            break;
+          case '/':
+            if (two('=')) { push(Tok::SlashAssign); i += 2; }
+            else { push(Tok::Slash); i++; }
+            break;
+          case '%':
+            if (two('=')) { push(Tok::PercentAssign); i += 2; }
+            else { push(Tok::Percent); i++; }
+            break;
+          case '.':
+            if (two('.') && peek(2) == '.') { push(Tok::Ellipsis); i += 3; }
+            else { push(Tok::Dot); i++; }
+            break;
+          default:
+            throw ParseError(std::string("stray character '") + c + "'",
+                             line);
+        }
+    }
+    push(Tok::End);
+    return out;
+}
+
+} // namespace rid::frontend

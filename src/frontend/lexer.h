@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lexer for Kernel-C, the C subset accepted by RID's front-end.
+ *
+ * Kernel-C covers the code shapes of the paper's examples (Figures 1, 8,
+ * 9, 10): function definitions and prototypes, scalar and pointer
+ * declarations, if/else, while/for, goto/labels, return, assert, calls,
+ * field access and the usual comparison/logical operators. Preprocessor
+ * lines and comments are skipped.
+ */
+
+#ifndef RID_FRONTEND_LEXER_H
+#define RID_FRONTEND_LEXER_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rid::frontend {
+
+enum class Tok : uint8_t {
+    End,
+    Ident,
+    Number,
+    String,
+    // keywords
+    KwInt, KwVoid, KwStruct, KwEnum, KwUnion, KwIf, KwElse, KwWhile, KwFor,
+    KwReturn, KwGoto, KwNull, KwTrue, KwFalse, KwAssert, KwStatic, KwExtern,
+    KwConst, KwUnsigned, KwSigned, KwLong, KwShort, KwChar, KwBool,
+    KwBreak, KwContinue, KwInline, KwVolatile, KwTypedef, KwSizeof, KwDo,
+    KwSwitch, KwCase, KwDefault,
+    // punctuation / operators
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semi, Comma, Colon, Question,
+    Assign,          // =
+    PlusAssign, MinusAssign, StarAssign, SlashAssign, PercentAssign,
+    AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    AndAnd, OrOr, Not,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Shl, Shr,
+    PlusPlus, MinusMinus,
+    Arrow, Dot,
+    Ellipsis,
+};
+
+const char *tokName(Tok t);
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;   ///< identifier / string spelling
+    int64_t number = 0; ///< numeric value for Number
+    int line = 0;
+};
+
+/** Error raised by the lexer or parser; carries a source line. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(std::string msg, int line)
+        : std::runtime_error(std::move(msg)), line_(line)
+    {}
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/**
+ * Tokenize Kernel-C source.
+ *
+ * @throws ParseError on malformed input (unterminated comment/string,
+ *         stray characters).
+ */
+std::vector<Token> tokenize(const std::string &source);
+
+} // namespace rid::frontend
+
+#endif // RID_FRONTEND_LEXER_H

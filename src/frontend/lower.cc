@@ -1,0 +1,692 @@
+#include "frontend/lower.h"
+
+#include <cassert>
+#include <map>
+
+#include "frontend/parser.h"
+#include "ir/builder.h"
+
+namespace rid::frontend {
+
+namespace {
+
+using ir::BlockId;
+using ir::IrBuilder;
+using ir::Value;
+
+/** Lowers one function body onto an IrBuilder. */
+class FunctionLowerer
+{
+  public:
+    FunctionLowerer(const AstFunction &fn, const LowerOptions &opts)
+        : fn_(fn), opts_(opts),
+          builder_(fn.name, paramNames(fn), fn.returns_value)
+    {}
+
+    ir::Function
+    lower()
+    {
+        lowerStmt(*fn_.body);
+        // Fall off the end of the body: implicit return.
+        if (!builder_.terminated())
+            builder_.ret(fn_.returns_value ? Value::intConst(0)
+                                           : Value::none());
+        resolveGotos();
+        return builder_.finish(fn_.returns_value);
+    }
+
+  private:
+    static std::vector<std::string>
+    paramNames(const AstFunction &fn)
+    {
+        std::vector<std::string> names;
+        for (const auto &p : fn.params)
+            names.push_back(p.name);
+        return names;
+    }
+
+    std::string
+    freshTemp()
+    {
+        return "t$" + std::to_string(temp_counter_++);
+    }
+
+    [[noreturn]] void
+    err(const std::string &msg, int line) const
+    {
+        throw ParseError(fn_.name + ": " + msg, line);
+    }
+
+    /** Get (creating on demand) the block for a source label. */
+    BlockId
+    labelBlock(const std::string &name)
+    {
+        auto it = labels_.find(name);
+        if (it != labels_.end())
+            return it->second;
+        BlockId b = builder_.newBlock(name);
+        labels_.emplace(name, b);
+        return b;
+    }
+
+    void
+    resolveGotos() const
+    {
+        // All label blocks were created eagerly; nothing to patch. A goto
+        // to an undefined label leaves an unterminated block, caught by
+        // verify() — produce a friendlier error here.
+        for (const auto &[name, defined] : label_defined_) {
+            if (!defined)
+                throw ParseError(fn_.name + ": goto to undefined label '" +
+                                     name + "'",
+                                 fn_.line);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /** Lower an expression to an operand Value, emitting instructions. */
+    Value
+    lowerValue(const AstExpr &e)
+    {
+        switch (e.kind) {
+          case AstExprKind::Ident:
+            return Value::var(e.text);
+          case AstExprKind::Number:
+            return Value::intConst(e.number);
+          case AstExprKind::Bool:
+            return Value::boolConst(e.number != 0);
+          case AstExprKind::Null:
+            return Value::null();
+          case AstExprKind::String:
+            // Strings are opaque non-null blobs; model as nondet.
+            return lowerRandom();
+          case AstExprKind::Field: {
+            Value base = lowerValue(*e.a);
+            std::string t = freshTemp();
+            builder_.atLine(e.line).fieldLoad(t, base, e.text);
+            return Value::var(t);
+          }
+          case AstExprKind::Call:
+            return lowerCall(e, /*want_value=*/true);
+          case AstExprKind::Unary:
+            return lowerUnaryValue(e);
+          case AstExprKind::Binary:
+            return lowerBinaryValue(e);
+          case AstExprKind::Ternary: {
+            // cond ? a : b via a control-flow diamond.
+            std::string t = freshTemp();
+            BlockId bt = builder_.newBlock();
+            BlockId bf = builder_.newBlock();
+            BlockId join = builder_.newBlock();
+            lowerCond(*e.a, bt, bf);
+            builder_.setBlock(bt);
+            Value va = lowerValue(*e.b);
+            builder_.assign(t, va);
+            builder_.branch(join);
+            builder_.setBlock(bf);
+            Value vb = lowerValue(*e.c);
+            builder_.assign(t, vb);
+            builder_.branch(join);
+            builder_.setBlock(join);
+            return Value::var(t);
+          }
+          case AstExprKind::Index: {
+            // Array elements are outside the abstraction: nondet.
+            lowerForEffect(*e.a);
+            lowerForEffect(*e.b);
+            return lowerRandom();
+          }
+        }
+        err("unsupported expression", e.line);
+    }
+
+    Value
+    lowerRandom()
+    {
+        std::string t = freshTemp();
+        builder_.random(t);
+        return Value::var(t);
+    }
+
+    Value
+    lowerUnaryValue(const AstExpr &e)
+    {
+        const std::string &op = e.text;
+        if (op == "&") {
+            // &x and &x->f denote the same symbolic object as x / x->f.
+            return lowerValue(*e.a);
+        }
+        if (op == "*") {
+            Value base = lowerValue(*e.a);
+            std::string t = freshTemp();
+            builder_.atLine(e.line).fieldLoad(t, base, "deref");
+            return Value::var(t);
+        }
+        if (op == "!") {
+            // Materialize the negation as a comparison temp.
+            std::string t = freshTemp();
+            Value v = lowerValue(*e.a);
+            builder_.atLine(e.line).cmp(t, smt::Pred::Eq, v,
+                                        Value::intConst(0));
+            return Value::var(t);
+        }
+        if (op == "-") {
+            if (e.a->kind == AstExprKind::Number)
+                return Value::intConst(-e.a->number);
+            lowerForEffect(*e.a);
+            return lowerRandom();
+        }
+        // ~, ++, -- : nondeterministic results.
+        lowerForEffect(*e.a);
+        return lowerRandom();
+    }
+
+    static bool
+    isComparisonOp(const std::string &op)
+    {
+        return op == "==" || op == "!=" || op == "<" || op == "<=" ||
+               op == ">" || op == ">=";
+    }
+
+    static smt::Pred
+    predFor(const std::string &op)
+    {
+        if (op == "==") return smt::Pred::Eq;
+        if (op == "!=") return smt::Pred::Ne;
+        if (op == "<") return smt::Pred::Lt;
+        if (op == "<=") return smt::Pred::Le;
+        if (op == ">") return smt::Pred::Gt;
+        return smt::Pred::Ge;
+    }
+
+    Value
+    lowerBinaryValue(const AstExpr &e)
+    {
+        const std::string &op = e.text;
+        if (isComparisonOp(op)) {
+            Value a = lowerValue(*e.a);
+            Value b = lowerValue(*e.b);
+            std::string t = freshTemp();
+            builder_.atLine(e.line).cmp(t, predFor(op), a, b);
+            return Value::var(t);
+        }
+        if (op == "&&" || op == "||") {
+            // Short-circuit evaluation producing a 0/1 temp.
+            std::string t = freshTemp();
+            BlockId bt = builder_.newBlock();
+            BlockId bf = builder_.newBlock();
+            BlockId join = builder_.newBlock();
+            lowerCond(e, bt, bf);
+            builder_.setBlock(bt);
+            builder_.assign(t, Value::boolConst(true));
+            builder_.branch(join);
+            builder_.setBlock(bf);
+            builder_.assign(t, Value::boolConst(false));
+            builder_.branch(join);
+            builder_.setBlock(join);
+            return Value::var(t);
+        }
+        // Arithmetic / bit operations: fold constants, otherwise nondet
+        // (the abstraction ignores arithmetic — Section 4.1).
+        Value va = lowerValue(*e.a);
+        Value vb = lowerValue(*e.b);
+        if (opts_.model_bit_tests && op == "&") {
+            // Extension (Section 5.4): `value & CONSTANT` becomes a
+            // deterministic uninterpreted function of the value, encoded
+            // as the synthetic field load `value.bits_<mask>` so that two
+            // paths testing the same bit stay distinguishable.
+            Value base, mask;
+            if (vb.kind() == ir::ValueKind::IntConst && va.isVar()) {
+                base = va;
+                mask = vb;
+            } else if (va.kind() == ir::ValueKind::IntConst &&
+                       vb.isVar()) {
+                base = vb;
+                mask = va;
+            }
+            if (base.isVar()) {
+                std::string t = freshTemp();
+                builder_.atLine(e.line).fieldLoad(
+                    t, base, "bits_" + std::to_string(mask.intValue()));
+                return Value::var(t);
+            }
+        }
+        if (va.kind() == ir::ValueKind::IntConst &&
+            vb.kind() == ir::ValueKind::IntConst) {
+            int64_t a = va.intValue(), b = vb.intValue();
+            if (op == "+") return Value::intConst(a + b);
+            if (op == "-") return Value::intConst(a - b);
+            if (op == "*") return Value::intConst(a * b);
+            if (op == "/" && b != 0) return Value::intConst(a / b);
+            if (op == "%" && b != 0) return Value::intConst(a % b);
+            if (op == "&") return Value::intConst(a & b);
+            if (op == "|") return Value::intConst(a | b);
+            if (op == "^") return Value::intConst(a ^ b);
+            if (op == "<<") return Value::intConst(a << (b & 63));
+            if (op == ">>") return Value::intConst(a >> (b & 63));
+        }
+        return lowerRandom();
+    }
+
+    Value
+    lowerCall(const AstExpr &e, bool want_value)
+    {
+        if (e.a->kind != AstExprKind::Ident) {
+            // Calls through function pointers are outside the abstraction
+            // (Section 6.4); the result is nondeterministic.
+            for (const auto &arg : e.args)
+                lowerForEffect(*arg);
+            return want_value ? lowerRandom() : Value::none();
+        }
+        std::vector<Value> args;
+        args.reserve(e.args.size());
+        for (const auto &arg : e.args)
+            args.push_back(lowerValue(*arg));
+        std::string dst = want_value ? freshTemp() : "";
+        builder_.atLine(e.line).call(dst, e.a->text, std::move(args));
+        return want_value ? Value::var(dst) : Value::none();
+    }
+
+    /** Evaluate an expression for side effects only. */
+    void
+    lowerForEffect(const AstExpr &e)
+    {
+        switch (e.kind) {
+          case AstExprKind::Call:
+            lowerCall(e, /*want_value=*/false);
+            return;
+          case AstExprKind::Ident:
+          case AstExprKind::Number:
+          case AstExprKind::Bool:
+          case AstExprKind::Null:
+          case AstExprKind::String:
+            return;  // pure
+          default:
+            lowerValue(e);
+            return;
+        }
+    }
+
+    /**
+     * Lower an expression as a branch condition with short-circuiting,
+     * jumping to @p if_true / @p if_false. Leaves the cursor in a dead
+     * position; callers must setBlock() afterwards.
+     */
+    void
+    lowerCond(const AstExpr &e, BlockId if_true, BlockId if_false)
+    {
+        if (e.kind == AstExprKind::Unary && e.text == "!") {
+            lowerCond(*e.a, if_false, if_true);
+            return;
+        }
+        if (e.kind == AstExprKind::Binary && e.text == "&&") {
+            BlockId mid = builder_.newBlock();
+            lowerCond(*e.a, mid, if_false);
+            builder_.setBlock(mid);
+            lowerCond(*e.b, if_true, if_false);
+            return;
+        }
+        if (e.kind == AstExprKind::Binary && e.text == "||") {
+            BlockId mid = builder_.newBlock();
+            lowerCond(*e.a, if_true, mid);
+            builder_.setBlock(mid);
+            lowerCond(*e.b, if_true, if_false);
+            return;
+        }
+        if (e.kind == AstExprKind::Binary && isComparisonOp(e.text)) {
+            Value a = lowerValue(*e.a);
+            Value b = lowerValue(*e.b);
+            std::string t = freshTemp();
+            builder_.atLine(e.line).cmp(t, predFor(e.text), a, b);
+            builder_.condBranchNoMove(Value::var(t), if_true, if_false);
+            return;
+        }
+        // Plain value: branch on (v != 0).
+        Value v = lowerValue(e);
+        std::string t = freshTemp();
+        builder_.atLine(e.line).cmp(t, smt::Pred::Ne, v, Value::intConst(0));
+        builder_.condBranchNoMove(Value::var(t), if_true, if_false);
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    void
+    lowerStmt(const AstStmt &s)
+    {
+        switch (s.kind) {
+          case AstStmtKind::Block:
+            for (const auto &child : s.body) {
+                lowerStmt(*child);
+                // Statements after a terminator in the same block are
+                // unreachable; keep lowering into a fresh block so labels
+                // inside remain reachable via goto.
+                if (builder_.terminated() &&
+                    &child != &s.body.back()) {
+                    const AstStmt &next = **(&child + 1);
+                    if (next.kind != AstStmtKind::Label) {
+                        BlockId dead = builder_.newBlock();
+                        builder_.setBlock(dead);
+                    }
+                }
+            }
+            return;
+          case AstStmtKind::Empty:
+            return;
+          case AstStmtKind::Decl:
+            for (size_t i = 0; i < s.names.size(); i++) {
+                if (s.inits[i]) {
+                    Value v = lowerValue(*s.inits[i]);
+                    builder_.atLine(s.line).assign(s.names[i], v);
+                }
+                // Uninitialized locals keep their symbolic default.
+            }
+            return;
+          case AstStmtKind::Assign: {
+            if (s.lhs->kind == AstExprKind::Ident) {
+                Value v = lowerValue(*s.rhs);
+                builder_.atLine(s.line).assign(s.lhs->text, v);
+                return;
+            }
+            if (opts_.model_field_stores &&
+                s.lhs->kind == AstExprKind::Field) {
+                // Extension (Section 5.4): record the store as an
+                // observable path effect.
+                Value base = lowerValue(*s.lhs->a);
+                Value v = lowerValue(*s.rhs);
+                builder_.atLine(s.line).fieldStore(base, s.lhs->text, v);
+                return;
+            }
+            // Stores to fields/arrays/derefs are outside the abstraction
+            // (Section 5.4): evaluate both sides for effects and drop.
+            lowerForEffect(*s.lhs);
+            lowerForEffect(*s.rhs);
+            return;
+          }
+          case AstStmtKind::ExprStmt:
+            lowerForEffect(*s.rhs);
+            return;
+          case AstStmtKind::If: {
+            BlockId bt = builder_.newBlock();
+            BlockId bf = builder_.newBlock();
+            BlockId join = s.else_body ? builder_.newBlock() : bf;
+            lowerCond(*s.cond, bt, bf);
+            builder_.setBlock(bt);
+            lowerStmt(*s.then_body);
+            if (!builder_.terminated())
+                builder_.branch(join);
+            if (s.else_body) {
+                builder_.setBlock(bf);
+                lowerStmt(*s.else_body);
+                if (!builder_.terminated())
+                    builder_.branch(join);
+            }
+            builder_.setBlock(join);
+            return;
+          }
+          case AstStmtKind::While: {
+            BlockId head = builder_.newBlock("while.head");
+            BlockId body = builder_.newBlock("while.body");
+            BlockId exit = builder_.newBlock("while.exit");
+            builder_.branch(head);
+            builder_.setBlock(head);
+            lowerCond(*s.cond, body, exit);
+            builder_.setBlock(body);
+            loop_stack_.push_back({head, exit});
+            lowerStmt(*s.loop_body);
+            loop_stack_.pop_back();
+            if (!builder_.terminated())
+                builder_.branch(head);
+            builder_.setBlock(exit);
+            return;
+          }
+          case AstStmtKind::DoWhile: {
+            BlockId body = builder_.newBlock("do.body");
+            BlockId head = builder_.newBlock("do.cond");
+            BlockId exit = builder_.newBlock("do.exit");
+            builder_.branch(body);
+            builder_.setBlock(body);
+            loop_stack_.push_back({head, exit});
+            lowerStmt(*s.loop_body);
+            loop_stack_.pop_back();
+            if (!builder_.terminated())
+                builder_.branch(head);
+            builder_.setBlock(head);
+            lowerCond(*s.cond, body, exit);
+            builder_.setBlock(exit);
+            return;
+          }
+          case AstStmtKind::For: {
+            if (s.for_init)
+                lowerStmt(*s.for_init);
+            BlockId head = builder_.newBlock("for.head");
+            BlockId body = builder_.newBlock("for.body");
+            BlockId step = builder_.newBlock("for.step");
+            BlockId exit = builder_.newBlock("for.exit");
+            builder_.branch(head);
+            builder_.setBlock(head);
+            if (s.cond)
+                lowerCond(*s.cond, body, exit);
+            else
+                builder_.branch(body);
+            builder_.setBlock(body);
+            loop_stack_.push_back({step, exit});
+            lowerStmt(*s.loop_body);
+            loop_stack_.pop_back();
+            if (!builder_.terminated())
+                builder_.branch(step);
+            builder_.setBlock(step);
+            if (s.for_step)
+                lowerStmt(*s.for_step);
+            if (!builder_.terminated())
+                builder_.branch(head);
+            builder_.setBlock(exit);
+            return;
+          }
+          case AstStmtKind::Return: {
+            Value v = Value::none();
+            if (s.rhs)
+                v = lowerValue(*s.rhs);
+            else if (fn_.returns_value)
+                v = Value::intConst(0);
+            builder_.atLine(s.line).ret(v);
+            return;
+          }
+          case AstStmtKind::Goto: {
+            BlockId target = labelBlock(s.names[0]);
+            label_defined_.emplace(s.names[0], false);
+            builder_.atLine(s.line).branchNoMove(target);
+            return;
+          }
+          case AstStmtKind::Label: {
+            BlockId target = labelBlock(s.names[0]);
+            label_defined_[s.names[0]] = true;
+            if (!builder_.terminated())
+                builder_.branch(target);
+            builder_.setBlock(target);
+            return;
+          }
+          case AstStmtKind::Break: {
+            if (loop_stack_.empty())
+                err("break outside loop", s.line);
+            builder_.atLine(s.line).branchNoMove(loop_stack_.back().second);
+            return;
+          }
+          case AstStmtKind::Continue: {
+            if (loop_stack_.empty())
+                err("continue outside loop", s.line);
+            builder_.atLine(s.line).branchNoMove(loop_stack_.back().first);
+            return;
+          }
+          case AstStmtKind::Assert: {
+            BlockId cont = builder_.newBlock();
+            BlockId fail = builder_.newBlock("assert.fail");
+            lowerCond(*s.rhs, cont, fail);
+            builder_.setBlock(fail);
+            builder_.callVoid(kAssertFailFn, {});
+            builder_.ret(fn_.returns_value ? Value::intConst(0)
+                                           : Value::none());
+            builder_.setBlock(cont);
+            return;
+          }
+        }
+    }
+
+    /**
+     * Thin adapter around IrBuilder adding "is the current block already
+     * terminated" tracking and cursor-preserving branch emission.
+     */
+    class Cursor
+    {
+      public:
+        Cursor(std::string name, std::vector<std::string> params,
+               bool returns_value)
+            : b_(std::move(name), std::move(params), returns_value)
+        {}
+
+        BlockId newBlock(std::string label = "")
+        {
+            return b_.newBlock(std::move(label));
+        }
+        void setBlock(BlockId id)
+        {
+            b_.setBlock(id);
+            terminated_ = blockTerminated(id);
+        }
+        /** True if the current block already ends in a terminator. */
+        bool terminated() const { return terminated_; }
+
+        Cursor &atLine(int line) { b_.atLine(line); return *this; }
+
+        void assign(std::string d, Value v)
+        {
+            if (!terminated_) b_.assign(std::move(d), std::move(v));
+        }
+        void fieldLoad(std::string d, Value base, std::string f)
+        {
+            if (!terminated_)
+                b_.fieldLoad(std::move(d), std::move(base), std::move(f));
+        }
+        void fieldStore(Value base, std::string f, Value v)
+        {
+            if (!terminated_)
+                b_.fieldStore(std::move(base), std::move(f),
+                              std::move(v));
+        }
+        void random(std::string d)
+        {
+            if (!terminated_) b_.random(std::move(d));
+        }
+        void call(std::string d, std::string callee, std::vector<Value> a)
+        {
+            if (!terminated_)
+                b_.call(std::move(d), std::move(callee), std::move(a));
+        }
+        void callVoid(std::string callee, std::vector<Value> a)
+        {
+            if (!terminated_)
+                b_.callVoid(std::move(callee), std::move(a));
+        }
+        void cmp(std::string d, smt::Pred p, Value l, Value r)
+        {
+            if (!terminated_)
+                b_.cmp(std::move(d), p, std::move(l), std::move(r));
+        }
+        void ret(Value v)
+        {
+            if (!terminated_) {
+                b_.ret(std::move(v));
+                terminated_ = true;
+            }
+        }
+        void branch(BlockId t)
+        {
+            if (!terminated_)
+                b_.branch(t);
+            else
+                b_.setBlock(t);
+            terminated_ = blockTerminated(t);
+        }
+        void branchNoMove(BlockId t)
+        {
+            if (!terminated_) {
+                BlockId cur = b_.currentBlock();
+                b_.branch(t);
+                b_.setBlock(cur);
+                terminated_ = true;
+            }
+        }
+        void condBranchNoMove(Value cond, BlockId t, BlockId f)
+        {
+            if (!terminated_) {
+                BlockId cur = b_.currentBlock();
+                b_.condBranch(std::move(cond), t, f);
+                b_.setBlock(cur);
+                terminated_ = true;
+            }
+        }
+
+        ir::Function
+        finish(bool returns_value)
+        {
+            // Seal unreachable blocks produced while lowering dead code so
+            // the structural verifier passes; they are never enumerated.
+            b_.sealOpenBlocks(returns_value ? Value::intConst(0)
+                                            : Value::none());
+            return b_.take();
+        }
+
+        IrBuilder &raw() { return b_; }
+
+      private:
+        bool
+        blockTerminated(BlockId id)
+        {
+            return b_.blockHasTerminator(id);
+        }
+
+        IrBuilder b_;
+        bool terminated_ = false;
+    };
+
+    const AstFunction &fn_;
+    LowerOptions opts_;
+    Cursor builder_;
+    int temp_counter_ = 0;
+    std::map<std::string, BlockId> labels_;
+    std::map<std::string, bool> label_defined_;
+    std::vector<std::pair<BlockId, BlockId>> loop_stack_;  // continue,break
+};
+
+} // anonymous namespace
+
+ir::Module
+lowerUnit(const AstUnit &unit, const LowerOptions &opts)
+{
+    ir::Module mod;
+    for (const auto &fn : unit.functions) {
+        if (!fn.is_definition) {
+            std::vector<std::string> params;
+            for (const auto &p : fn.params)
+                params.push_back(p.name);
+            mod.addFunction(
+                ir::Function(fn.name, std::move(params), fn.returns_value));
+            continue;
+        }
+        FunctionLowerer lowerer(fn, opts);
+        mod.addFunction(lowerer.lower());
+    }
+    return mod;
+}
+
+ir::Module
+compile(const std::string &source, const LowerOptions &opts)
+{
+    return lowerUnit(parseUnit(source), opts);
+}
+
+} // namespace rid::frontend

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Lowering from the Kernel-C AST to the Figure 3 abstract program IR.
+ *
+ * Lowering follows the paper's abstraction rules:
+ *  - arithmetic and bit operations are replaced by the `random` generator
+ *    (the abstraction ignores arithmetic; refcounts only change through
+ *    API calls — Section 4.1);
+ *  - `&e` on a field access denotes the same symbolic object as the field
+ *    access itself; `*p` is modelled as the field load `p.deref`;
+ *  - stores to fields and arrays are outside the abstraction and are
+ *    dropped (a cause of false positives the paper discusses in 6.4);
+ *  - `assert(e)` constrains the path: the failing branch jumps to an
+ *    `__assert_fail` call, and the analysis discards such paths;
+ *  - short-circuit && and || become control flow.
+ */
+
+#ifndef RID_FRONTEND_LOWER_H
+#define RID_FRONTEND_LOWER_H
+
+#include "frontend/ast.h"
+#include "ir/function.h"
+
+namespace rid::frontend {
+
+/** Name of the intrinsic marking unreachable (assertion-failure) paths. */
+inline constexpr const char *kAssertFailFn = "__assert_fail";
+
+/**
+ * Optional extensions to the abstraction (the future work of
+ * Section 5.4). Both default to off, which reproduces the paper's
+ * prototype exactly.
+ */
+struct LowerOptions
+{
+    /**
+     * Model `value & CONSTANT` as a deterministic uninterpreted function
+     * of the value (a synthetic field load `value.bits_<mask>`) instead
+     * of a nondeterministic result. Two paths branching on the same bit
+     * of the same value then stay distinguishable, removing the
+     * bit-operation false positives of Section 6.4.
+     */
+    bool model_bit_tests = false;
+    /**
+     * Keep stores to fields of caller-visible structures as FieldStore
+     * effects instead of dropping them. Paths that record their refcount
+     * action in a caller-visible structure (e.g. inserting the device
+     * into a list) then stay distinguishable, removing the
+     * data-structure false positives of Section 6.4.
+     */
+    bool model_field_stores = false;
+};
+
+/**
+ * Lower a parsed unit into an IR module. Prototypes become declarations;
+ * definitions are fully lowered and verified.
+ *
+ * @throws ParseError for constructs that cannot be lowered.
+ */
+ir::Module lowerUnit(const AstUnit &unit, const LowerOptions &opts = {});
+
+/**
+ * Convenience: parse Kernel-C source and lower it.
+ *
+ * @throws ParseError on syntax or lowering errors.
+ */
+ir::Module compile(const std::string &source,
+                   const LowerOptions &opts = {});
+
+} // namespace rid::frontend
+
+#endif // RID_FRONTEND_LOWER_H

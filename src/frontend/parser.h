@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Recursive-descent parser for Kernel-C.
+ */
+
+#ifndef RID_FRONTEND_PARSER_H
+#define RID_FRONTEND_PARSER_H
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+
+namespace rid::frontend {
+
+/**
+ * Parse a Kernel-C translation unit.
+ *
+ * Struct/enum/union definitions and typedefs at file scope are skipped;
+ * function prototypes and definitions are retained.
+ *
+ * @throws ParseError on syntax errors.
+ */
+AstUnit parseUnit(const std::string &source);
+
+} // namespace rid::frontend
+
+#endif // RID_FRONTEND_PARSER_H

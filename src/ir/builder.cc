@@ -1,0 +1,109 @@
+#include "ir/builder.h"
+
+#include <cassert>
+
+namespace rid::ir {
+
+void
+IrBuilder::append(Instruction in)
+{
+    in.line = line_;
+    auto &bb = fn_.block(cur_);
+    assert(!bb.hasTerminator() && "appending after a terminator");
+    bb.instrs.push_back(std::move(in));
+}
+
+IrBuilder &
+IrBuilder::assign(std::string dst, Value src)
+{
+    append(Instruction::assign(std::move(dst), std::move(src)));
+    return *this;
+}
+
+IrBuilder &
+IrBuilder::fieldLoad(std::string dst, Value base, std::string field)
+{
+    append(Instruction::fieldLoad(std::move(dst), std::move(base),
+                                  std::move(field)));
+    return *this;
+}
+
+IrBuilder &
+IrBuilder::fieldStore(Value base, std::string field, Value value)
+{
+    append(Instruction::fieldStore(std::move(base), std::move(field),
+                                   std::move(value)));
+    return *this;
+}
+
+IrBuilder &
+IrBuilder::random(std::string dst)
+{
+    append(Instruction::random(std::move(dst)));
+    return *this;
+}
+
+IrBuilder &
+IrBuilder::call(std::string dst, std::string callee, std::vector<Value> args)
+{
+    append(Instruction::call(std::move(dst), std::move(callee),
+                             std::move(args)));
+    return *this;
+}
+
+IrBuilder &
+IrBuilder::callVoid(std::string callee, std::vector<Value> args)
+{
+    append(Instruction::call("", std::move(callee), std::move(args)));
+    return *this;
+}
+
+IrBuilder &
+IrBuilder::ret(Value v)
+{
+    append(Instruction::ret(std::move(v)));
+    return *this;
+}
+
+IrBuilder &
+IrBuilder::cmp(std::string dst, smt::Pred pred, Value lhs, Value rhs)
+{
+    append(Instruction::cmp(std::move(dst), pred, std::move(lhs),
+                            std::move(rhs)));
+    return *this;
+}
+
+IrBuilder &
+IrBuilder::condBranch(Value cond_var, BlockId if_true, BlockId if_false)
+{
+    append(Instruction::condBranch(std::move(cond_var), if_true, if_false));
+    cur_ = if_true;
+    return *this;
+}
+
+IrBuilder &
+IrBuilder::branch(BlockId target)
+{
+    append(Instruction::branch(target));
+    cur_ = target;
+    return *this;
+}
+
+void
+IrBuilder::sealOpenBlocks(Value ret_val)
+{
+    for (size_t b = 0; b < fn_.numBlocks(); b++) {
+        auto &bb = fn_.block(static_cast<BlockId>(b));
+        if (!bb.hasTerminator())
+            bb.instrs.push_back(Instruction::ret(ret_val));
+    }
+}
+
+Function
+IrBuilder::take()
+{
+    fn_.verify();
+    return std::move(fn_);
+}
+
+} // namespace rid::ir

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Functions, basic blocks and modules of the abstract program.
+ *
+ * A function is a list of basic blocks; block 0 is the entry. Every block
+ * ends with exactly one terminator (Return, Branch or CondBranch) as its
+ * last instruction. Functions without a body (externs) carry only their
+ * signature and must be covered by predefined summaries or default
+ * summaries during analysis.
+ */
+
+#ifndef RID_IR_FUNCTION_H
+#define RID_IR_FUNCTION_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace rid::ir {
+
+/** A straight-line sequence of instructions ending in a terminator. */
+struct BasicBlock
+{
+    std::string label;                  ///< optional, for printing
+    std::vector<Instruction> instrs;
+
+    bool
+    hasTerminator() const
+    {
+        return !instrs.empty() && instrs.back().isTerminator();
+    }
+    const Instruction &terminator() const { return instrs.back(); }
+
+    /** Successor block ids (0, 1 or 2 entries). */
+    std::vector<BlockId> successors() const;
+};
+
+/** A function definition or declaration. */
+class Function
+{
+  public:
+    Function(std::string name, std::vector<std::string> params,
+             bool returns_value)
+        : name_(std::move(name)), params_(std::move(params)),
+          returnsValue_(returns_value)
+    {}
+
+    const std::string &name() const { return name_; }
+    const std::vector<std::string> &params() const { return params_; }
+    bool returnsValue() const { return returnsValue_; }
+
+    bool isDeclaration() const { return blocks_.empty(); }
+
+    BlockId
+    addBlock(std::string label = "")
+    {
+        blocks_.push_back(BasicBlock{std::move(label), {}});
+        return static_cast<BlockId>(blocks_.size() - 1);
+    }
+
+    BasicBlock &block(BlockId id) { return blocks_.at(id); }
+    const BasicBlock &block(BlockId id) const { return blocks_.at(id); }
+    size_t numBlocks() const { return blocks_.size(); }
+
+    /** Names of all functions called anywhere in the body. */
+    std::vector<std::string> callees() const;
+
+    /** Total number of conditional branches in the body. */
+    int countCondBranches() const;
+
+    /** True if @p name is a formal parameter. */
+    bool isParam(const std::string &name) const;
+
+    /**
+     * Validate structural invariants (every block terminated, branch
+     * targets in range); aborts with a message on violation. Intended for
+     * use after construction / lowering.
+     */
+    void verify() const;
+
+    std::string str() const;
+
+  private:
+    std::string name_;
+    std::vector<std::string> params_;
+    bool returnsValue_;
+    std::vector<BasicBlock> blocks_;
+};
+
+/** A translation unit: an ordered collection of functions. */
+class Module
+{
+  public:
+    /** Add a function; returns a stable non-owning pointer. */
+    Function *addFunction(Function fn);
+
+    Function *find(const std::string &name);
+    const Function *find(const std::string &name) const;
+
+    const std::vector<std::unique_ptr<Function>> &functions() const
+    {
+        return functions_;
+    }
+
+    size_t size() const { return functions_.size(); }
+
+    /** Merge all functions of @p other into this module (definitions win
+     *  over declarations; duplicate definitions keep the first). */
+    void absorb(Module other);
+
+    std::string str() const;
+
+  private:
+    std::vector<std::unique_ptr<Function>> functions_;
+    std::map<std::string, Function *> byName_;
+};
+
+} // namespace rid::ir
+
+#endif // RID_IR_FUNCTION_H

@@ -1,0 +1,387 @@
+#include "ir/function.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace rid::ir {
+
+Value
+Value::var(std::string name)
+{
+    Value v;
+    v.kind_ = ValueKind::Var;
+    v.name_ = std::move(name);
+    return v;
+}
+
+Value
+Value::intConst(int64_t value)
+{
+    Value v;
+    v.kind_ = ValueKind::IntConst;
+    v.int_ = value;
+    return v;
+}
+
+Value
+Value::boolConst(bool value)
+{
+    Value v;
+    v.kind_ = ValueKind::BoolConst;
+    v.int_ = value ? 1 : 0;
+    return v;
+}
+
+Value
+Value::null()
+{
+    Value v;
+    v.kind_ = ValueKind::Null;
+    return v;
+}
+
+std::string
+Value::str() const
+{
+    switch (kind_) {
+      case ValueKind::None: return "<none>";
+      case ValueKind::Var: return name_;
+      case ValueKind::IntConst: return std::to_string(int_);
+      case ValueKind::BoolConst: return int_ ? "true" : "false";
+      case ValueKind::Null: return "null";
+    }
+    return "?";
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Assign: return "assign";
+      case Opcode::FieldLoad: return "fieldload";
+      case Opcode::FieldStore: return "fieldstore";
+      case Opcode::Random: return "random";
+      case Opcode::Call: return "call";
+      case Opcode::Return: return "return";
+      case Opcode::Cmp: return "cmp";
+      case Opcode::CondBranch: return "condbranch";
+      case Opcode::Branch: return "branch";
+    }
+    return "?";
+}
+
+Instruction
+Instruction::assign(std::string dst, Value src)
+{
+    Instruction i;
+    i.op = Opcode::Assign;
+    i.dst = std::move(dst);
+    i.a = std::move(src);
+    return i;
+}
+
+Instruction
+Instruction::fieldLoad(std::string dst, Value base, std::string field)
+{
+    Instruction i;
+    i.op = Opcode::FieldLoad;
+    i.dst = std::move(dst);
+    i.a = std::move(base);
+    i.field = std::move(field);
+    return i;
+}
+
+Instruction
+Instruction::fieldStore(Value base, std::string field, Value value)
+{
+    Instruction i;
+    i.op = Opcode::FieldStore;
+    i.a = std::move(base);
+    i.field = std::move(field);
+    i.b = std::move(value);
+    return i;
+}
+
+Instruction
+Instruction::random(std::string dst)
+{
+    Instruction i;
+    i.op = Opcode::Random;
+    i.dst = std::move(dst);
+    return i;
+}
+
+Instruction
+Instruction::call(std::string dst, std::string callee,
+                  std::vector<Value> args)
+{
+    Instruction i;
+    i.op = Opcode::Call;
+    i.dst = std::move(dst);
+    i.callee = std::move(callee);
+    i.args = std::move(args);
+    return i;
+}
+
+Instruction
+Instruction::ret(Value v)
+{
+    Instruction i;
+    i.op = Opcode::Return;
+    i.a = std::move(v);
+    return i;
+}
+
+Instruction
+Instruction::cmp(std::string dst, smt::Pred pred, Value lhs, Value rhs)
+{
+    Instruction i;
+    i.op = Opcode::Cmp;
+    i.dst = std::move(dst);
+    i.pred = pred;
+    i.a = std::move(lhs);
+    i.b = std::move(rhs);
+    return i;
+}
+
+Instruction
+Instruction::condBranch(Value cond_var, BlockId if_true, BlockId if_false)
+{
+    Instruction i;
+    i.op = Opcode::CondBranch;
+    i.a = std::move(cond_var);
+    i.target = if_true;
+    i.target_else = if_false;
+    return i;
+}
+
+Instruction
+Instruction::branch(BlockId target)
+{
+    Instruction i;
+    i.op = Opcode::Branch;
+    i.target = target;
+    return i;
+}
+
+std::string
+Instruction::str() const
+{
+    std::ostringstream os;
+    switch (op) {
+      case Opcode::Assign:
+        os << dst << " = " << a.str();
+        break;
+      case Opcode::FieldLoad:
+        os << dst << " = " << a.str() << "." << field;
+        break;
+      case Opcode::FieldStore:
+        os << a.str() << "." << field << " = " << b.str();
+        break;
+      case Opcode::Random:
+        os << dst << " = random";
+        break;
+      case Opcode::Call:
+        if (!dst.empty())
+            os << dst << " = ";
+        os << callee << "(";
+        for (size_t i = 0; i < args.size(); i++) {
+            if (i)
+                os << ", ";
+            os << args[i].str();
+        }
+        os << ")";
+        break;
+      case Opcode::Return:
+        os << "return";
+        if (!a.isNone())
+            os << " " << a.str();
+        break;
+      case Opcode::Cmp:
+        os << dst << " = " << a.str() << " " << smt::predSpelling(pred)
+           << " " << b.str();
+        break;
+      case Opcode::CondBranch:
+        os << "branch " << a.str() << ", bb" << target << ", bb"
+           << target_else;
+        break;
+      case Opcode::Branch:
+        os << "branch bb" << target;
+        break;
+    }
+    return os.str();
+}
+
+std::vector<BlockId>
+BasicBlock::successors() const
+{
+    if (!hasTerminator())
+        return {};
+    const Instruction &t = terminator();
+    switch (t.op) {
+      case Opcode::Branch:
+        return {t.target};
+      case Opcode::CondBranch:
+        return {t.target, t.target_else};
+      default:
+        return {};
+    }
+}
+
+std::vector<std::string>
+Function::callees() const
+{
+    std::vector<std::string> out;
+    std::set<std::string> seen;
+    for (const auto &bb : blocks_) {
+        for (const auto &in : bb.instrs) {
+            if (in.op == Opcode::Call && seen.insert(in.callee).second)
+                out.push_back(in.callee);
+        }
+    }
+    return out;
+}
+
+int
+Function::countCondBranches() const
+{
+    int n = 0;
+    for (const auto &bb : blocks_)
+        for (const auto &in : bb.instrs)
+            if (in.op == Opcode::CondBranch)
+                n++;
+    return n;
+}
+
+bool
+Function::isParam(const std::string &name) const
+{
+    for (const auto &p : params_)
+        if (p == name)
+            return true;
+    return false;
+}
+
+void
+Function::verify() const
+{
+    auto fail = [this](const std::string &msg) {
+        std::fprintf(stderr, "IR verification failed in %s: %s\n%s\n",
+                     name_.c_str(), msg.c_str(), str().c_str());
+        std::abort();
+    };
+    for (size_t b = 0; b < blocks_.size(); b++) {
+        const auto &bb = blocks_[b];
+        if (!bb.hasTerminator())
+            fail("block bb" + std::to_string(b) + " lacks a terminator");
+        for (size_t i = 0; i < bb.instrs.size(); i++) {
+            const auto &in = bb.instrs[i];
+            if (in.isTerminator() && i + 1 != bb.instrs.size())
+                fail("terminator not last in bb" + std::to_string(b));
+            if (in.op == Opcode::Branch || in.op == Opcode::CondBranch) {
+                auto check = [&](BlockId t) {
+                    if (t < 0 || static_cast<size_t>(t) >= blocks_.size())
+                        fail("branch target out of range in bb" +
+                             std::to_string(b));
+                };
+                check(in.target);
+                if (in.op == Opcode::CondBranch)
+                    check(in.target_else);
+            }
+            if (in.op == Opcode::Return) {
+                if (returnsValue_ && in.a.isNone())
+                    fail("missing return value");
+            }
+        }
+    }
+}
+
+std::string
+Function::str() const
+{
+    std::ostringstream os;
+    os << (returnsValue_ ? "int " : "void ") << name_ << "(";
+    for (size_t i = 0; i < params_.size(); i++) {
+        if (i)
+            os << ", ";
+        os << params_[i];
+    }
+    os << ")";
+    if (isDeclaration()) {
+        os << ";\n";
+        return os.str();
+    }
+    os << " {\n";
+    for (size_t b = 0; b < blocks_.size(); b++) {
+        os << "  bb" << b;
+        if (!blocks_[b].label.empty())
+            os << " (" << blocks_[b].label << ")";
+        os << ":\n";
+        for (const auto &in : blocks_[b].instrs)
+            os << "    " << in.str() << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+Function *
+Module::addFunction(Function fn)
+{
+    auto it = byName_.find(fn.name());
+    if (it != byName_.end()) {
+        // Keep a definition over a declaration; otherwise first wins.
+        if (it->second->isDeclaration() && !fn.isDeclaration()) {
+            auto owned = std::make_unique<Function>(std::move(fn));
+            Function *raw = owned.get();
+            for (auto &slot : functions_) {
+                if (slot.get() == it->second) {
+                    slot = std::move(owned);
+                    break;
+                }
+            }
+            it->second = raw;
+            return raw;
+        }
+        return it->second;
+    }
+    auto owned = std::make_unique<Function>(std::move(fn));
+    Function *raw = owned.get();
+    functions_.push_back(std::move(owned));
+    byName_[raw->name()] = raw;
+    return raw;
+}
+
+Function *
+Module::find(const std::string &name)
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? nullptr : it->second;
+}
+
+const Function *
+Module::find(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? nullptr : it->second;
+}
+
+void
+Module::absorb(Module other)
+{
+    for (auto &fn : other.functions_)
+        addFunction(std::move(*fn));
+}
+
+std::string
+Module::str() const
+{
+    std::ostringstream os;
+    for (const auto &fn : functions_)
+        os << fn->str() << "\n";
+    return os.str();
+}
+
+} // namespace rid::ir

@@ -1,0 +1,85 @@
+#include "kernel/dpm_specs.h"
+
+#include <vector>
+
+namespace rid::kernel {
+
+const std::string &
+dpmSpecText()
+{
+    static const std::string text = R"SPEC(
+# Linux DPM runtime power-management usage counts.
+#
+# The get family ALWAYS increments the per-device count, even on error
+# (the uncommon specification discussed in Section 6.3 of the paper).
+# The return value is 0 on success, 1 if already active, negative on
+# error.
+
+summary pm_runtime_get(dev) -> int {
+  entry { cons: true; change: [dev].pm += 1; return: [0]; }
+}
+
+summary pm_runtime_get_sync(dev) -> int {
+  entry { cons: true; change: [dev].pm += 1; return: [0]; }
+}
+
+summary pm_runtime_get_noresume(dev) -> void {
+  entry { cons: true; change: [dev].pm += 1; return: none; }
+}
+
+summary pm_runtime_put(dev) -> int {
+  entry { cons: true; change: [dev].pm -= 1; return: [0]; }
+}
+
+summary pm_runtime_put_sync(dev) -> int {
+  entry { cons: true; change: [dev].pm -= 1; return: [0]; }
+}
+
+summary pm_runtime_put_autosuspend(dev) -> int {
+  entry { cons: true; change: [dev].pm -= 1; return: [0]; }
+}
+
+summary pm_runtime_put_noidle(dev) -> void {
+  entry { cons: true; change: [dev].pm -= 1; return: none; }
+}
+
+# Non-counting DPM helpers commonly seen next to the APIs above.
+summary pm_runtime_mark_last_busy(dev) -> void {
+  entry { cons: true; return: none; }
+}
+
+summary pm_runtime_enable(dev) -> void {
+  entry { cons: true; return: none; }
+}
+
+summary pm_runtime_disable(dev) -> void {
+  entry { cons: true; return: none; }
+}
+)SPEC";
+    return text;
+}
+
+const std::vector<std::string> &
+dpmGetFamily()
+{
+    static const std::vector<std::string> names = {
+        "pm_runtime_get",
+        "pm_runtime_get_sync",
+        "pm_runtime_get_noresume",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+dpmPutFamily()
+{
+    static const std::vector<std::string> names = {
+        "pm_runtime_put",
+        "pm_runtime_put_sync",
+        "pm_runtime_put_autosuspend",
+        "pm_runtime_put_noidle",
+    };
+    return names;
+}
+
+} // namespace rid::kernel

@@ -1,0 +1,134 @@
+#include "kernel/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace rid::kernel {
+
+int
+CorpusMix::total() const
+{
+    int n = 0;
+    for (const auto &[k, c] : counts)
+        n += c;
+    return n;
+}
+
+CorpusMix
+CorpusMix::paperCalibrated(double scale, bool scale_bug_population)
+{
+    CorpusMix mix;
+    auto scaled = [scale](int n) {
+        return std::max(1, static_cast<int>(std::llround(n * scale)));
+    };
+    auto bug = [&](int n) { return scale_bug_population ? scaled(n) : n; };
+
+    // The bug/report population defaults to absolute counts: the paper's
+    // Section 6.2/6.3 numbers are counts, not rates, so they stay fixed
+    // while the surrounding kernel population scales.
+    mix.counts[PatternKind::CorrectGetPut] = bug(29);
+    mix.counts[PatternKind::BuggyMissingPutOnError] = bug(40);
+    mix.counts[PatternKind::BuggyIrqStyle] = bug(20);
+    mix.counts[PatternKind::BuggyPathExplosion] = bug(7);
+    mix.counts[PatternKind::CorrectNoErrorCheck] = bug(60);
+    mix.counts[PatternKind::WrapperGet] = bug(43);
+    mix.counts[PatternKind::WrapperPut] = bug(43);
+    mix.counts[PatternKind::BuggyWrapperCaller] = bug(43);
+    mix.counts[PatternKind::FpBitmask] = bug(150);
+    mix.counts[PatternKind::FpListOp] = bug(122);
+
+    // Filler populations reproduce the Table 1 ratios:
+    //   2133 refcount-changing / 1889 affecting-analyzed /
+    //   2803 affecting-not-analyzed / 261391 others.
+    // Each Cat2 pattern contributes one category-1 driver plus three
+    // category-2 helpers, and the bug population above contributes ~557
+    // category-1 functions, so at full scale:
+    //   category 1: 557 + 630 + 934        = 2121  (paper: 2133)
+    //   category 2 analyzed: 3 * 630       = 1890  (paper: 1889)
+    //   category 2 not analyzed: 3 * 934   = 2802  (paper: 2803)
+    mix.counts[PatternKind::Cat2Helper] = scaled(630);
+    mix.counts[PatternKind::Cat2Complex] = scaled(934);
+    mix.counts[PatternKind::Cat3Filler] = scaled(261391);
+    return mix;
+}
+
+const FunctionTruth *
+Corpus::truthFor(const std::string &fn) const
+{
+    if (truth_index_.empty()) {
+        for (size_t i = 0; i < truth.size(); i++)
+            truth_index_[truth[i].name] = i;
+    }
+    auto it = truth_index_.find(fn);
+    return it == truth_index_.end() ? nullptr : &truth[it->second];
+}
+
+Corpus::Totals
+Corpus::totals() const
+{
+    Totals t;
+    t.functions = static_cast<int>(truth.size());
+    for (const auto &ft : truth) {
+        if (ft.has_bug)
+            t.real_bugs++;
+        if (ft.rid_detects)
+            t.rid_detectable_bugs++;
+        if (ft.induces_fp)
+            t.fp_inducers++;
+        if (ft.error_handled_get_site)
+            t.error_handled_get_sites++;
+        if (ft.misuse)
+            t.misuse_sites++;
+    }
+    return t;
+}
+
+Corpus
+generateCorpus(const CorpusMix &mix, uint64_t seed, int functions_per_file)
+{
+    Corpus corpus;
+    std::mt19937_64 rng(seed);
+
+    // Emit pattern instances in a deterministic interleaved order so a
+    // source file mixes unrelated "drivers" like a real tree does.
+    struct Slot
+    {
+        PatternKind kind;
+        int index;
+    };
+    // Indices are per pattern kind so that cross-referencing patterns
+    // (the Figure 9 wrapper and its buggy caller share an index) line up.
+    std::vector<Slot> slots;
+    for (const auto &[kind, count] : mix.counts) {
+        for (int i = 0; i < count; i++)
+            slots.push_back(Slot{kind, i});
+    }
+    std::shuffle(slots.begin(), slots.end(), rng);
+
+    std::ostringstream file_text;
+    int in_file = 0;
+    int file_no = 0;
+    auto flush = [&]() {
+        if (in_file == 0)
+            return;
+        SourceFile f;
+        f.name = "drivers/gen/file" + std::to_string(file_no++) + ".c";
+        f.text = file_text.str();
+        corpus.files.push_back(std::move(f));
+        file_text.str("");
+        in_file = 0;
+    };
+
+    for (const auto &slot : slots) {
+        GeneratedFunction gen = emitPattern(slot.kind, slot.index, rng);
+        file_text << gen.source << "\n";
+        corpus.truth.push_back(std::move(gen.truth));
+        if (++in_file >= functions_per_file)
+            flush();
+    }
+    flush();
+    return corpus;
+}
+
+} // namespace rid::kernel

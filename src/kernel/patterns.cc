@@ -1,0 +1,496 @@
+#include "kernel/patterns.h"
+
+#include <sstream>
+
+namespace rid::kernel {
+
+const char *
+patternKindName(PatternKind k)
+{
+    switch (k) {
+      case PatternKind::CorrectGotoLadder: return "correct-goto-ladder";
+      case PatternKind::BuggyGotoLadder: return "buggy-goto-ladder";
+      case PatternKind::BuggyDoublePut: return "buggy-double-put";
+      case PatternKind::BuggyLoopGet: return "buggy-loop-get";
+      case PatternKind::CorrectGetPut: return "correct-get-put";
+      case PatternKind::CorrectNoErrorCheck: return "correct-no-errcheck";
+      case PatternKind::BuggyMissingPutOnError: return "buggy-missing-put";
+      case PatternKind::BuggyIrqStyle: return "buggy-irq-style";
+      case PatternKind::BuggyPathExplosion: return "buggy-path-explosion";
+      case PatternKind::WrapperGet: return "wrapper-get";
+      case PatternKind::WrapperPut: return "wrapper-put";
+      case PatternKind::BuggyWrapperCaller: return "buggy-wrapper-caller";
+      case PatternKind::FpBitmask: return "fp-bitmask";
+      case PatternKind::FpListOp: return "fp-listop";
+      case PatternKind::Cat2Helper: return "cat2-helper";
+      case PatternKind::Cat2Complex: return "cat2-complex";
+      case PatternKind::Cat3Filler: return "cat3-filler";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Cosmetic name pools so the corpus looks like many different drivers. */
+const char *kSubsystems[] = {
+    "usb", "i2c", "spi", "mmc", "net", "snd", "drm", "scsi", "tty",
+    "gpio", "rtc", "can", "iio", "hid", "pci",
+};
+
+const char *kVerbs[] = {
+    "open", "probe", "read", "write", "xfer", "start", "resume",
+    "config", "enable", "trigger", "poll", "flush", "attach", "reset",
+};
+
+std::string
+pick(std::mt19937_64 &rng, const char *const *pool, size_t n)
+{
+    return pool[rng() % n];
+}
+
+/** Random get-family API (sync or plain; both always increment). */
+std::string
+pickGet(std::mt19937_64 &rng)
+{
+    return (rng() & 1) ? "pm_runtime_get_sync" : "pm_runtime_get";
+}
+
+std::string
+pickPut(std::mt19937_64 &rng)
+{
+    switch (rng() % 3) {
+      case 0: return "pm_runtime_put";
+      case 1: return "pm_runtime_put_sync";
+      default: return "pm_runtime_put_autosuspend";
+    }
+}
+
+const char *
+patternSuffix(PatternKind k)
+{
+    switch (k) {
+      case PatternKind::CorrectGetPut: return "ok";
+      case PatternKind::CorrectNoErrorCheck: return "plain";
+      case PatternKind::BuggyMissingPutOnError: return "leak";
+      case PatternKind::BuggyIrqStyle: return "irq";
+      case PatternKind::BuggyPathExplosion: return "deep";
+      case PatternKind::WrapperGet: return "wget";
+      case PatternKind::WrapperPut: return "wput";
+      case PatternKind::BuggyWrapperCaller: return "wcall";
+      case PatternKind::FpBitmask: return "mask";
+      case PatternKind::FpListOp: return "list";
+      case PatternKind::Cat2Helper: return "chk";
+      case PatternKind::Cat2Complex: return "sel";
+      case PatternKind::Cat3Filler: return "util";
+      case PatternKind::BuggyDoublePut: return "dput";
+      case PatternKind::BuggyLoopGet: return "loop";
+      case PatternKind::CorrectGotoLadder: return "probe";
+      case PatternKind::BuggyGotoLadder: return "badprobe";
+    }
+    return "fn";
+}
+
+std::string
+fnName(PatternKind kind, int index, std::mt19937_64 &rng)
+{
+    std::ostringstream os;
+    os << pick(rng, kSubsystems, std::size(kSubsystems)) << "_"
+       << pick(rng, kVerbs, std::size(kVerbs)) << "_"
+       << patternSuffix(kind) << index;
+    return os.str();
+}
+
+} // anonymous namespace
+
+GeneratedFunction
+emitPattern(PatternKind kind, int index, std::mt19937_64 &rng)
+{
+    GeneratedFunction out;
+    out.truth.kind = kind;
+    std::string name = fnName(kind, index, rng);
+    out.truth.name = name;
+    std::ostringstream os;
+
+    switch (kind) {
+      case PatternKind::CorrectGetPut: {
+        // Balanced: the error path undoes the increment before bailing.
+        std::string get = pickGet(rng);
+        std::string put = pickPut(rng);
+        out.truth.error_handled_get_site = true;
+        os << "int " << name << "(struct device *dev, int arg) {\n"
+           << "    int ret;\n"
+           << "    ret = " << get << "(dev);\n"
+           << "    if (ret < 0) {\n"
+           << "        " << put << "(dev);\n"
+           << "        return ret;\n"
+           << "    }\n"
+           << "    ret = hw_op_" << index << "(dev, arg);\n"
+           << "    " << put << "(dev);\n"
+           << "    return ret;\n"
+           << "}\n"
+           << "int hw_op_" << index << "(struct device *dev, int arg);\n";
+        break;
+      }
+      case PatternKind::CorrectNoErrorCheck: {
+        std::string get = pickGet(rng);
+        std::string put = pickPut(rng);
+        os << "int " << name << "(struct device *dev) {\n"
+           << "    " << get << "(dev);\n"
+           << "    dev_op_" << index << "(dev);\n"
+           << "    " << put << "(dev);\n"
+           << "    return 0;\n"
+           << "}\n"
+           << "void dev_op_" << index << "(struct device *dev);\n";
+        break;
+      }
+      case PatternKind::BuggyMissingPutOnError: {
+        // Figure 8 shape: early return on error leaks the increment.
+        std::string get = pickGet(rng);
+        std::string put = pickPut(rng);
+        out.truth.has_bug = true;
+        out.truth.rid_detects = true;
+        out.truth.error_handled_get_site = true;
+        out.truth.misuse = true;
+        os << "int " << name << "(struct device *dev, int mode) {\n"
+           << "    int ret;\n"
+           << "    ret = " << get << "(dev);\n"
+           << "    if (ret < 0)\n"
+           << "        return ret;\n"
+           << "    ret = commit_op_" << index << "(dev, mode);\n"
+           << "    " << put << "(dev);\n"
+           << "    return ret;\n"
+           << "}\n"
+           << "int commit_op_" << index << "(struct device *dev, int m);\n";
+        break;
+      }
+      case PatternKind::BuggyIrqStyle: {
+        // Figure 10 shape: the leaky error path returns IRQ_NONE (0)
+        // while every other path returns IRQ_HANDLED (1): the paths are
+        // distinguishable by the return value, so there is no IPP.
+        std::string get = pickGet(rng);
+        std::string put = pickPut(rng);
+        out.truth.has_bug = true;
+        out.truth.rid_detects = false;
+        out.truth.error_handled_get_site = true;
+        out.truth.misuse = true;
+        os << "int " << name << "(int irq, struct device *dev) {\n"
+           << "    int ret;\n"
+           << "    ret = " << get << "(dev);\n"
+           << "    if (ret < 0) {\n"
+           << "        log_err_" << index << "(dev);\n"
+           << "        return 0;\n"  // IRQ_NONE
+           << "    }\n"
+           << "    handle_irq_" << index << "(dev);\n"
+           << "    " << put << "(dev);\n"
+           << "    return 1;\n"  // IRQ_HANDLED
+           << "}\n"
+           << "void log_err_" << index << "(struct device *dev);\n"
+           << "void handle_irq_" << index << "(struct device *dev);\n";
+        break;
+      }
+      case PatternKind::BuggyPathExplosion: {
+        // The buggy branch hides behind a sibling whose diamond cascade
+        // exhausts the default 100-path cap: enumeration truncates
+        // before ever reaching the leak, the function gets a default
+        // entry (Section 5.2) and the inconsistency goes unreported.
+        // Raising the cap past the cascade (>= ~520 paths) exposes it.
+        std::string get = pickGet(rng);
+        std::string put = pickPut(rng);
+        out.truth.has_bug = true;
+        out.truth.rid_detects = false;
+        out.truth.error_handled_get_site = true;
+        out.truth.misuse = true;
+        os << "int " << name << "(struct device *dev, int a) {\n"
+           << "    int ret;\n"
+           << "    int acc = 0;\n"
+           << "    if (a == 0) {\n";
+        // 8 independent diamonds = 256 paths in the clean branch.
+        for (int i = 0; i < 8; i++) {
+            os << "        if (flag_" << index << "_" << i << "(a))\n"
+               << "            acc = step_" << index << "_" << i
+               << "(a);\n";
+        }
+        os << "        " << get << "(dev);\n"
+           << "        use_acc_" << index << "(dev, acc);\n"
+           << "        " << put << "(dev);\n"
+           << "        return 0;\n"
+           << "    }\n"
+           << "    ret = " << get << "(dev);\n"
+           << "    if (ret < 0)\n"
+           << "        return ret;\n"  // missing put
+           << "    ret = use_acc_" << index << "(dev, acc);\n"
+           << "    " << put << "(dev);\n"
+           << "    return ret;\n"
+           << "}\n";
+        for (int i = 0; i < 8; i++) {
+            os << "int flag_" << index << "_" << i << "(int a);\n"
+               << "int step_" << index << "_" << i << "(int a);\n";
+        }
+        os << "int use_acc_" << index
+           << "(struct device *dev, int acc);\n";
+        break;
+      }
+      case PatternKind::WrapperGet: {
+        // usb_autopm_get_interface shape: error means "no count held".
+        os << "int autopm_get_" << index << "(struct intf *intf) {\n"
+           << "    int status;\n"
+           << "    status = pm_runtime_get_sync(&intf->dev);\n"
+           << "    if (status < 0)\n"
+           << "        pm_runtime_put_sync(&intf->dev);\n"
+           << "    if (status > 0)\n"
+           << "        status = 0;\n"
+           << "    return status;\n"
+           << "}\n";
+        break;
+      }
+      case PatternKind::WrapperPut: {
+        os << "void autopm_put_" << index << "(struct intf *intf) {\n"
+           << "    pm_runtime_put(&intf->dev);\n"
+           << "}\n";
+        break;
+      }
+      case PatternKind::BuggyWrapperCaller: {
+        // Figure 9 shape: put is skipped when the inner operation fails.
+        out.truth.has_bug = true;
+        out.truth.rid_detects = true;
+        os << "int " << name << "(struct intf *interface) {\n"
+           << "    int result;\n"
+           << "    result = autopm_get_" << index << "(interface);\n"
+           << "    if (result)\n"
+           << "        goto error;\n"
+           << "    result = create_image_" << index << "(interface);\n"
+           << "    if (result)\n"
+           << "        goto error;\n"  // leak: inner failure skips put
+           << "    autopm_put_" << index << "(interface);\n"
+           << "error:\n"
+           << "    return result;\n"
+           << "}\n"
+           << "int create_image_" << index << "(struct intf *i);\n";
+        break;
+      }
+      case PatternKind::FpBitmask: {
+        // Correct code: whether a count is held is keyed by an option bit
+        // that callers also see; bit operations are outside the
+        // abstraction, so RID reports a (false) inconsistency.
+        out.truth.induces_fp = true;
+        os << "int " << name << "(struct device *dev, int flags) {\n"
+           << "    if (flags & 4) {\n"
+           << "        pm_runtime_get_noresume(dev);\n"
+           << "        mark_async_" << index << "(dev);\n"
+           << "    }\n"
+           << "    return 0;\n"
+           << "}\n"
+           << "void mark_async_" << index << "(struct device *dev);\n";
+        break;
+      }
+      case PatternKind::FpListOp: {
+        // Correct code: whether a count was taken is recorded by
+        // inserting the device into a caller-visible list. The insertion
+        // (a store to a data structure) is what distinguishes the two
+        // paths at runtime, but stores are outside the abstraction, so
+        // RID sees indistinguishable paths and reports a false positive.
+        out.truth.induces_fp = true;
+        os << "int " << name
+           << "(struct device *dev, struct list *busy) {\n"
+           << "    if (list_empty_" << index << "(busy)) {\n"
+           << "        pm_runtime_get_noresume(dev);\n"
+           << "        busy->head = dev;\n"
+           << "        busy->len = busy->len + 1;\n"
+           << "    }\n"
+           << "    return 0;\n"
+           << "}\n"
+           << "int list_empty_" << index << "(struct list *l);\n";
+        break;
+      }
+      case PatternKind::Cat2Helper: {
+        // Three small value filters used as `if (helper(x)) get(..)` by
+        // one driver: the helpers land in category 2 and are simple
+        // enough (1 conditional branch) to be analyzed selectively.
+        for (int h = 0; h < 3; h++) {
+            os << "int check" << h << "_" << name << "(int v) {\n"
+               << "    if (v > " << h << ")\n"
+               << "        return 1;\n"
+               << "    return 0;\n"
+               << "}\n";
+        }
+        os << "int drv_" << name << "(struct device *dev, int v) {\n";
+        for (int h = 0; h < 3; h++) {
+            os << "    if (check" << h << "_" << name << "(v)) {\n"
+               << "        pm_runtime_get_noresume(dev);\n"
+               << "        run_" << index << "(dev);\n"
+               << "        pm_runtime_put_noidle(dev);\n"
+               << "    }\n";
+        }
+        os << "    return 0;\n"
+           << "}\n"
+           << "void run_" << index << "(struct device *dev);\n";
+        break;
+      }
+      case PatternKind::Cat2Complex: {
+        // Three value filters with many branches: classified as
+        // affecting but skipped by the selective analysis (>3
+        // conditional branches — Section 5.2).
+        for (int h = 0; h < 3; h++) {
+            os << "int sel" << h << "_" << name << "(int v) {\n"
+               << "    if (v < 0)\n"
+               << "        return 0;\n"
+               << "    if (v < 10)\n"
+               << "        return 1;\n"
+               << "    if (v < 100)\n"
+               << "        return 2;\n"
+               << "    if (v < 1000)\n"
+               << "        return 3;\n"
+               << "    if (v < 10000)\n"
+               << "        return 4;\n"
+               << "    return 5;\n"
+               << "}\n";
+        }
+        os << "int drv_" << name << "(struct device *dev, int v) {\n";
+        for (int h = 0; h < 3; h++) {
+            os << "    if (sel" << h << "_" << name << "(v) == 1) {\n"
+               << "        pm_runtime_get_noresume(dev);\n"
+               << "        work_" << index << "(dev);\n"
+               << "        pm_runtime_put_noidle(dev);\n"
+               << "    }\n";
+        }
+        os << "    return 0;\n"
+           << "}\n"
+           << "void work_" << index << "(struct device *dev);\n";
+        break;
+      }
+      case PatternKind::BuggyDoublePut: {
+        // The error path undoes the increment twice: the count can go
+        // negative (characteristic 4, Section 3.1). The error path's
+        // return value overlaps with the success path's unconstrained
+        // one, so RID reports the -1 vs 0 inconsistency.
+        std::string get = pickGet(rng);
+        std::string put = pickPut(rng);
+        out.truth.has_bug = true;
+        out.truth.rid_detects = true;
+        out.truth.error_handled_get_site = true;
+        os << "int " << name << "(struct device *dev, int cmd) {\n"
+           << "    int ret;\n"
+           << "    ret = " << get << "(dev);\n"
+           << "    if (ret < 0) {\n"
+           << "        " << put << "(dev);\n"
+           << "        " << put << "(dev);\n"  // one undo too many
+           << "        return ret;\n"
+           << "    }\n"
+           << "    ret = exec_cmd_" << index << "(dev, cmd);\n"
+           << "    " << put << "(dev);\n"
+           << "    return ret;\n"
+           << "}\n"
+           << "int exec_cmd_" << index << "(struct device *dev, int c);\n";
+        break;
+      }
+      case PatternKind::BuggyLoopGet: {
+        // The leak only executes from the second loop iteration on (the
+        // retry flag is 0 during the first pass and constant-folds the
+        // guard away). With loops unrolled at most once no enumerated
+        // path ever reaches the buggy increment, so the function
+        // summarizes as change-free and the bug is invisible —
+        // limitation 2 of Section 5.4.
+        out.truth.has_bug = true;
+        out.truth.rid_detects = false;
+        os << "int " << name << "(struct device *dev, int n) {\n"
+           << "    int retried = 0;\n"
+           << "    int i = 0;\n"
+           << "    while (i < n) {\n"
+           << "        if (retried)\n"
+           << "            pm_runtime_get_noresume(dev);\n"  // leak
+           << "        retried = 1;\n"
+           << "        queue_chunk_" << index << "(dev, i);\n"
+           << "        i = i + 1;\n"
+           << "    }\n"
+           << "    return 0;\n"
+           << "}\n"
+           << "void queue_chunk_" << index
+           << "(struct device *dev, int i);\n";
+        break;
+      }
+      case PatternKind::CorrectGotoLadder:
+      case PatternKind::BuggyGotoLadder: {
+        // The kernel's probe() idiom: acquire in order, unwind with a
+        // goto ladder. pm_runtime_get_sync holds the count even on
+        // failure, so the deepest label must still put. The buggy
+        // variant jumps past the put when the buffer allocation fails.
+        bool buggy = kind == PatternKind::BuggyGotoLadder;
+        out.truth.has_bug = buggy;
+        out.truth.rid_detects = buggy;
+        // The buggy variant unwinds the buffer failure through `out`,
+        // skipping the put that balances the held usage count.
+        const char *alloc_fail_label = buggy ? "out" : "err_buf";
+        os << "int " << name << "(struct device *dev) {\n"
+           << "    int ret;\n"
+           << "    ret = pm_runtime_get_sync(dev);\n"
+           << "    if (ret < 0)\n"
+           << "        goto err_pm;\n"
+           << "    ret = alloc_buf_" << index << "(dev);\n"
+           << "    if (ret)\n"
+           << "        goto " << alloc_fail_label << ";\n"
+           << "    ret = register_dev_" << index << "(dev);\n"
+           << "    if (ret)\n"
+           << "        goto err_reg;\n"
+           << "    return 0;\n"
+           << "err_reg:\n"
+           << "    free_buf_" << index << "(dev);\n"
+           << "err_buf:\n"
+           << "    pm_runtime_put(dev);\n"
+           << "    return ret;\n"
+           << "err_pm:\n"
+           << "    pm_runtime_put(dev);\n"
+           << "out:\n"
+           << "    return ret;\n"
+           << "}\n"
+           << "int alloc_buf_" << index << "(struct device *dev);\n"
+           << "int register_dev_" << index << "(struct device *dev);\n"
+           << "void free_buf_" << index << "(struct device *dev);\n";
+        break;
+      }
+      case PatternKind::Cat3Filler: {
+        // Refcount-irrelevant code in a handful of shapes.
+        switch (rng() % 4) {
+          case 0:
+            os << "int " << name << "(int a, int b) {\n"
+               << "    if (a < b)\n"
+               << "        return b;\n"
+               << "    return a;\n"
+               << "}\n";
+            break;
+          case 1:
+            os << "int " << name << "(struct buf *b, int n) {\n"
+               << "    int i = 0;\n"
+               << "    int sum = 0;\n"
+               << "    while (i < n) {\n"
+               << "        sum = sum + b->data;\n"
+               << "        i = i + 1;\n"
+               << "    }\n"
+               << "    return sum;\n"
+               << "}\n";
+            break;
+          case 2:
+            os << "void " << name << "(struct stats *s, int v) {\n"
+               << "    s->count = s->count + 1;\n"
+               << "    if (v > s->peak)\n"
+               << "        s->peak = v;\n"
+               << "}\n";
+            break;
+          default:
+            os << "int " << name << "(int code) {\n"
+               << "    if (code == 0)\n"
+               << "        return 0;\n"
+               << "    if (code == 1)\n"
+               << "        return -1;\n"
+               << "    return -22;\n"
+               << "}\n";
+            break;
+        }
+        break;
+      }
+    }
+
+    out.source = os.str();
+    return out;
+}
+
+} // namespace rid::kernel

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Code-pattern library for the synthetic Linux-DPM corpus.
+ *
+ * Each pattern emits one Kernel-C driver function together with ground
+ * truth: whether the function contains a refcount bug, whether RID is
+ * expected to detect it (and if not, why), whether the pattern is a
+ * known false-positive inducer (Section 6.4), and whether it contains a
+ * pm_runtime_get-family call site with error handling (the population of
+ * the Section 6.3 misuse study).
+ */
+
+#ifndef RID_KERNEL_PATTERNS_H
+#define RID_KERNEL_PATTERNS_H
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace rid::kernel {
+
+/** Pattern kinds the generator can instantiate. */
+enum class PatternKind : uint8_t {
+    /** get_sync with error handling that correctly puts on the error
+     *  path before bailing out. */
+    CorrectGetPut,
+    /** get_sync without error handling, balanced put (not part of the
+     *  misuse study population). */
+    CorrectNoErrorCheck,
+    /** Figure 8: error path returns without the balancing put. Real bug,
+     *  RID detects it. */
+    BuggyMissingPutOnError,
+    /** Figure 10: the buggy error path returns a different constant than
+     *  the success path (IRQ_NONE vs IRQ_HANDLED), so the paths are
+     *  distinguishable and RID misses the bug. */
+    BuggyIrqStyle,
+    /** The missing put is buried in a function whose path count exceeds
+     *  the enumeration limit, so RID truncates and misses it. */
+    BuggyPathExplosion,
+    /** A correct usb_autopm_get_interface-style wrapper: no refcount is
+     *  leaked when it reports an error. Summarized automatically. */
+    WrapperGet,
+    /** The matching put wrapper. */
+    WrapperPut,
+    /** Figure 9: a caller of the get wrapper that forgets the put when an
+     *  inner operation fails. Real bug, RID detects it through the
+     *  automatically computed wrapper summary. */
+    BuggyWrapperCaller,
+    /** Correct code whose two paths differ by a user-option bit in a
+     *  bitmap; the bit condition is outside the abstraction, so RID
+     *  reports a false positive (Section 6.4). */
+    FpBitmask,
+    /** Correct code whose paths are distinguished by inserting into a
+     *  list passed by the caller (data-structure operations are outside
+     *  the abstraction): another false positive (Section 6.4). */
+    FpListOp,
+    /** A small value-filtering helper whose return value guards refcount
+     *  operations in its caller: lands in category 2. */
+    Cat2Helper,
+    /** A complex (>3 conditional branches) category-2 helper: classified
+     *  as "affecting" but not analyzed (Table 1's third row). */
+    Cat2Complex,
+    /** Refcount-irrelevant code: category 3. */
+    Cat3Filler,
+    /** The error path decrements twice (one undo too many): the count
+     *  can go negative — a violation of characteristic 4 (Section 3.1).
+     *  Real bug, RID detects it (the paths overlap on [0] < 0). */
+    BuggyDoublePut,
+    /** The increment sits in a loop but only one decrement follows: the
+     *  count stays positive whenever the loop runs more than once. With
+     *  loops unrolled at most once every enumerated path balances, so
+     *  RID misses it — limitation 2 of Section 5.4. */
+    BuggyLoopGet,
+    /** A probe() with the classic goto cleanup ladder: every error
+     *  label unwinds exactly what was acquired, the success path keeps
+     *  the count until remove(). Correct; must stay silent. */
+    CorrectGotoLadder,
+    /** The same ladder with one error jumping past the put label: the
+     *  count leaks on that failure. Detected (overlaps with the
+     *  get-failure path, which returns the same error range). */
+    BuggyGotoLadder,
+};
+
+const char *patternKindName(PatternKind k);
+
+/** Ground-truth record for one generated function. */
+struct FunctionTruth
+{
+    std::string name;
+    PatternKind kind;
+    /** The function contains a real refcount bug. */
+    bool has_bug = false;
+    /** RID is expected to report it. */
+    bool rid_detects = false;
+    /** The pattern provokes a false positive. */
+    bool induces_fp = false;
+    /** Contains a pm_runtime_get-family call followed by error handling
+     *  (the Section 6.3 study population). */
+    bool error_handled_get_site = false;
+    /** The error handling misses the balancing decrement. */
+    bool misuse = false;
+};
+
+/** One generated function: source text plus its ground truth. */
+struct GeneratedFunction
+{
+    std::string source;
+    FunctionTruth truth;
+};
+
+/**
+ * Emit one function of the given pattern.
+ *
+ * @param kind  pattern to instantiate
+ * @param index uniquifier embedded in the function name
+ * @param rng   randomness for cosmetic variation (names, extra
+ *              statements); ground truth never depends on it
+ */
+GeneratedFunction emitPattern(PatternKind kind, int index,
+                              std::mt19937_64 &rng);
+
+} // namespace rid::kernel
+
+#endif // RID_KERNEL_PATTERNS_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Syntactic call-site scanner for the Section 6.3 misuse study.
+ *
+ * The paper established the ground truth for the pm_runtime_get misuse
+ * study with a brute-force syntactic search over the kernel. This scanner
+ * reproduces that methodology on the AST: it finds call sites of the
+ * get-family APIs whose result is stored and then checked by an if
+ * statement, and classifies each site by whether the error branch (or the
+ * code between the check and the enclosing return) contains a balancing
+ * put-family call.
+ *
+ * Being syntactic, the scanner is independent of the RID analysis; the
+ * benchmark compares RID's reports against its findings exactly as the
+ * paper does.
+ */
+
+#ifndef RID_KERNEL_SCANNER_H
+#define RID_KERNEL_SCANNER_H
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace rid::kernel {
+
+/** One pm_runtime_get-family call site with error handling. */
+struct GetCallSite
+{
+    std::string function;   ///< enclosing function
+    std::string api;        ///< callee name
+    int line = 0;
+    /** True when the error branch misses the balancing decrement. */
+    bool missing_put = false;
+};
+
+struct ScanResult
+{
+    std::vector<GetCallSite> sites;
+
+    int
+    misuses() const
+    {
+        int n = 0;
+        for (const auto &s : sites)
+            n += s.missing_put ? 1 : 0;
+        return n;
+    }
+};
+
+/**
+ * Scan a translation unit for error-handled get-family call sites.
+ *
+ * @param unit        parsed Kernel-C unit
+ * @param get_family  API names that increment (e.g. dpmGetFamily())
+ * @param put_family  API names that decrement
+ * @param exclude_wrappers skip functions that merely wrap a get API
+ *        (call a get API and conditionally undo it — the paper excludes
+ *        wrapper functions from the 96-site population)
+ */
+ScanResult scanUnit(const frontend::AstUnit &unit,
+                    const std::vector<std::string> &get_family,
+                    const std::vector<std::string> &put_family,
+                    bool exclude_wrappers = true);
+
+} // namespace rid::kernel
+
+#endif // RID_KERNEL_SCANNER_H

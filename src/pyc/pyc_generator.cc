@@ -1,0 +1,242 @@
+#include "pyc/pyc_generator.h"
+
+#include <random>
+#include <sstream>
+
+namespace rid::pyc {
+
+const char *
+pycBugClassName(PycBugClass c)
+{
+    switch (c) {
+      case PycBugClass::None: return "correct";
+      case PycBugClass::Common: return "common";
+      case PycBugClass::RidOnly: return "rid-only";
+      case PycBugClass::BaselineOnly: return "baseline-only";
+    }
+    return "?";
+}
+
+namespace {
+
+const char *kCtors[] = {
+    "PyList_New", "PyTuple_New", "PyInt_FromLong", "PyLong_FromLong",
+    "PyString_FromString", "Py_BuildValue", "PyDict_New",
+};
+
+std::string
+pickCtor(std::mt19937_64 &rng)
+{
+    return kCtors[rng() % std::size(kCtors)];
+}
+
+/**
+ * Common bug: a fresh object leaks on one error path while the other
+ * paths are clean — RID sees an IPP, the baseline sees a bad escape
+ * count on the leaky path.
+ */
+std::string
+emitCommonLeak(const std::string &name, int index, std::mt19937_64 &rng)
+{
+    std::ostringstream os;
+    std::string ctor = pickCtor(rng);
+    os << "struct obj *" << name << "(struct obj *self, long v) {\n"
+       << "    struct obj *item;\n"
+       << "    item = " << ctor << "(v);\n"
+       << "    if (item == NULL)\n"
+       << "        return NULL;\n"
+       << "    if (validate_" << index << "(item) < 0)\n"
+       << "        return NULL;\n"  // leak: item still holds a reference
+       << "    return item;\n"
+       << "}\n"
+       << "int validate_" << index << "(struct obj *o);\n";
+    return os.str();
+}
+
+/**
+ * RID-only bug: the leaking variable is reassigned; a non-SSA checker
+ * conflates the two objects bound to the same name and stays silent
+ * (Section 6.6), while per-path symbolic values keep them apart.
+ */
+std::string
+emitRidOnlyLeak(const std::string &name, int index, std::mt19937_64 &rng)
+{
+    std::ostringstream os;
+    std::string ctor1 = pickCtor(rng);
+    std::string ctor2 = pickCtor(rng);
+    os << "struct obj *" << name << "(struct obj *self, long a, long b) {\n"
+       << "    struct obj *obj;\n"
+       << "    obj = " << ctor1 << "(a);\n"
+       << "    if (obj == NULL)\n"
+       << "        return NULL;\n"
+       << "    consume_" << index << "(obj);\n"
+       << "    Py_DECREF(obj);\n"
+       << "    obj = " << ctor2 << "(b);\n"  // second static assignment
+       << "    if (obj == NULL)\n"
+       << "        return NULL;\n"
+       << "    if (consume_" << index << "(obj) < 0)\n"
+       << "        return NULL;\n"  // leak of the second object
+       << "    return obj;\n"
+       << "}\n"
+       << "int consume_" << index << "(struct obj *o);\n";
+    return os.str();
+}
+
+/**
+ * Baseline-only bug: every path over-increments the result uniformly, so
+ * there is no inconsistent pair; the escape rule (+2 held, 1 escaping)
+ * still fires.
+ */
+std::string
+emitBaselineOnlyLeak(const std::string &name, int index,
+                     std::mt19937_64 &rng)
+{
+    std::ostringstream os;
+    std::string ctor = pickCtor(rng);
+    (void)index;
+    os << "struct obj *" << name << "(struct obj *self, long v) {\n"
+       << "    struct obj *item;\n"
+       << "    item = " << ctor << "(v);\n"
+       << "    if (item == NULL)\n"
+       << "        return NULL;\n"
+       << "    Py_INCREF(item);\n"  // extra increment on every path
+       << "    return item;\n"
+       << "}\n";
+    return os.str();
+}
+
+/** Correct code shapes: balanced create/use/decref, borrowed returns,
+ *  stolen references. Shape 2 (the stealing idiom) sets @p rid_fp:
+ *  ownership moves into the container without a count change, so RID
+ *  sees the +1-vs-0 pair as inconsistent. */
+std::string
+emitCorrect(const std::string &name, int index, std::mt19937_64 &rng,
+            bool &rid_fp)
+{
+    std::ostringstream os;
+    int shape = static_cast<int>(rng() % 4);
+    rid_fp = (shape == 2);
+    switch (shape) {
+      case 0: {
+        std::string ctor = pickCtor(rng);
+        os << "struct obj *" << name
+           << "(struct obj *self, long v) {\n"
+           << "    struct obj *item;\n"
+           << "    item = " << ctor << "(v);\n"
+           << "    if (item == NULL)\n"
+           << "        return NULL;\n"
+           << "    if (use_" << index << "(item) < 0) {\n"
+           << "        Py_DECREF(item);\n"
+           << "        return NULL;\n"
+           << "    }\n"
+           << "    return item;\n"
+           << "}\n"
+           << "int use_" << index << "(struct obj *o);\n";
+        break;
+      }
+      case 1:
+        // Borrowed reference passed through: no count change.
+        os << "struct obj *" << name
+           << "(struct obj *list, long idx) {\n"
+           << "    struct obj *item;\n"
+           << "    item = PyList_GetItem(list, idx);\n"
+           << "    if (item == NULL)\n"
+           << "        return NULL;\n"
+           << "    Py_INCREF(item);\n"
+           << "    return item;\n"
+           << "}\n";
+        break;
+      case 2:
+        // Stolen reference: ownership moves into the list on success and
+        // on failure alike (PyList_SetItem steals unconditionally).
+        os << "int " << name << "(struct obj *list, long v) {\n"
+           << "    struct obj *item;\n"
+           << "    item = PyInt_FromLong(v);\n"
+           << "    if (item == NULL)\n"
+           << "        return -1;\n"
+           << "    return PyList_SetItem(list, 0, item);\n"
+           << "}\n";
+        break;
+      default:
+        // Error-object helper: both argument counts rise uniformly.
+        os << "void " << name
+           << "(struct obj *type, struct obj *value) {\n"
+           << "    PyErr_SetObject(type, value);\n"
+           << "}\n";
+        break;
+    }
+    return os.str();
+}
+
+} // anonymous namespace
+
+PycProgram
+generateProgram(const std::string &name, const PycMix &mix, uint64_t seed)
+{
+    PycProgram program;
+    program.name = name;
+    std::mt19937_64 rng(seed);
+    std::ostringstream src;
+
+    // Strip the version suffix for identifier-friendly names.
+    std::string tag = name.substr(0, name.find('-'));
+    for (auto &c : tag)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+
+    int index = 0;
+    auto emit = [&](PycBugClass cls) {
+        std::string fn = tag + "_" + pycBugClassName(cls) +
+                         std::to_string(index);
+        for (auto &c : fn)
+            if (c == '-')
+                c = '_';
+        std::string body;
+        bool rid_fp = false;
+        switch (cls) {
+          case PycBugClass::Common:
+            body = emitCommonLeak(fn, index, rng);
+            break;
+          case PycBugClass::RidOnly:
+            body = emitRidOnlyLeak(fn, index, rng);
+            break;
+          case PycBugClass::BaselineOnly:
+            body = emitBaselineOnlyLeak(fn, index, rng);
+            break;
+          case PycBugClass::None:
+            body = emitCorrect(fn, index, rng, rid_fp);
+            break;
+        }
+        src << body << "\n";
+        program.truth.push_back(PycFunctionTruth{fn, cls, rid_fp});
+        index++;
+    };
+
+    for (int i = 0; i < mix.common; i++)
+        emit(PycBugClass::Common);
+    for (int i = 0; i < mix.rid_only; i++)
+        emit(PycBugClass::RidOnly);
+    for (int i = 0; i < mix.baseline_only; i++)
+        emit(PycBugClass::BaselineOnly);
+    for (int i = 0; i < mix.correct; i++)
+        emit(PycBugClass::None);
+
+    program.source = src.str();
+    return program;
+}
+
+std::vector<PycProgram>
+paperPrograms(uint64_t seed)
+{
+    // Table 2: common / RID-only / Cpychecker-only.
+    std::vector<PycProgram> out;
+    out.push_back(generateProgram("krbV-1.0.90",
+                                  PycMix{48, 86, 14, 120}, seed ^ 0x1));
+    out.push_back(generateProgram("ldap-2.4.20",
+                                  PycMix{7, 13, 1, 60}, seed ^ 0x2));
+    out.push_back(generateProgram("pyaudio-0.2.8",
+                                  PycMix{31, 15, 1, 80}, seed ^ 0x3));
+    return out;
+}
+
+} // namespace rid::pyc

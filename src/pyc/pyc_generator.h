@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Synthetic Python/C extension-module generator for the Table 2
+ * comparison (RID vs the Cpychecker-style baseline).
+ *
+ * Table 2's shape is driven by three bug classes:
+ *   - Common: simple leaks both tools detect (an object created and then
+ *     leaked on one error path);
+ *   - RID-only: the leaked variable is statically assigned more than
+ *     once; the non-SSA baseline cannot track it and stays silent
+ *     (Section 6.6);
+ *   - Baseline-only: the bug is uniform across all paths (every path
+ *     leaks equally), so no inconsistent path pair exists and RID is
+ *     silent, while the escape-count rule still fires.
+ *
+ * The generator emits the three evaluation programs (modeled after krbV,
+ * pyldap and pyaudio) with paper-matching class counts plus correct
+ * filler functions, all with ground truth.
+ */
+
+#ifndef RID_PYC_PYC_GENERATOR_H
+#define RID_PYC_PYC_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rid::pyc {
+
+enum class PycBugClass : uint8_t {
+    None,          ///< correct code
+    Common,        ///< detected by both tools
+    RidOnly,       ///< multiple static assignments: baseline is blind
+    BaselineOnly,  ///< uniform leak: no IPP, escape rule fires
+};
+
+const char *pycBugClassName(PycBugClass c);
+
+struct PycFunctionTruth
+{
+    std::string name;
+    PycBugClass bug_class = PycBugClass::None;
+    /** Correct code on which RID nonetheless reports: the object's
+     *  ownership is transferred by a stealing API, which is invisible to
+     *  the change-based model (an FP class analogous to Section 6.4). */
+    bool rid_fp_expected = false;
+};
+
+/** One synthetic extension module. */
+struct PycProgram
+{
+    std::string name;        ///< e.g. "krbV-1.0.90"
+    std::string source;      ///< Kernel-C translation unit
+    std::vector<PycFunctionTruth> truth;
+};
+
+/** Class counts for one program. */
+struct PycMix
+{
+    int common = 0;
+    int rid_only = 0;
+    int baseline_only = 0;
+    int correct = 0;
+};
+
+/** The three evaluation programs with Table 2-calibrated counts:
+ *  krbV 48/86/14, ldap 7/13/1, pyaudio 31/15/1 (common / RID-only /
+ *  baseline-only), plus correct filler. */
+std::vector<PycProgram> paperPrograms(uint64_t seed = 0x7ead);
+
+/** Generate one program with an explicit mix. */
+PycProgram generateProgram(const std::string &name, const PycMix &mix,
+                           uint64_t seed);
+
+} // namespace rid::pyc
+
+#endif // RID_PYC_PYC_GENERATOR_H

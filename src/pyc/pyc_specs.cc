@@ -1,0 +1,145 @@
+#include "pyc/pyc_specs.h"
+
+namespace rid::pyc {
+
+const std::string &
+pycSpecText()
+{
+    static const std::string text = R"SPEC(
+# Python/C reference counting APIs (see Figure 7 of the paper).
+#
+# Objects carry their count in the .rc field. APIs that allocate return
+# either a new reference (count already incremented, [0] != null) or null
+# on allocation failure with no count change.
+
+summary Py_INCREF(o) -> void {
+  entry { cons: true; change: [o].rc += 1; return: none; }
+}
+
+summary Py_DECREF(o) -> void {
+  entry { cons: true; change: [o].rc -= 1; return: none; }
+}
+
+summary Py_XINCREF(o) -> void {
+  entry { cons: [o] != null; change: [o].rc += 1; return: none; }
+  entry { cons: [o] == null; return: none; }
+}
+
+summary Py_XDECREF(o) -> void {
+  entry { cons: [o] != null; change: [o].rc -= 1; return: none; }
+  entry { cons: [o] == null; return: none; }
+}
+
+# Constructors: new reference on success, null on allocation failure.
+summary Py_BuildValue(fmt) -> ptr {
+  entry { cons: [0] != null; change: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; return: null; }
+}
+
+summary PyList_New(len) -> ptr {
+  entry { cons: [0] != null; change: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; return: null; }
+}
+
+summary PyTuple_New(len) -> ptr {
+  entry { cons: [0] != null; change: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; return: null; }
+}
+
+summary PyDict_New() -> ptr {
+  entry { cons: [0] != null; change: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; return: null; }
+}
+
+summary PyInt_FromLong(v) -> ptr {
+  entry { cons: [0] != null; change: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; return: null; }
+}
+
+summary PyLong_FromLong(v) -> ptr {
+  entry { cons: [0] != null; change: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; return: null; }
+}
+
+summary PyString_FromString(s) -> ptr {
+  entry { cons: [0] != null; change: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; return: null; }
+}
+
+# Borrowed references: no count change.
+summary PyList_GetItem(list, idx) -> ptr {
+  entry { cons: true; return: [0]; }
+}
+
+summary PyDict_GetItemString(dict, key) -> ptr {
+  entry { cons: true; return: [0]; }
+}
+
+# Stealing APIs: the callee takes over the caller's reference, so the
+# count is unchanged from the caller's perspective.
+summary PyList_SetItem(list, idx, item) -> int {
+  entry { cons: true; return: [0]; }
+}
+
+summary PyTuple_SetItem(tuple, idx, item) -> int {
+  entry { cons: true; return: [0]; }
+}
+
+# Creates new references to both arguments.
+summary PyErr_SetObject(type, value) -> void {
+  entry { cons: true; change: [type].rc += 1; change: [value].rc += 1;
+          return: none; }
+}
+
+# Non-stealing container insertion (PyList_Append adds its own ref).
+summary PyList_Append(list, item) -> int {
+  entry { cons: [0] == 0; change: [item].rc += 1; return: 0; }
+  entry { cons: [0] == -1; return: -1; }
+}
+
+summary PyDict_SetItemString(dict, key, item) -> int {
+  entry { cons: [0] == 0; change: [item].rc += 1; return: 0; }
+  entry { cons: [0] == -1; return: -1; }
+}
+
+# Argument parsing: no refcount effect (borrowed output pointers).
+summary PyArg_ParseTuple(args, fmt) -> int {
+  entry { cons: true; return: [0]; }
+}
+
+summary PyErr_SetString(type, msg) -> void {
+  entry { cons: true; return: none; }
+}
+)SPEC";
+    return text;
+}
+
+const std::map<std::string, ApiAttr> &
+pycApiAttrs()
+{
+    static const std::map<std::string, ApiAttr> attrs = [] {
+        std::map<std::string, ApiAttr> a;
+        a["Py_INCREF"].arg_delta = {{0, 1}};
+        a["Py_DECREF"].arg_delta = {{0, -1}};
+        a["Py_XINCREF"].arg_delta = {{0, 1}};
+        a["Py_XDECREF"].arg_delta = {{0, -1}};
+        for (const char *ctor :
+             {"Py_BuildValue", "PyList_New", "PyTuple_New", "PyDict_New",
+              "PyInt_FromLong", "PyLong_FromLong", "PyString_FromString"}) {
+            a[ctor].returns_new_ref = true;
+        }
+        a["PyList_GetItem"].returns_borrowed = true;
+        a["PyDict_GetItemString"].returns_borrowed = true;
+        a["PyList_SetItem"].steals_args = {2};
+        a["PyTuple_SetItem"].steals_args = {2};
+        a["PyErr_SetObject"].arg_delta = {{0, 1}, {1, 1}};
+        a["PyList_Append"].arg_delta = {{1, 1}};
+        a["PyDict_SetItemString"].arg_delta = {{2, 1}};
+        a["PyArg_ParseTuple"] = ApiAttr{};
+        a["PyErr_SetString"] = ApiAttr{};
+        return a;
+    }();
+    return attrs;
+}
+
+} // namespace rid::pyc

@@ -1,0 +1,428 @@
+#include "smt/expr.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace rid::smt {
+
+Pred
+negatePred(Pred p)
+{
+    switch (p) {
+      case Pred::Eq: return Pred::Ne;
+      case Pred::Ne: return Pred::Eq;
+      case Pred::Lt: return Pred::Ge;
+      case Pred::Le: return Pred::Gt;
+      case Pred::Gt: return Pred::Le;
+      case Pred::Ge: return Pred::Lt;
+    }
+    assert(false && "bad Pred");
+    return Pred::Eq;
+}
+
+Pred
+swapPred(Pred p)
+{
+    switch (p) {
+      case Pred::Eq: return Pred::Eq;
+      case Pred::Ne: return Pred::Ne;
+      case Pred::Lt: return Pred::Gt;
+      case Pred::Le: return Pred::Ge;
+      case Pred::Gt: return Pred::Lt;
+      case Pred::Ge: return Pred::Le;
+    }
+    assert(false && "bad Pred");
+    return Pred::Eq;
+}
+
+const char *
+predSpelling(Pred p)
+{
+    switch (p) {
+      case Pred::Eq: return "==";
+      case Pred::Ne: return "!=";
+      case Pred::Lt: return "<";
+      case Pred::Le: return "<=";
+      case Pred::Gt: return ">";
+      case Pred::Ge: return ">=";
+    }
+    return "?";
+}
+
+bool
+evalPred(Pred p, int64_t lhs, int64_t rhs)
+{
+    switch (p) {
+      case Pred::Eq: return lhs == rhs;
+      case Pred::Ne: return lhs != rhs;
+      case Pred::Lt: return lhs < rhs;
+      case Pred::Le: return lhs <= rhs;
+      case Pred::Gt: return lhs > rhs;
+      case Pred::Ge: return lhs >= rhs;
+    }
+    return false;
+}
+
+/**
+ * Immutable node backing an Expr. Hash is computed once at construction.
+ */
+class ExprNode
+{
+  public:
+    ExprKind kind;
+    int64_t value = 0;          // IntConst value or BoolConst (0/1)
+    std::string name;           // Arg/Local/Temp name, Field name
+    Pred pred = Pred::Eq;       // Cmp
+    std::shared_ptr<const ExprNode> a; // Field base / Cmp lhs
+    std::shared_ptr<const ExprNode> b; // Cmp rhs
+    size_t cachedHash = 0;
+
+    void
+    finalize()
+    {
+        size_t h = std::hash<int>()(static_cast<int>(kind));
+        auto mix = [&h](size_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        };
+        mix(std::hash<int64_t>()(value));
+        mix(std::hash<std::string>()(name));
+        mix(std::hash<int>()(static_cast<int>(pred)));
+        if (a)
+            mix(a->cachedHash);
+        if (b)
+            mix(b->cachedHash);
+        cachedHash = h;
+    }
+};
+
+namespace {
+
+using NodePtr = std::shared_ptr<const ExprNode>;
+
+NodePtr
+makeNode(ExprKind kind, int64_t value, std::string name, Pred pred,
+         NodePtr a, NodePtr b)
+{
+    auto n = std::make_shared<ExprNode>();
+    n->kind = kind;
+    n->value = value;
+    n->name = std::move(name);
+    n->pred = pred;
+    n->a = std::move(a);
+    n->b = std::move(b);
+    n->finalize();
+    return n;
+}
+
+bool
+nodeEquals(const ExprNode *x, const ExprNode *y)
+{
+    if (x == y)
+        return true;
+    if (!x || !y)
+        return false;
+    if (x->cachedHash != y->cachedHash || x->kind != y->kind ||
+        x->value != y->value || x->pred != y->pred || x->name != y->name) {
+        return false;
+    }
+    return nodeEquals(x->a.get(), y->a.get()) &&
+           nodeEquals(x->b.get(), y->b.get());
+}
+
+/** Structural total order; returns <0, 0, >0. */
+int
+nodeCompare(const ExprNode *x, const ExprNode *y)
+{
+    if (x == y)
+        return 0;
+    if (!x)
+        return -1;
+    if (!y)
+        return 1;
+    if (x->kind != y->kind)
+        return static_cast<int>(x->kind) < static_cast<int>(y->kind) ? -1 : 1;
+    if (x->value != y->value)
+        return x->value < y->value ? -1 : 1;
+    if (int c = x->name.compare(y->name))
+        return c;
+    if (x->pred != y->pred)
+        return static_cast<int>(x->pred) < static_cast<int>(y->pred) ? -1 : 1;
+    if (int c = nodeCompare(x->a.get(), y->a.get()))
+        return c;
+    return nodeCompare(x->b.get(), y->b.get());
+}
+
+void
+nodeStr(const ExprNode *n, std::ostream &os)
+{
+    if (!n) {
+        os << "<empty>";
+        return;
+    }
+    switch (n->kind) {
+      case ExprKind::IntConst:
+        os << n->value;
+        break;
+      case ExprKind::BoolConst:
+        os << (n->value ? "true" : "false");
+        break;
+      case ExprKind::Arg:
+        os << "[" << n->name << "]";
+        break;
+      case ExprKind::Ret:
+        os << "[0]";
+        break;
+      case ExprKind::Local:
+        os << n->name;
+        break;
+      case ExprKind::Temp:
+        os << "%" << n->name;
+        break;
+      case ExprKind::Field:
+        nodeStr(n->a.get(), os);
+        os << "." << n->name;
+        break;
+      case ExprKind::Cmp:
+        nodeStr(n->a.get(), os);
+        os << " " << predSpelling(n->pred) << " ";
+        nodeStr(n->b.get(), os);
+        break;
+    }
+}
+
+} // anonymous namespace
+
+Expr
+Expr::intConst(int64_t value)
+{
+    return Expr(makeNode(ExprKind::IntConst, value, "", Pred::Eq, nullptr,
+                         nullptr));
+}
+
+Expr
+Expr::boolConst(bool value)
+{
+    return Expr(makeNode(ExprKind::BoolConst, value ? 1 : 0, "", Pred::Eq,
+                         nullptr, nullptr));
+}
+
+Expr
+Expr::null()
+{
+    return intConst(0);
+}
+
+Expr
+Expr::arg(std::string name)
+{
+    return Expr(makeNode(ExprKind::Arg, 0, std::move(name), Pred::Eq,
+                         nullptr, nullptr));
+}
+
+Expr
+Expr::ret()
+{
+    return Expr(makeNode(ExprKind::Ret, 0, "0", Pred::Eq, nullptr, nullptr));
+}
+
+Expr
+Expr::local(std::string name)
+{
+    return Expr(makeNode(ExprKind::Local, 0, std::move(name), Pred::Eq,
+                         nullptr, nullptr));
+}
+
+Expr
+Expr::temp(std::string name)
+{
+    return Expr(makeNode(ExprKind::Temp, 0, std::move(name), Pred::Eq,
+                         nullptr, nullptr));
+}
+
+Expr
+Expr::field(Expr base, std::string field_name)
+{
+    assert(base && "field base must be non-empty");
+    return Expr(makeNode(ExprKind::Field, 0, std::move(field_name), Pred::Eq,
+                         base.node_, nullptr));
+}
+
+Expr
+Expr::cmp(Pred pred, Expr lhs, Expr rhs)
+{
+    assert(lhs && rhs && "cmp operands must be non-empty");
+    return Expr(makeNode(ExprKind::Cmp, 0, "", pred, lhs.node_, rhs.node_));
+}
+
+ExprKind
+Expr::kind() const
+{
+    assert(node_);
+    return node_->kind;
+}
+
+int64_t
+Expr::intValue() const
+{
+    assert(node_ && node_->kind == ExprKind::IntConst);
+    return node_->value;
+}
+
+bool
+Expr::boolValue() const
+{
+    assert(node_ && node_->kind == ExprKind::BoolConst);
+    return node_->value != 0;
+}
+
+const std::string &
+Expr::name() const
+{
+    assert(node_);
+    return node_->name;
+}
+
+Expr
+Expr::base() const
+{
+    assert(node_ && node_->kind == ExprKind::Field);
+    return Expr(node_->a);
+}
+
+Pred
+Expr::pred() const
+{
+    assert(node_ && node_->kind == ExprKind::Cmp);
+    return node_->pred;
+}
+
+Expr
+Expr::lhs() const
+{
+    assert(node_ && node_->kind == ExprKind::Cmp);
+    return Expr(node_->a);
+}
+
+Expr
+Expr::rhs() const
+{
+    assert(node_ && node_->kind == ExprKind::Cmp);
+    return Expr(node_->b);
+}
+
+bool
+Expr::isConst() const
+{
+    return node_ && (node_->kind == ExprKind::IntConst ||
+                     node_->kind == ExprKind::BoolConst);
+}
+
+bool
+Expr::isAtomic() const
+{
+    if (!node_)
+        return false;
+    switch (node_->kind) {
+      case ExprKind::Arg:
+      case ExprKind::Ret:
+      case ExprKind::Local:
+      case ExprKind::Temp:
+        return true;
+      case ExprKind::Field:
+        return base().isAtomic();
+      default:
+        return false;
+    }
+}
+
+bool
+Expr::isBoolean() const
+{
+    return node_ && (node_->kind == ExprKind::BoolConst ||
+                     node_->kind == ExprKind::Cmp);
+}
+
+bool
+Expr::containsIf(const std::function<bool(const Expr &)> &f) const
+{
+    if (!node_)
+        return false;
+    if (f(*this))
+        return true;
+    if (node_->a && Expr(node_->a).containsIf(f))
+        return true;
+    if (node_->b && Expr(node_->b).containsIf(f))
+        return true;
+    return false;
+}
+
+bool
+Expr::mentionsLocalState() const
+{
+    return containsIf([](const Expr &e) {
+        return e.kind() == ExprKind::Local || e.kind() == ExprKind::Temp;
+    });
+}
+
+Expr
+Expr::substitute(const Expr &from, const Expr &to) const
+{
+    if (!node_)
+        return *this;
+    if (equals(from))
+        return to;
+    switch (node_->kind) {
+      case ExprKind::Field: {
+        Expr new_base = base().substitute(from, to);
+        if (new_base.node_ == node_->a)
+            return *this;
+        return field(new_base, node_->name);
+      }
+      case ExprKind::Cmp: {
+        Expr nl = lhs().substitute(from, to);
+        Expr nr = rhs().substitute(from, to);
+        if (nl.node_ == node_->a && nr.node_ == node_->b)
+            return *this;
+        return cmp(node_->pred, nl, nr);
+      }
+      default:
+        return *this;
+    }
+}
+
+Expr
+Expr::negated() const
+{
+    assert(isBoolean());
+    if (node_->kind == ExprKind::BoolConst)
+        return boolConst(node_->value == 0);
+    return cmp(negatePred(node_->pred), Expr(node_->a), Expr(node_->b));
+}
+
+bool
+Expr::equals(const Expr &other) const
+{
+    return nodeEquals(node_.get(), other.node_.get());
+}
+
+bool
+Expr::less(const Expr &other) const
+{
+    return nodeCompare(node_.get(), other.node_.get()) < 0;
+}
+
+size_t
+Expr::hash() const
+{
+    return node_ ? node_->cachedHash : 0;
+}
+
+std::string
+Expr::str() const
+{
+    std::ostringstream os;
+    nodeStr(node_.get(), os);
+    return os.str();
+}
+
+} // namespace rid::smt

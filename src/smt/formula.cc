@@ -1,0 +1,410 @@
+#include "smt/formula.h"
+
+#include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+namespace rid::smt {
+
+/** Immutable node backing a Formula. */
+class FormulaNode
+{
+  public:
+    FormulaKind kind;
+    Expr literal;                     // Lit
+    std::vector<Formula> children;    // And / Or / Not
+    size_t cachedHash = 0;
+
+    void
+    finalize()
+    {
+        size_t h = std::hash<int>()(static_cast<int>(kind));
+        auto mix = [&h](size_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        };
+        mix(literal.hash());
+        for (const auto &c : children)
+            mix(c.hash());
+        cachedHash = h;
+    }
+};
+
+namespace {
+
+using NodePtr = std::shared_ptr<const FormulaNode>;
+
+NodePtr
+makeNode(FormulaKind kind, Expr literal, std::vector<Formula> children)
+{
+    auto n = std::make_shared<FormulaNode>();
+    n->kind = kind;
+    n->literal = std::move(literal);
+    n->children = std::move(children);
+    n->finalize();
+    return n;
+}
+
+} // anonymous namespace
+
+// True is represented by a null node so that the ubiquitous top()
+// formula costs no allocation and, more importantly, no contended
+// atomic reference-count traffic when many analysis threads copy it.
+Formula::Formula() = default;
+
+Formula
+Formula::top()
+{
+    return Formula();
+}
+
+Formula
+Formula::bottom()
+{
+    return Formula(makeNode(FormulaKind::False, Expr(), {}));
+}
+
+Formula
+Formula::lit(Expr cond)
+{
+    assert(cond.isBoolean() && "formula literals must be boolean");
+    if (cond.kind() == ExprKind::BoolConst)
+        return cond.boolValue() ? top() : bottom();
+    // Fold comparisons between constants.
+    if (cond.kind() == ExprKind::Cmp && cond.lhs().isConst() &&
+        cond.rhs().isConst()) {
+        return evalPred(cond.pred(), cond.lhs().intValue(),
+                        cond.rhs().intValue())
+                   ? top()
+                   : bottom();
+    }
+    // Fold reflexive comparisons (x == x, x <= x, ...).
+    if (cond.kind() == ExprKind::Cmp && cond.lhs().equals(cond.rhs())) {
+        switch (cond.pred()) {
+          case Pred::Eq:
+          case Pred::Le:
+          case Pred::Ge:
+            return top();
+          case Pred::Ne:
+          case Pred::Lt:
+          case Pred::Gt:
+            return bottom();
+        }
+    }
+    return Formula(makeNode(FormulaKind::Lit, std::move(cond), {}));
+}
+
+namespace {
+
+/** Drop structurally duplicate children (keeps first occurrences). */
+void
+dedupChildren(std::vector<Formula> &kids)
+{
+    std::vector<Formula> unique;
+    for (auto &k : kids) {
+        bool seen = false;
+        for (const auto &u : unique) {
+            if (u.equals(k)) {
+                seen = true;
+                break;
+            }
+        }
+        if (!seen)
+            unique.push_back(std::move(k));
+    }
+    kids = std::move(unique);
+}
+
+} // anonymous namespace
+
+Formula
+Formula::conj(std::vector<Formula> parts)
+{
+    std::vector<Formula> kept;
+    for (auto &p : parts) {
+        if (p.isFalse())
+            return bottom();
+        if (p.isTrue())
+            continue;
+        if (p.kind() == FormulaKind::And) {
+            for (const auto &c : p.children())
+                kept.push_back(c);
+        } else {
+            kept.push_back(std::move(p));
+        }
+    }
+    dedupChildren(kept);
+    if (kept.empty())
+        return top();
+    if (kept.size() == 1)
+        return kept.front();
+    return Formula(makeNode(FormulaKind::And, Expr(), std::move(kept)));
+}
+
+Formula
+Formula::disj(std::vector<Formula> parts)
+{
+    std::vector<Formula> kept;
+    for (auto &p : parts) {
+        if (p.isTrue())
+            return top();
+        if (p.isFalse())
+            continue;
+        if (p.kind() == FormulaKind::Or) {
+            for (const auto &c : p.children())
+                kept.push_back(c);
+        } else {
+            kept.push_back(std::move(p));
+        }
+    }
+    dedupChildren(kept);
+    if (kept.empty())
+        return bottom();
+    if (kept.size() == 1)
+        return kept.front();
+    return Formula(makeNode(FormulaKind::Or, Expr(), std::move(kept)));
+}
+
+Formula
+Formula::negation(Formula f)
+{
+    switch (f.kind()) {
+      case FormulaKind::True:
+        return bottom();
+      case FormulaKind::False:
+        return top();
+      case FormulaKind::Lit:
+        return lit(f.literal().negated());
+      case FormulaKind::Not:
+        return f.children().front();
+      default:
+        return Formula(makeNode(FormulaKind::Not, Expr(), {std::move(f)}));
+    }
+}
+
+Formula
+Formula::land(const Formula &other) const
+{
+    return conj({*this, other});
+}
+
+Formula
+Formula::lor(const Formula &other) const
+{
+    return disj({*this, other});
+}
+
+FormulaKind
+Formula::kind() const
+{
+    return node_ ? node_->kind : FormulaKind::True;
+}
+
+const Expr &
+Formula::literal() const
+{
+    assert(node_ && node_->kind == FormulaKind::Lit);
+    return node_->literal;
+}
+
+const std::vector<Formula> &
+Formula::children() const
+{
+    static const std::vector<Formula> empty;
+    return node_ ? node_->children : empty;
+}
+
+std::vector<Expr>
+Formula::literals() const
+{
+    std::vector<Expr> out;
+    std::unordered_set<size_t> seen;
+    auto consider = [&](const Expr &e) {
+        for (const auto &prev : out)
+            if (prev.equals(e))
+                return;
+        out.push_back(e);
+    };
+    std::function<void(const Formula &)> walk = [&](const Formula &f) {
+        if (f.kind() == FormulaKind::Lit) {
+            consider(f.literal());
+            return;
+        }
+        for (const auto &c : f.children())
+            walk(c);
+    };
+    walk(*this);
+    return out;
+}
+
+bool
+Formula::mentionsLocalState() const
+{
+    if (kind() == FormulaKind::Lit)
+        return literal().mentionsLocalState();
+    for (const auto &c : children())
+        if (c.mentionsLocalState())
+            return true;
+    return false;
+}
+
+Formula
+Formula::substitute(const Expr &from, const Expr &to) const
+{
+    switch (kind()) {
+      case FormulaKind::True:
+      case FormulaKind::False:
+        return *this;
+      case FormulaKind::Lit:
+        return lit(literal().substitute(from, to));
+      case FormulaKind::And: {
+        std::vector<Formula> kids;
+        kids.reserve(children().size());
+        for (const auto &c : children())
+            kids.push_back(c.substitute(from, to));
+        return conj(std::move(kids));
+      }
+      case FormulaKind::Or: {
+        std::vector<Formula> kids;
+        kids.reserve(children().size());
+        for (const auto &c : children())
+            kids.push_back(c.substitute(from, to));
+        return disj(std::move(kids));
+      }
+      case FormulaKind::Not:
+        return negation(children().front().substitute(from, to));
+    }
+    return *this;
+}
+
+Formula
+Formula::dropLiteralsIf(const std::function<bool(const Expr &)> &pred) const
+{
+    Formula n = nnf();
+    std::function<Formula(const Formula &)> walk =
+        [&](const Formula &f) -> Formula {
+        switch (f.kind()) {
+          case FormulaKind::Lit:
+            return pred(f.literal()) ? top() : f;
+          case FormulaKind::And: {
+            std::vector<Formula> kids;
+            for (const auto &c : f.children())
+                kids.push_back(walk(c));
+            return conj(std::move(kids));
+          }
+          case FormulaKind::Or: {
+            std::vector<Formula> kids;
+            for (const auto &c : f.children())
+                kids.push_back(walk(c));
+            return disj(std::move(kids));
+          }
+          default:
+            return f;
+        }
+    };
+    return walk(n);
+}
+
+Formula
+Formula::nnf() const
+{
+    return nnfImpl(false);
+}
+
+Formula
+Formula::nnfImpl(bool negate) const
+{
+    switch (kind()) {
+      case FormulaKind::True:
+        return negate ? bottom() : top();
+      case FormulaKind::False:
+        return negate ? top() : bottom();
+      case FormulaKind::Lit:
+        return negate ? lit(literal().negated()) : *this;
+      case FormulaKind::Not:
+        return children().front().nnfImpl(!negate);
+      case FormulaKind::And:
+      case FormulaKind::Or: {
+        bool is_and = (kind() == FormulaKind::And) != negate;
+        std::vector<Formula> kids;
+        kids.reserve(children().size());
+        for (const auto &c : children())
+            kids.push_back(c.nnfImpl(negate));
+        return is_and ? conj(std::move(kids)) : disj(std::move(kids));
+      }
+    }
+    return *this;
+}
+
+bool
+Formula::equals(const Formula &other) const
+{
+    if (node_ == other.node_)
+        return true;
+    if (!node_ || !other.node_)
+        return kind() == other.kind();
+    if (kind() != other.kind() || hash() != other.hash())
+        return false;
+    if (kind() == FormulaKind::Lit)
+        return literal().equals(other.literal());
+    const auto &a = children();
+    const auto &b = other.children();
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); i++)
+        if (!a[i].equals(b[i]))
+            return false;
+    return true;
+}
+
+size_t
+Formula::hash() const
+{
+    return node_ ? node_->cachedHash : 0;
+}
+
+std::string
+Formula::str() const
+{
+    std::ostringstream os;
+    std::function<void(const Formula &, int)> render =
+        [&](const Formula &f, int parent_prec) {
+        switch (f.kind()) {
+          case FormulaKind::True:
+            os << "true";
+            break;
+          case FormulaKind::False:
+            os << "false";
+            break;
+          case FormulaKind::Lit:
+            os << f.literal().str();
+            break;
+          case FormulaKind::Not:
+            os << "!(";
+            render(f.children().front(), 0);
+            os << ")";
+            break;
+          case FormulaKind::And:
+          case FormulaKind::Or: {
+            int prec = f.kind() == FormulaKind::And ? 2 : 1;
+            bool need_parens = prec < parent_prec;
+            if (need_parens)
+                os << "(";
+            const char *sep = f.kind() == FormulaKind::And ? " && " : " || ";
+            bool first = true;
+            for (const auto &c : f.children()) {
+                if (!first)
+                    os << sep;
+                first = false;
+                render(c, prec);
+            }
+            if (need_parens)
+                os << ")";
+            break;
+          }
+        }
+    };
+    render(*this, 0);
+    return os.str();
+}
+
+} // namespace rid::smt

@@ -1,0 +1,186 @@
+#include "smt/linear.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace rid::smt {
+
+VarId
+VarSpace::idFor(const Expr &atom)
+{
+    auto it = ids_.find(atom);
+    if (it != ids_.end())
+        return it->second;
+    VarId id = static_cast<VarId>(atoms_.size());
+    ids_.emplace(atom, id);
+    atoms_.push_back(atom);
+    return id;
+}
+
+std::optional<VarId>
+VarSpace::tryIdFor(const Expr &atom) const
+{
+    auto it = ids_.find(atom);
+    if (it == ids_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+LinExpr
+LinExpr::variable(VarId v)
+{
+    LinExpr e;
+    e.addTerm(v, 1);
+    return e;
+}
+
+void
+LinExpr::addTerm(VarId v, int64_t coeff)
+{
+    if (coeff == 0)
+        return;
+    auto [it, inserted] = terms_.emplace(v, coeff);
+    if (!inserted) {
+        it->second += coeff;
+        if (it->second == 0)
+            terms_.erase(it);
+    }
+}
+
+LinExpr
+LinExpr::minus(const LinExpr &other) const
+{
+    LinExpr out = *this;
+    out.constant_ -= other.constant_;
+    for (const auto &[v, c] : other.terms_)
+        out.addTerm(v, -c);
+    return out;
+}
+
+int64_t
+LinExpr::eval(const std::map<VarId, int64_t> &assignment) const
+{
+    int64_t acc = constant_;
+    for (const auto &[v, c] : terms_) {
+        auto it = assignment.find(v);
+        assert(it != assignment.end() && "assignment must be total");
+        acc += c * it->second;
+    }
+    return acc;
+}
+
+std::string
+LinExpr::str(const VarSpace &space) const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &[v, c] : terms_) {
+        if (c >= 0 && !first)
+            os << "+";
+        if (c == -1)
+            os << "-";
+        else if (c != 1)
+            os << c << "*";
+        os << space.atomFor(v).str();
+        first = false;
+    }
+    if (constant_ != 0 || first) {
+        if (constant_ >= 0 && !first)
+            os << "+";
+        os << constant_;
+    }
+    return os.str();
+}
+
+bool
+LinLit::eval(const std::map<VarId, int64_t> &assignment) const
+{
+    int64_t v = expr.eval(assignment);
+    switch (rel) {
+      case LinRel::Le: return v <= 0;
+      case LinRel::Eq: return v == 0;
+      case LinRel::Ne: return v != 0;
+    }
+    return false;
+}
+
+std::string
+LinLit::str(const VarSpace &space) const
+{
+    const char *r = rel == LinRel::Le ? "<=" : rel == LinRel::Eq ? "==" : "!=";
+    return expr.str(space) + " " + r + " 0";
+}
+
+namespace {
+
+/**
+ * Convert an integer-valued operand of a comparison to a LinExpr.
+ * Boolean-valued operands (Cmp) are not linearizable here.
+ */
+std::optional<LinExpr>
+linearize(const Expr &e, VarSpace &space)
+{
+    switch (e.kind()) {
+      case ExprKind::IntConst:
+        return LinExpr(e.intValue());
+      case ExprKind::BoolConst:
+        // Booleans compared as integers: true=1, false=0.
+        return LinExpr(e.boolValue() ? 1 : 0);
+      case ExprKind::Arg:
+      case ExprKind::Ret:
+      case ExprKind::Local:
+      case ExprKind::Temp:
+      case ExprKind::Field:
+        return LinExpr::variable(space.idFor(e));
+      case ExprKind::Cmp:
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+} // anonymous namespace
+
+std::optional<LinLit>
+normalizeCmp(const Expr &cmp, VarSpace &space)
+{
+    if (cmp.kind() != ExprKind::Cmp)
+        return std::nullopt;
+    auto lhs = linearize(cmp.lhs(), space);
+    auto rhs = linearize(cmp.rhs(), space);
+    if (!lhs || !rhs)
+        return std::nullopt;
+
+    LinExpr diff = lhs->minus(*rhs);  // lhs - rhs
+    LinLit out;
+    switch (cmp.pred()) {
+      case Pred::Eq:
+        out.rel = LinRel::Eq;
+        out.expr = diff;
+        break;
+      case Pred::Ne:
+        out.rel = LinRel::Ne;
+        out.expr = diff;
+        break;
+      case Pred::Le:  // lhs - rhs <= 0
+        out.rel = LinRel::Le;
+        out.expr = diff;
+        break;
+      case Pred::Lt:  // lhs - rhs + 1 <= 0
+        out.rel = LinRel::Le;
+        out.expr = diff;
+        out.expr.addConstant(1);
+        break;
+      case Pred::Ge:  // rhs - lhs <= 0
+        out.rel = LinRel::Le;
+        out.expr = rhs->minus(*lhs);
+        break;
+      case Pred::Gt:  // rhs - lhs + 1 <= 0
+        out.rel = LinRel::Le;
+        out.expr = rhs->minus(*lhs);
+        out.expr.addConstant(1);
+        break;
+    }
+    return out;
+}
+
+} // namespace rid::smt

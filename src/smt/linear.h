@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Linear integer arithmetic layer.
+ *
+ * Comparison literals over symbolic expressions are normalized into linear
+ * constraints `sum(coeff_i * var_i) <= / = / != constant` over an integer
+ * variable space, one variable per distinct atomic expression (argument,
+ * return value, local, temp, or field chain). This is the form consumed by
+ * the theory core of the solver.
+ */
+
+#ifndef RID_SMT_LINEAR_H
+#define RID_SMT_LINEAR_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smt/expr.h"
+
+namespace rid::smt {
+
+/** Integer variable index within a VarSpace. */
+using VarId = int;
+
+/**
+ * Maps atomic expressions to dense integer variable ids.
+ */
+class VarSpace
+{
+  public:
+    /** Intern @p atom, returning its id (allocating one if new). */
+    VarId idFor(const Expr &atom);
+
+    /** @return the id of @p atom if already interned. */
+    std::optional<VarId> tryIdFor(const Expr &atom) const;
+
+    /** @return the atom with id @p id. */
+    const Expr &atomFor(VarId id) const { return atoms_.at(id); }
+
+    size_t size() const { return atoms_.size(); }
+
+  private:
+    std::map<Expr, VarId, ExprLess> ids_;
+    std::vector<Expr> atoms_;
+};
+
+/**
+ * A linear combination of variables plus a constant:
+ * `sum(terms[v] * v) + constant`.
+ */
+class LinExpr
+{
+  public:
+    LinExpr() = default;
+    explicit LinExpr(int64_t constant) : constant_(constant) {}
+
+    static LinExpr variable(VarId v);
+
+    void addTerm(VarId v, int64_t coeff);
+    void addConstant(int64_t c) { constant_ += c; }
+
+    /** this - other */
+    LinExpr minus(const LinExpr &other) const;
+
+    bool isConstant() const { return terms_.empty(); }
+    int64_t constant() const { return constant_; }
+    const std::map<VarId, int64_t> &terms() const { return terms_; }
+
+    /** Evaluate under a full assignment var -> value. */
+    int64_t eval(const std::map<VarId, int64_t> &assignment) const;
+
+    std::string str(const VarSpace &space) const;
+
+  private:
+    std::map<VarId, int64_t> terms_;  // only non-zero coefficients
+    int64_t constant_ = 0;
+};
+
+/** Relations of a normalized linear literal. */
+enum class LinRel : uint8_t {
+    Le,  ///< expr <= 0
+    Eq,  ///< expr == 0
+    Ne,  ///< expr != 0
+};
+
+/**
+ * A normalized linear literal: `expr rel 0`.
+ */
+struct LinLit
+{
+    LinExpr expr;
+    LinRel rel = LinRel::Le;
+
+    bool eval(const std::map<VarId, int64_t> &assignment) const;
+    std::string str(const VarSpace &space) const;
+};
+
+/**
+ * Normalize a comparison expression (Cmp over atoms/constants) into a
+ * linear literal, interning atoms in @p space.
+ *
+ * Strict inequalities become non-strict using integrality (a < b becomes
+ * a - b + 1 <= 0). Ge/Gt are flipped. Eq/Ne map directly.
+ *
+ * @return nullopt if the expression is not a boolean comparison over
+ *         integer-valued operands (e.g. compares two Cmp values).
+ */
+std::optional<LinLit> normalizeCmp(const Expr &cmp, VarSpace &space);
+
+} // namespace rid::smt
+
+#endif // RID_SMT_LINEAR_H

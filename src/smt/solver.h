@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Satisfiability solver for RID's constraint language.
+ *
+ * This replaces Z3 in the paper's prototype. It decides satisfiability of
+ * boolean combinations of linear integer arithmetic literals in two layers:
+ *
+ *  1. A branch enumerator walks the formula in negation normal form,
+ *     accumulating conjunctions of normalized literals (disjunctions and
+ *     disequalities branch).
+ *  2. A theory core decides each conjunction by equality substitution and
+ *     Fourier-Motzkin elimination with gcd tightening. Eliminations where
+ *     one of the combined coefficients is +/-1 are exact over the integers
+ *     (all constraints RID generates are of this form); inexact
+ *     eliminations fall back to a bounded model search and may report
+ *     Unknown.
+ *
+ * Unknown results are mapped to "satisfiable" by isSat(), which is the
+ * conservative direction for RID: treating an undecided pair of path
+ * constraints as overlapping can create a false report but never masks a
+ * real inconsistency.
+ */
+
+#ifndef RID_SMT_SOLVER_H
+#define RID_SMT_SOLVER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "smt/formula.h"
+#include "smt/linear.h"
+
+namespace rid::smt {
+
+enum class SatResult : uint8_t { Sat, Unsat, Unknown };
+
+const char *satResultName(SatResult r);
+
+/**
+ * Stateless satisfiability checker (thread-compatible: distinct Solver
+ * instances may run concurrently; a single instance accumulates stats and
+ * must not be shared without synchronization).
+ */
+class Solver
+{
+  public:
+    struct Options
+    {
+        /** Max disjunction/disequality branches explored per query. */
+        int max_branches = 4096;
+        /** Max constraints materialized during one FM elimination. */
+        int max_fm_constraints = 20000;
+        /** Node cap for the bounded model search fallback. */
+        int max_search_nodes = 100000;
+        /** Half-width of the search box for unbounded variables. */
+        int64_t search_bound = 64;
+    };
+
+    struct Stats
+    {
+        uint64_t queries = 0;
+        uint64_t theory_checks = 0;
+        uint64_t branches = 0;
+        uint64_t unknowns = 0;
+    };
+
+    Solver() = default;
+    explicit Solver(Options opts) : opts_(opts) {}
+
+    /** Decide satisfiability of @p f. */
+    SatResult check(const Formula &f);
+
+    /** check() with Unknown treated as satisfiable. */
+    bool isSat(const Formula &f);
+
+    /**
+     * Decide satisfiability of a conjunction of normalized literals.
+     * Exposed for direct testing of the theory core.
+     */
+    SatResult checkConj(const std::vector<LinLit> &lits);
+
+    const Stats &stats() const { return stats_; }
+    void resetStats() { stats_ = Stats(); }
+
+  private:
+    SatResult enumerate(const Formula &f, std::vector<LinLit> &acc,
+                        VarSpace &space, int &branch_budget);
+    SatResult theoryCheck(std::vector<LinLit> lits);
+    SatResult searchFallback(const std::vector<LinLit> &lits);
+
+    Options opts_;
+    Stats stats_;
+};
+
+} // namespace rid::smt
+
+#endif // RID_SMT_SOLVER_H

@@ -1,0 +1,90 @@
+#include "summary/db.h"
+
+#include <sstream>
+
+#include "summary/spec.h"
+
+namespace rid::summary {
+
+void
+SummaryDb::addPredefined(FunctionSummary s)
+{
+    std::unique_lock lock(mutex_);
+    s.is_predefined = true;
+    predefined_[s.function] = std::move(s);
+}
+
+void
+SummaryDb::addComputed(FunctionSummary s)
+{
+    std::unique_lock lock(mutex_);
+    if (predefined_.count(s.function))
+        return;
+    computed_[s.function] = std::move(s);
+}
+
+const FunctionSummary *
+SummaryDb::find(const std::string &fn) const
+{
+    std::shared_lock lock(mutex_);
+    auto it = predefined_.find(fn);
+    if (it != predefined_.end())
+        return &it->second;
+    auto it2 = computed_.find(fn);
+    if (it2 != computed_.end())
+        return &it2->second;
+    return nullptr;
+}
+
+bool
+SummaryDb::hasPredefined(const std::string &fn) const
+{
+    std::shared_lock lock(mutex_);
+    return predefined_.count(fn) != 0;
+}
+
+std::vector<std::string>
+SummaryDb::predefinedNames() const
+{
+    std::shared_lock lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(predefined_.size());
+    for (const auto &[name, s] : predefined_)
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+SummaryDb::namesWithChanges() const
+{
+    std::shared_lock lock(mutex_);
+    std::vector<std::string> names;
+    for (const auto &[name, s] : predefined_) {
+        if (s.hasChanges())
+            names.push_back(name);
+    }
+    for (const auto &[name, s] : computed_) {
+        if (s.hasChanges() && !predefined_.count(name))
+            names.push_back(name);
+    }
+    return names;
+}
+
+size_t
+SummaryDb::size() const
+{
+    std::shared_lock lock(mutex_);
+    return predefined_.size() + computed_.size();
+}
+
+std::string
+SummaryDb::saveComputed() const
+{
+    std::shared_lock lock(mutex_);
+    std::ostringstream os;
+    for (const auto &[name, s] : computed_)
+        os << serializeSummary(s);
+    return os.str();
+}
+
+} // namespace rid::summary

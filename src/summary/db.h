@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Thread-safe database of function summaries.
+ *
+ * Predefined (API specification) summaries take precedence over computed
+ * ones and are never overwritten; computed summaries are inserted as the
+ * bottom-up traversal completes each function (Section 4.2). Summaries can
+ * be saved to and loaded from disk for the separate-compilation workflow
+ * of Section 5.3.
+ */
+
+#ifndef RID_SUMMARY_DB_H
+#define RID_SUMMARY_DB_H
+
+#include <mutex>
+#include <shared_mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "summary/summary.h"
+
+namespace rid::summary {
+
+class SummaryDb
+{
+  public:
+    SummaryDb() = default;
+
+    /** Register an API specification summary (wins over computed ones). */
+    void addPredefined(FunctionSummary s);
+
+    /** Store a computed summary; no-op if a predefined one exists. */
+    void addComputed(FunctionSummary s);
+
+    /** Look up a summary; predefined beats computed. */
+    const FunctionSummary *find(const std::string &fn) const;
+
+    bool hasPredefined(const std::string &fn) const;
+
+    /** Names of all functions with predefined summaries. */
+    std::vector<std::string> predefinedNames() const;
+
+    /** Names of all known summaries (predefined or computed/imported)
+     *  whose entries change a refcount — the classifier's seed set. */
+    std::vector<std::string> namesWithChanges() const;
+
+    size_t size() const;
+
+    /**
+     * Serialize all computed summaries in the spec format understood by
+     * loadSpecFile() (predefined ones are configuration, not results, and
+     * are not saved).
+     */
+    std::string saveComputed() const;
+
+  private:
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<std::string, FunctionSummary> predefined_;
+    std::unordered_map<std::string, FunctionSummary> computed_;
+};
+
+} // namespace rid::summary
+
+#endif // RID_SUMMARY_DB_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Textual format for API specifications and saved summaries.
+ *
+ * Predefined summaries (Section 5.1) are written in a small declarative
+ * language; the same format is used to persist computed summaries to disk
+ * for separate-file analysis (Section 5.3). Example:
+ *
+ *     # Linux DPM: always increments, regardless of the return value.
+ *     summary pm_runtime_get_sync(dev) -> int {
+ *       entry { cons: true; change: [dev].pm += 1; return: [0]; }
+ *     }
+ *
+ *     summary PyList_New(len) -> ptr {
+ *       entry { cons: [0] != null; change: [0].rc += 1; return: [0]; }
+ *       entry { cons: [0] == null; return: null; }
+ *     }
+ *
+ * Constraints use the paper's notation: `[name]` is a formal argument,
+ * `[0]` the return value, `.field` a field access, `%name` an
+ * analysis-generated atom, a bare identifier a local, and `null` the null
+ * pointer. `-> void` marks functions without a return value; `-> int` and
+ * `-> ptr` are synonyms for value-returning functions.
+ */
+
+#ifndef RID_SUMMARY_SPEC_H
+#define RID_SUMMARY_SPEC_H
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "summary/db.h"
+#include "summary/summary.h"
+
+namespace rid::summary {
+
+/** Error raised for malformed spec text; carries a line number. */
+class SpecError : public std::runtime_error
+{
+  public:
+    SpecError(std::string msg, int line)
+        : std::runtime_error("spec:" + std::to_string(line) + ": " + msg),
+          line_(line)
+    {}
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+/** A parsed spec: the summary plus the declared signature. */
+struct ParsedSummary
+{
+    FunctionSummary summary;
+    std::vector<std::string> params;
+    bool returns_value = false;
+};
+
+/**
+ * Parse spec text into summaries.
+ * @throws SpecError on malformed input.
+ */
+std::vector<ParsedSummary> parseSpecs(const std::string &text);
+
+/** Parse spec text and register every summary as predefined in @p db. */
+void loadSpecsInto(const std::string &text, SummaryDb &db);
+
+/** Serialize one summary in the spec format (round-trips via parseSpecs).
+ *  Formal parameter names are recovered from argument atoms. */
+std::string serializeSummary(const FunctionSummary &s);
+
+} // namespace rid::summary
+
+#endif // RID_SUMMARY_SPEC_H

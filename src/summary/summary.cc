@@ -1,0 +1,177 @@
+#include "summary/summary.h"
+
+#include <cassert>
+#include <set>
+#include <sstream>
+
+namespace rid::summary {
+
+void
+SummaryEntry::normalizeChanges()
+{
+    for (auto it = changes.begin(); it != changes.end();) {
+        if (it->second == 0)
+            it = changes.erase(it);
+        else
+            ++it;
+    }
+}
+
+bool
+SummaryEntry::sameChanges(const SummaryEntry &a, const SummaryEntry &b)
+{
+    return changedDifferently(a, b).empty();
+}
+
+bool
+SummaryEntry::sameStores(const SummaryEntry &a, const SummaryEntry &b)
+{
+    if (a.stores.size() != b.stores.size())
+        return false;
+    auto it = b.stores.begin();
+    for (const auto &s : a.stores) {
+        if (!s.equals(*it))
+            return false;
+        ++it;
+    }
+    return true;
+}
+
+std::vector<std::pair<smt::Expr, std::pair<int, int>>>
+SummaryEntry::changedDifferently(const SummaryEntry &a,
+                                 const SummaryEntry &b)
+{
+    std::vector<std::pair<smt::Expr, std::pair<int, int>>> diffs;
+    auto deltaIn = [](const ChangeMap &m, const smt::Expr &rc) {
+        auto it = m.find(rc);
+        return it == m.end() ? 0 : it->second;
+    };
+    for (const auto &[rc, da] : a.changes) {
+        int db = deltaIn(b.changes, rc);
+        if (da != db)
+            diffs.push_back({rc, {da, db}});
+    }
+    for (const auto &[rc, db] : b.changes) {
+        if (a.changes.find(rc) == a.changes.end() && db != 0)
+            diffs.push_back({rc, {0, db}});
+    }
+    return diffs;
+}
+
+SummaryEntry
+SummaryEntry::merge(const SummaryEntry &a, const SummaryEntry &b)
+{
+    assert(sameChanges(a, b));
+    SummaryEntry out;
+    out.cons = a.cons.lor(b.cons);
+    out.changes = a.changes;
+    out.stores = a.stores;
+    if (a.ret && b.ret && a.ret.equals(b.ret))
+        out.ret = a.ret;
+    else if (a.ret || b.ret)
+        out.ret = smt::Expr::ret();
+    out.origin = a.origin;
+    out.origin.path_index = -1;
+    for (int line : b.origin.change_lines)
+        out.origin.change_lines.push_back(line);
+    return out;
+}
+
+std::string
+SummaryEntry::str() const
+{
+    std::ostringstream os;
+    os << "cons: " << cons.str() << "; changes:";
+    if (changes.empty())
+        os << " (none)";
+    for (const auto &[rc, delta] : changes) {
+        os << " " << rc.str() << ":" << (delta >= 0 ? "+" : "")
+           << delta;
+    }
+    if (!stores.empty()) {
+        os << "; stores:";
+        for (const auto &s : stores)
+            os << " " << s.str();
+    }
+    os << "; return: " << (ret ? ret.str() : "(void)");
+    return os.str();
+}
+
+bool
+FunctionSummary::hasChanges() const
+{
+    for (const auto &e : entries)
+        if (!e.changes.empty())
+            return true;
+    return false;
+}
+
+FunctionSummary
+FunctionSummary::defaultFor(const std::string &fn, bool returns_value)
+{
+    FunctionSummary s;
+    s.function = fn;
+    s.is_default = true;
+    s.returns_value = returns_value;
+    SummaryEntry e;
+    e.cons = smt::Formula::top();
+    if (returns_value)
+        e.ret = smt::Expr::ret();
+    s.entries.push_back(std::move(e));
+    return s;
+}
+
+std::string
+FunctionSummary::str() const
+{
+    std::ostringstream os;
+    os << "summary " << function;
+    if (is_default)
+        os << " (default)";
+    if (is_predefined)
+        os << " (predefined)";
+    if (is_truncated)
+        os << " (truncated)";
+    os << "\n";
+    for (size_t i = 0; i < entries.size(); i++)
+        os << "  entry " << (i + 1) << ": " << entries[i].str() << "\n";
+    return os.str();
+}
+
+SummaryEntry
+instantiate(const SummaryEntry &entry,
+            const std::vector<std::string> &formals,
+            const std::vector<smt::Expr> &actuals, const smt::Expr &result)
+{
+    SummaryEntry out = entry;
+
+    auto substituteAll = [&out](const smt::Expr &from, const smt::Expr &to) {
+        out.cons = out.cons.substitute(from, to);
+        if (out.ret)
+            out.ret = out.ret.substitute(from, to);
+        ChangeMap new_changes;
+        for (const auto &[rc, delta] : out.changes) {
+            smt::Expr key = rc.substitute(from, to);
+            new_changes[key] += delta;
+        }
+        out.changes = std::move(new_changes);
+        StoreSet new_stores;
+        for (const auto &s : out.stores)
+            new_stores.insert(s.substitute(from, to));
+        out.stores = std::move(new_stores);
+    };
+
+    for (size_t i = 0; i < formals.size(); i++) {
+        smt::Expr formal = smt::Expr::arg(formals[i]);
+        smt::Expr actual = i < actuals.size()
+                               ? actuals[i]
+                               : smt::Expr::temp("missing$" + formals[i]);
+        substituteAll(formal, actual);
+    }
+    if (result)
+        substituteAll(smt::Expr::ret(), result);
+    out.normalizeChanges();
+    return out;
+}
+
+} // namespace rid::summary

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Function summaries (Section 4.3 of the paper).
+ *
+ * A summary entry is the triple (cons, changes, return): under constraint
+ * `cons` (a formula over argument atoms and the return-value atom), the
+ * function changes each refcount in `changes` by the recorded delta and
+ * returns `return`. A function summary is a set of entries whose
+ * constraints are pairwise unsatisfiable together (consistent entries with
+ * overlapping constraints and equal changes are merged with disjunction).
+ */
+
+#ifndef RID_SUMMARY_SUMMARY_H
+#define RID_SUMMARY_SUMMARY_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "smt/formula.h"
+
+namespace rid::summary {
+
+/** Map from a refcount (a symbolic expression like "[dev].pm") to its net
+ *  change along a path. Zero deltas are never stored. */
+using ChangeMap = std::map<smt::Expr, int, smt::ExprLess>;
+
+/** Provenance attached to an entry for report rendering. */
+struct EntryOrigin
+{
+    /** Source lines of the refcount-changing call sites on the path. */
+    std::vector<int> change_lines;
+    /** Source line of the return statement ending the path. */
+    int return_line = 0;
+    /** Index of the enumerated path this entry came from (-1: merged). */
+    int path_index = -1;
+};
+
+/** Set of caller-visible field-store effects (extension, Section 5.4). */
+using StoreSet = std::set<smt::Expr, smt::ExprLess>;
+
+/** One summary entry: (cons, changes, return). */
+struct SummaryEntry
+{
+    smt::Formula cons;
+    ChangeMap changes;
+    /** Return expression; empty for void functions, the atom [0] when the
+     *  value is unconstrained by this entry. */
+    smt::Expr ret;
+    /** Caller-visible structures written on this path. Only populated
+     *  under the model_field_stores extension; paths with different
+     *  store sets are runtime-distinguishable and never form an IPP. */
+    StoreSet stores;
+    EntryOrigin origin;
+
+    /** Drop zero deltas (changes[rc] is 0 by default — Section 4.4). */
+    void normalizeChanges();
+
+    /** True if both entries change every refcount identically. */
+    static bool sameChanges(const SummaryEntry &a, const SummaryEntry &b);
+
+    /** True if both entries write the same caller-visible structures. */
+    static bool sameStores(const SummaryEntry &a, const SummaryEntry &b);
+
+    /** Refcounts on which the two entries differ, with both deltas. */
+    static std::vector<std::pair<smt::Expr, std::pair<int, int>>>
+    changedDifferently(const SummaryEntry &a, const SummaryEntry &b);
+
+    /**
+     * Merge a consistent overlapping pair (Section 4.3): constraint is the
+     * disjunction, return is kept when equal and becomes [0] otherwise.
+     */
+    static SummaryEntry merge(const SummaryEntry &a, const SummaryEntry &b);
+
+    std::string str() const;
+};
+
+/** A function summary: a set of entries plus bookkeeping flags. */
+struct FunctionSummary
+{
+    std::string function;
+    /** Formal parameter names, needed to instantiate entries at calls. */
+    std::vector<std::string> params;
+    /** True when the function returns a value (entries then bind [0]). */
+    bool returns_value = false;
+    std::vector<SummaryEntry> entries;
+    /** True when the summary is the catch-all default (no changes, no
+     *  constraints) used for unanalyzed functions. */
+    bool is_default = false;
+    /** True when the summary was given as an API specification rather
+     *  than computed from a body. */
+    bool is_predefined = false;
+    /** True when path or subcase limits truncated the analysis and a
+     *  default entry was appended (Section 5.2). */
+    bool is_truncated = false;
+
+    /** True if any entry changes any refcount. */
+    bool hasChanges() const;
+
+    /** The default summary: single entry, no changes, return [0]. */
+    static FunctionSummary defaultFor(const std::string &fn,
+                                      bool returns_value);
+
+    std::string str() const;
+};
+
+/**
+ * Instantiate a summary entry at a call site (Algorithm 1): formal
+ * argument atoms are replaced by actual-argument expressions and the
+ * return atom [0] by @p result.
+ *
+ * @param entry   callee summary entry
+ * @param formals callee formal parameter names
+ * @param actuals caller-side symbolic expressions of the actual arguments
+ *                (size may differ from formals for variadic/mismatched
+ *                declarations; extra formals map to fresh unconstrained
+ *                atoms via @p filler)
+ * @param result  expression standing for the call's return value
+ */
+SummaryEntry instantiate(const SummaryEntry &entry,
+                         const std::vector<std::string> &formals,
+                         const std::vector<smt::Expr> &actuals,
+                         const smt::Expr &result);
+
+} // namespace rid::summary
+
+#endif // RID_SUMMARY_SUMMARY_H

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for separate-file analysis scheduling (analysis/filegraph.h,
+ * Section 5.3 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/filegraph.h"
+#include "core/rid.h"
+#include "kernel/dpm_specs.h"
+
+namespace rid::analysis {
+namespace {
+
+FileSymbols
+file(const char *name, std::set<std::string> defines,
+     std::set<std::string> uses)
+{
+    FileSymbols f;
+    f.name = name;
+    f.defines = std::move(defines);
+    f.uses = std::move(uses);
+    return f;
+}
+
+/** Position of a file within a schedule: (level, batch, slot). */
+int
+levelOf(const FileSchedule &schedule, const std::string &name)
+{
+    for (size_t l = 0; l < schedule.levels.size(); l++)
+        for (const auto &batch : schedule.levels[l])
+            for (const auto &f : batch.files)
+                if (f == name)
+                    return static_cast<int>(l);
+    return -1;
+}
+
+TEST(FileGraph, DependenciesFollowSymbolUses)
+{
+    FileGraph graph({file("lib.c", {"helper"}, {}),
+                     file("app.c", {"main_fn"}, {"helper"})});
+    EXPECT_EQ(graph.dependenciesOf("app.c"),
+              (std::vector<std::string>{"lib.c"}));
+    EXPECT_TRUE(graph.dependenciesOf("lib.c").empty());
+}
+
+TEST(FileGraph, SelfUseIsNotADependency)
+{
+    FileGraph graph({file("a.c", {"f", "g"}, {"f", "g"})});
+    EXPECT_TRUE(graph.dependenciesOf("a.c").empty());
+}
+
+TEST(FileGraph, ScheduleOrdersDependenciesFirst)
+{
+    FileGraph graph({file("app.c", {"main_fn"}, {"mid"}),
+                     file("mid.c", {"mid"}, {"leaf"}),
+                     file("leaf.c", {"leaf"}, {})});
+    FileSchedule schedule = graph.schedule();
+    EXPECT_LT(levelOf(schedule, "leaf.c"), levelOf(schedule, "mid.c"));
+    EXPECT_LT(levelOf(schedule, "mid.c"), levelOf(schedule, "app.c"));
+    EXPECT_EQ(schedule.totalBatches(), 3u);
+}
+
+TEST(FileGraph, MutuallyDependentFilesShareABatch)
+{
+    // The paper links sources in the same SCC into one unit.
+    FileGraph graph({file("a.c", {"fa"}, {"fb"}),
+                     file("b.c", {"fb"}, {"fa"}),
+                     file("main.c", {"main_fn"}, {"fa"})});
+    FileSchedule schedule = graph.schedule();
+    EXPECT_EQ(schedule.totalBatches(), 2u);
+    bool found_pair = false;
+    for (const auto &level : schedule.levels) {
+        for (const auto &batch : level) {
+            if (batch.files.size() == 2)
+                found_pair = true;
+        }
+    }
+    EXPECT_TRUE(found_pair);
+    EXPECT_GT(levelOf(schedule, "main.c"), levelOf(schedule, "a.c"));
+}
+
+TEST(FileGraph, IndependentFilesShareALevel)
+{
+    FileGraph graph({file("d1.c", {"f1"}, {"api"}),
+                     file("d2.c", {"f2"}, {"api"}),
+                     file("api.c", {"api"}, {})});
+    FileSchedule schedule = graph.schedule();
+    EXPECT_EQ(levelOf(schedule, "d1.c"), levelOf(schedule, "d2.c"));
+    ASSERT_GE(schedule.levels.size(), 2u);
+    EXPECT_EQ(schedule.levels[levelOf(schedule, "d1.c")].size(), 2u);
+}
+
+TEST(FileGraph, ExternalSymbolsIgnored)
+{
+    FileGraph graph({file("a.c", {"fa"}, {"printk", "memcpy"})});
+    EXPECT_TRUE(graph.dependenciesOf("a.c").empty());
+}
+
+TEST(ScanFileSymbols, ExtractsDefinitionsAndCalls)
+{
+    FileSymbols symbols = scanFileSymbols("x.c", R"(
+int helper(int a);
+int worker(int a) { return helper(a) + other(a); }
+static void local_only(void) { worker(3); }
+)");
+    EXPECT_EQ(symbols.defines,
+              (std::set<std::string>{"worker", "local_only"}));
+    EXPECT_EQ(symbols.uses,
+              (std::set<std::string>{"helper", "other", "worker"}));
+}
+
+TEST(ScanFileSymbols, PrototypesAreNotDefinitions)
+{
+    FileSymbols symbols = scanFileSymbols("p.c", "int f(int a);\n");
+    EXPECT_TRUE(symbols.defines.empty());
+}
+
+TEST(SeparateAnalysis, ScheduleDrivenRunMatchesWholeProgram)
+{
+    // Three files forming a chain: the DPM wrapper library, a subsystem
+    // layer, and a buggy driver. Analyzing file by file in schedule
+    // order with exported summaries must find the same bug as a
+    // whole-program run.
+    struct Source
+    {
+        const char *name;
+        const char *text;
+    };
+    const Source sources[] = {
+        {"wrap.c", R"(
+int my_get(struct device *dev) {
+    int r = pm_runtime_get_sync(dev);
+    if (r < 0) {
+        pm_runtime_put(dev);
+        return r;
+    }
+    return 0;
+}
+void my_put(struct device *dev) {
+    pm_runtime_put(dev);
+}
+)"},
+        {"subsys.c", R"(
+int sub_claim(struct device *dev) {
+    return my_get(dev);
+}
+void sub_release(struct device *dev) {
+    my_put(dev);
+}
+)"},
+        {"driver.c", R"(
+int drv_open(struct device *dev) {
+    int r = sub_claim(dev);
+    if (r)
+        return r;
+    r = probe_hw(dev);
+    if (r)
+        return r;   /* BUG: missing sub_release */
+    sub_release(dev);
+    return 0;
+}
+int probe_hw(struct device *dev);
+)"},
+    };
+
+    // Whole-program baseline.
+    size_t whole_reports;
+    {
+        Rid whole;
+        whole.loadSpecText(kernel::dpmSpecText());
+        for (const auto &s : sources)
+            whole.addSource(s.text);
+        whole_reports = whole.run().reports.size();
+    }
+    ASSERT_EQ(whole_reports, 1u);
+
+    // Schedule-driven separate analysis.
+    std::vector<FileSymbols> symbols;
+    std::map<std::string, std::string> by_name;
+    for (const auto &s : sources) {
+        symbols.push_back(scanFileSymbols(s.name, s.text));
+        by_name[s.name] = s.text;
+    }
+    FileGraph graph(std::move(symbols));
+    FileSchedule schedule = graph.schedule();
+    EXPECT_LT(levelOf(schedule, "wrap.c"), levelOf(schedule, "subsys.c"));
+    EXPECT_LT(levelOf(schedule, "subsys.c"),
+              levelOf(schedule, "driver.c"));
+
+    std::string accumulated_summaries;
+    size_t separate_reports = 0;
+    for (const auto &level : schedule.levels) {
+        for (const auto &batch : level) {
+            Rid unit;
+            unit.loadSpecText(kernel::dpmSpecText());
+            unit.importSummaries(accumulated_summaries);
+            for (const auto &f : batch.files)
+                unit.addSource(by_name[f]);
+            RunResult result = unit.run();
+            separate_reports += result.reports.size();
+            accumulated_summaries += unit.exportSummaries();
+        }
+    }
+    EXPECT_EQ(separate_reports, whole_reports);
+}
+
+} // anonymous namespace
+} // namespace rid::analysis

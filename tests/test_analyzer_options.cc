@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Integration tests for the analyzer's configuration knobs
+ * (analysis/analyzer.h): classification tiers, the category-2 branch
+ * budget, path/subcase limits, infeasible-path pruning and default
+ * summaries for truncated functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rid.h"
+#include "kernel/dpm_specs.h"
+
+namespace rid {
+namespace {
+
+RunResult
+runWith(const std::string &source, analysis::AnalyzerOptions opts = {})
+{
+    Rid tool(opts);
+    tool.loadSpecText(kernel::dpmSpecText());
+    tool.addSource(source);
+    return tool.run();
+}
+
+TEST(AnalyzerOptions, Cat2BranchBudgetControlsSelectiveAnalysis)
+{
+    // check() guards a refcount operation and has exactly 4 conditional
+    // branches: under the default budget (3) it is skipped, and the
+    // caller sees an unconstrained return -> both caller branches
+    // overlap -> no precision. With budget 4 the helper is analyzed.
+    const char *source = R"(
+int check(int v) {
+    if (v < 0)
+        return 0;
+    if (v < 10)
+        return 1;
+    if (v < 100)
+        return 1;
+    if (v < 1000)
+        return 1;
+    return 0;
+}
+int driver(struct device *dev, int v) {
+    if (check(v)) {
+        pm_runtime_get_noresume(dev);
+        pm_runtime_put_noidle(dev);
+    }
+    return 0;
+}
+)";
+    analysis::AnalyzerOptions skip;
+    RunResult skipped = runWith(source, skip);
+    analysis::AnalyzerOptions full;
+    full.max_cat2_branches = 4;
+    RunResult analyzed = runWith(source, full);
+    // Balanced either way (no reports), but the analyzed variant
+    // summarizes the helper precisely instead of defaulting it.
+    EXPECT_TRUE(skipped.reports.empty());
+    EXPECT_TRUE(analyzed.reports.empty());
+    EXPECT_EQ(analyzed.stats.functions_analyzed,
+              skipped.stats.functions_analyzed + 1);
+}
+
+TEST(AnalyzerOptions, Cat2SummaryImprovesCallerPrecision)
+{
+    // An unbalanced use whose feasibility depends on the helper's
+    // return values: gated() can only return 0 or 1; the driver takes
+    // the refcount exactly when gated() != 0 and undoes it when
+    // gated() == 1. Without analyzing the helper (budget 0) RID cannot
+    // relate the two calls' outcomes... both report either way, but the
+    // helper analysis itself must not introduce false reports.
+    const char *source = R"(
+int gated(int v) {
+    if (v > 0)
+        return 1;
+    return 0;
+}
+int driver(struct device *dev, int v) {
+    if (gated(v))
+        pm_runtime_get_noresume(dev);
+    if (gated(v))
+        pm_runtime_put_noidle(dev);
+    return 0;
+}
+)";
+    analysis::AnalyzerOptions opts;
+    opts.max_cat2_branches = 3;
+    RunResult result = runWith(source, opts);
+    // Deterministic helper result makes the two branches correlate:
+    // feasible paths are get+put or neither. No report.
+    EXPECT_TRUE(result.reports.empty());
+}
+
+TEST(AnalyzerOptions, PruningOffStillSound)
+{
+    // With infeasible-state pruning disabled the same bug is found; the
+    // unsat overlap check at IPP time filters contradictory pairs.
+    const char *source = R"(
+int f(struct device *dev) {
+    int r = pm_runtime_get_sync(dev);
+    if (r < 0)
+        return r;
+    r = op(dev);
+    pm_runtime_put(dev);
+    return r;
+}
+int op(struct device *dev);
+)";
+    analysis::AnalyzerOptions opts;
+    opts.prune_infeasible = false;
+    RunResult result = runWith(source, opts);
+    EXPECT_EQ(result.reports.size(), 1u);
+}
+
+TEST(AnalyzerOptions, PruningOffFigure10StillMissed)
+{
+    const char *source = R"(
+int irq(struct device *dev) {
+    int r = pm_runtime_get_sync(dev);
+    if (r < 0)
+        return 0;
+    pm_runtime_put(dev);
+    return 1;
+}
+)";
+    analysis::AnalyzerOptions opts;
+    opts.prune_infeasible = false;
+    EXPECT_TRUE(runWith(source, opts).reports.empty());
+}
+
+TEST(AnalyzerOptions, TruncatedFunctionGetsDefaultEntry)
+{
+    // 2^10 paths with a 4-path cap: the summary must include the
+    // default entry so callers never over-trust it.
+    std::string source = "int wide(struct device *dev, int a) {\n"
+                         "    int r = 0;\n";
+    for (int i = 0; i < 10; i++) {
+        source += "    if (a > " + std::to_string(i) + ")\n        r = " +
+                  std::to_string(i) + ";\n";
+    }
+    source += "    pm_runtime_get_noresume(dev);\n"
+              "    pm_runtime_put_noidle(dev);\n"
+              "    return r;\n}\n";
+    analysis::AnalyzerOptions opts;
+    opts.max_paths = 4;
+    Rid tool(opts);
+    tool.loadSpecText(kernel::dpmSpecText());
+    tool.addSource(source);
+    RunResult result = tool.run();
+    EXPECT_EQ(result.stats.functions_truncated, 1u);
+    const auto *s = tool.summaries().find("wide");
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(s->is_truncated);
+    // The default entry is unconstrained and change-free.
+    bool has_default = false;
+    for (const auto &e : s->entries)
+        if (e.cons.isTrue() && e.changes.empty())
+            has_default = true;
+    EXPECT_TRUE(has_default);
+}
+
+TEST(AnalyzerOptions, DropSeedChangesSurvivingEntryNotDetection)
+{
+    const char *source = R"(
+int f(struct device *dev) {
+    int r = pm_runtime_get_sync(dev);
+    if (r < 0)
+        return r;
+    r = op(dev);
+    pm_runtime_put(dev);
+    return r;
+}
+int op(struct device *dev);
+)";
+    for (uint64_t seed : {1ull, 7ull, 99ull}) {
+        analysis::AnalyzerOptions opts;
+        opts.drop_seed = seed;
+        EXPECT_EQ(runWith(source, opts).reports.size(), 1u);
+    }
+}
+
+TEST(AnalyzerOptions, PathParallelismIsDeterministic)
+{
+    // Section 7 future work: per-path parallel symbolic execution must
+    // not change the reports or their order.
+    std::string source = "int wide(struct device *dev, int a) {\n"
+                         "    int r = 0;\n";
+    for (int i = 0; i < 6; i++) {
+        source += "    if (a > " + std::to_string(i) + ") r = " +
+                  std::to_string(i) + ";\n";
+    }
+    source += "    int s = pm_runtime_get_sync(dev);\n"
+              "    if (s < 0) return s;\n"
+              "    r = op(dev);\n"
+              "    pm_runtime_put(dev);\n"
+              "    return r;\n}\nint op(struct device *dev);\n";
+    auto digest = [&](int path_threads) {
+        analysis::AnalyzerOptions opts;
+        opts.path_threads = path_threads;
+        opts.max_paths = 1024;
+        Rid tool(opts);
+        tool.loadSpecText(kernel::dpmSpecText());
+        tool.addSource(source);
+        std::string out;
+        for (const auto &report : tool.run().reports)
+            out += report.str() + "\n";
+        return out;
+    };
+    std::string sequential = digest(1);
+    EXPECT_FALSE(sequential.empty());
+    EXPECT_EQ(sequential, digest(4));
+    EXPECT_EQ(sequential, digest(16));
+}
+
+TEST(AnalyzerOptions, StatsAreCoherent)
+{
+    RunResult result = runWith(R"(
+int f(struct device *dev) {
+    pm_runtime_get(dev);
+    pm_runtime_put(dev);
+    return 0;
+}
+int bystander(int a) { return a; }
+)");
+    const auto &stats = result.stats;
+    EXPECT_EQ(stats.categories.refcount_changing, 1u);
+    EXPECT_EQ(stats.categories.other, 1u);
+    EXPECT_EQ(stats.functions_analyzed, 1u);
+    EXPECT_EQ(stats.paths_enumerated, 1u);
+    EXPECT_GE(stats.entries_computed, 1u);
+    EXPECT_GE(stats.analyze_seconds, 0.0);
+}
+
+TEST(AnalyzerOptions, PredefinedFunctionsNeverReanalyzed)
+{
+    // A body for an API with a predefined summary must be ignored: the
+    // specification wins (Section 5.1).
+    RunResult result = runWith(R"(
+int pm_runtime_get_sync(struct device *dev) {
+    return 0;   /* lying body: no increment */
+}
+int f(struct device *dev) {
+    int r = pm_runtime_get_sync(dev);
+    if (r < 0)
+        return r;
+    r = op(dev);
+    pm_runtime_put(dev);
+    return r;
+}
+int op(struct device *dev);
+)");
+    // The spec (always +1) drives the analysis, so the bug is found
+    // even though the local body claims otherwise.
+    EXPECT_EQ(result.reports.size(), 1u);
+}
+
+} // anonymous namespace
+} // namespace rid

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for paired-API mining (kernel/api_miner.h, Section 3.1) and the
+ * additional corpus bug patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rid.h"
+#include "frontend/lower.h"
+#include "kernel/api_miner.h"
+#include "kernel/dpm_specs.h"
+#include "kernel/generator.h"
+
+namespace rid::kernel {
+namespace {
+
+MiningResult
+mine(const std::string &source)
+{
+    ir::Module module = frontend::compile(source);
+    return mineRefcountApis(module);
+}
+
+TEST(ApiMiner, FindsGetPutPair)
+{
+    auto result = mine(R"(
+void chan_get(struct chan *c);
+void chan_put(struct chan *c);
+int driver(struct chan *c) { chan_get(c); chan_put(c); return 0; }
+)");
+    ASSERT_EQ(result.pairs.size(), 1u);
+    EXPECT_EQ(result.pairs[0].inc_name, "chan_get");
+    EXPECT_EQ(result.pairs[0].dec_name, "chan_put");
+    EXPECT_EQ(result.pairs[0].antonym, "get/put");
+}
+
+TEST(ApiMiner, FindsIncDecPair)
+{
+    auto result = mine(R"(
+void obj_ref_inc(struct obj *o);
+void obj_ref_dec(struct obj *o);
+void user(struct obj *o) { obj_ref_inc(o); obj_ref_dec(o); }
+)");
+    ASSERT_EQ(result.pairs.size(), 1u);
+    EXPECT_EQ(result.pairs[0].antonym, "inc/dec");
+}
+
+TEST(ApiMiner, UnpairedNamesIgnored)
+{
+    auto result = mine(R"(
+void buf_get(struct buf *b);
+void buf_resize(struct buf *b);
+void user(struct buf *b) { buf_get(b); buf_resize(b); }
+)");
+    EXPECT_TRUE(result.pairs.empty());
+}
+
+TEST(ApiMiner, TokenMustMatchExactly)
+{
+    // "target" contains "get" as a substring but not as a token: no
+    // false pair with "tarput".
+    auto result = mine(R"(
+void set_target(struct x *p);
+void set_tarput(struct x *p);
+void user(struct x *p) { set_target(p); set_tarput(p); }
+)");
+    EXPECT_TRUE(result.pairs.empty());
+}
+
+TEST(ApiMiner, CalledButUndeclaredApisMined)
+{
+    // The basic APIs usually live outside the analyzed sources.
+    auto result = mine(R"(
+int driver(struct device *dev) {
+    pm_runtime_get(dev);
+    pm_runtime_put(dev);
+    return 0;
+}
+)");
+    bool found = false;
+    for (const auto &pair : result.pairs) {
+        if (pair.inc_name == "pm_runtime_get" &&
+            pair.dec_name == "pm_runtime_put") {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ApiMiner, FamilyClosurePullsInVariants)
+{
+    auto result = mine(R"(
+int driver(struct device *dev) {
+    int r = pm_runtime_get_sync(dev);
+    pm_runtime_get_noresume(dev);
+    pm_runtime_put_noidle(dev);
+    pm_runtime_put(dev);
+    pm_runtime_get(dev);
+    return r;
+}
+)");
+    EXPECT_TRUE(result.api_functions.count("pm_runtime_get_sync"));
+    EXPECT_TRUE(result.api_functions.count("pm_runtime_get_noresume"));
+    EXPECT_TRUE(result.api_functions.count("pm_runtime_put_noidle"));
+}
+
+TEST(ApiMiner, ReachabilityIsTransitive)
+{
+    auto result = mine(R"(
+void res_get(struct res *r);
+void res_put(struct res *r);
+void low(struct res *r) { res_get(r); res_put(r); }
+void mid(struct res *r) { low(r); }
+void top(struct res *r) { mid(r); }
+void bystander(int x) { }
+)");
+    EXPECT_TRUE(result.reaching_functions.count("low"));
+    EXPECT_TRUE(result.reaching_functions.count("mid"));
+    EXPECT_TRUE(result.reaching_functions.count("top"));
+    EXPECT_FALSE(result.reaching_functions.count("bystander"));
+    EXPECT_EQ(result.defined_functions, 4u);
+}
+
+TEST(ApiMiner, CorpusRediscoversPlantedWrappers)
+{
+    CorpusMix mix;
+    mix.counts[PatternKind::WrapperGet] = 5;
+    mix.counts[PatternKind::WrapperPut] = 5;
+    auto corpus = generateCorpus(mix);
+    ir::Module module;
+    for (const auto &file : corpus.files)
+        module.absorb(frontend::compile(file.text));
+    auto result = mineRefcountApis(module);
+    int wrapper_pairs = 0;
+    for (const auto &pair : result.pairs)
+        if (pair.inc_name.rfind("autopm_get_", 0) == 0)
+            wrapper_pairs++;
+    EXPECT_EQ(wrapper_pairs, 5);
+}
+
+TEST(NewPatterns, GotoLadderPairBehaves)
+{
+    std::mt19937_64 rng(5);
+    auto correct =
+        emitPattern(PatternKind::CorrectGotoLadder, 0, rng);
+    auto buggy = emitPattern(PatternKind::BuggyGotoLadder, 0, rng);
+    EXPECT_FALSE(correct.truth.has_bug);
+    EXPECT_TRUE(buggy.truth.has_bug);
+
+    auto reports = [](const GeneratedFunction &gen) {
+        Rid tool;
+        tool.loadSpecText(dpmSpecText());
+        tool.addSource(gen.source);
+        return tool.run().reports.size();
+    };
+    EXPECT_EQ(reports(correct), 0u);
+    EXPECT_GE(reports(buggy), 1u);
+}
+
+TEST(NewPatterns, DoublePutDetected)
+{
+    std::mt19937_64 rng(3);
+    auto gen = emitPattern(PatternKind::BuggyDoublePut, 0, rng);
+    EXPECT_TRUE(gen.truth.has_bug);
+    EXPECT_TRUE(gen.truth.rid_detects);
+
+    Rid tool;
+    tool.loadSpecText(dpmSpecText());
+    tool.addSource(gen.source);
+    auto result = tool.run();
+    ASSERT_EQ(result.reports.size(), 1u);
+    // The inconsistency is -1 vs 0: a possible negative count
+    // (characteristic 4 of Section 3.1).
+    EXPECT_TRUE((result.reports[0].delta_a == -1 &&
+                 result.reports[0].delta_b == 0) ||
+                (result.reports[0].delta_a == 0 &&
+                 result.reports[0].delta_b == -1));
+}
+
+TEST(NewPatterns, LoopGetMissedAtUnrollOnce)
+{
+    std::mt19937_64 rng(3);
+    auto gen = emitPattern(PatternKind::BuggyLoopGet, 0, rng);
+    EXPECT_TRUE(gen.truth.has_bug);
+    EXPECT_FALSE(gen.truth.rid_detects);
+
+    Rid tool;
+    tool.loadSpecText(dpmSpecText());
+    tool.addSource(gen.source);
+    EXPECT_TRUE(tool.run().reports.empty());
+}
+
+TEST(NewPatterns, LoopGetGuardIsDeadUnderUnrollOnce)
+{
+    // The buggy increment is guarded by a retry flag that is zero on
+    // the only enumerated iteration: the function summary must have no
+    // refcount changes at all.
+    std::mt19937_64 rng(3);
+    auto gen = emitPattern(PatternKind::BuggyLoopGet, 1, rng);
+    Rid tool;
+    tool.loadSpecText(dpmSpecText());
+    tool.addSource(gen.source);
+    tool.run();
+    const auto *s = tool.summaries().find(gen.truth.name);
+    ASSERT_NE(s, nullptr);
+    EXPECT_FALSE(s->hasChanges());
+}
+
+} // anonymous namespace
+} // namespace rid::kernel

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the Section 5.4 abstraction extensions: bit-test modeling
+ * and field-store tracking (frontend/lower.h LowerOptions).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rid.h"
+#include "frontend/lower.h"
+#include "kernel/dpm_specs.h"
+
+namespace rid {
+namespace {
+
+size_t
+reportsWith(const char *source, bool bits, bool stores)
+{
+    frontend::LowerOptions lower;
+    lower.model_bit_tests = bits;
+    lower.model_field_stores = stores;
+    Rid tool({}, lower);
+    tool.loadSpecText(kernel::dpmSpecText());
+    tool.addSource(source);
+    return tool.run().reports.size();
+}
+
+const char *kBitGuardedGet = R"(
+int async_get(struct device *dev, int flags) {
+    if (flags & 4)
+        pm_runtime_get_noresume(dev);
+    return 0;
+}
+)";
+
+TEST(BitTests, FalsePositiveWithoutExtension)
+{
+    EXPECT_EQ(reportsWith(kBitGuardedGet, false, false), 1u);
+}
+
+TEST(BitTests, DistinguishableWithExtension)
+{
+    EXPECT_EQ(reportsWith(kBitGuardedGet, true, false), 0u);
+}
+
+TEST(BitTests, SameBitTwiceIsDeterministic)
+{
+    // Two tests of the same bit on the same value must agree: the
+    // get/put pair is balanced on every feasible path.
+    const char *source = R"(
+int f(struct device *dev, int flags) {
+    if (flags & 1)
+        pm_runtime_get_noresume(dev);
+    work(dev);
+    if (flags & 1)
+        pm_runtime_put_noidle(dev);
+    return 0;
+}
+void work(struct device *dev);
+)";
+    EXPECT_GE(reportsWith(source, false, false), 1u);  // classic FP
+    EXPECT_EQ(reportsWith(source, true, false), 0u);
+}
+
+TEST(BitTests, DifferentBitsTradeoffDocumented)
+{
+    // Guarding the get with bit 1 but the put with bit 2 is unbalanced.
+    // Without the extension both branches look nondeterministic and the
+    // imbalance is reported (as one of many overlapping pairs); with the
+    // extension every path pair is distinguishable by its bit values, so
+    // nothing is reported. The extension trades the Section 6.4 false
+    // positives for possible false negatives of exactly this shape.
+    const char *source = R"(
+int f(struct device *dev, int flags) {
+    if (flags & 1)
+        pm_runtime_get_noresume(dev);
+    if (flags & 2)
+        pm_runtime_put_noidle(dev);
+    return 0;
+}
+)";
+    EXPECT_GE(reportsWith(source, false, false), 1u);
+    EXPECT_EQ(reportsWith(source, true, false), 0u);
+}
+
+TEST(BitTests, BitLoweringEmitsSyntheticField)
+{
+    frontend::LowerOptions lower;
+    lower.model_bit_tests = true;
+    ir::Module m = frontend::compile(
+        "int f(int flags) { return flags & 12; }", lower);
+    bool found = false;
+    const ir::Function *fn = m.find("f");
+    for (size_t b = 0; b < fn->numBlocks(); b++) {
+        for (const auto &in : fn->block(b).instrs) {
+            if (in.op == ir::Opcode::FieldLoad &&
+                in.field == "bits_12") {
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(BitTests, NonConstantMaskStaysNondet)
+{
+    frontend::LowerOptions lower;
+    lower.model_bit_tests = true;
+    ir::Module m = frontend::compile(
+        "int f(int a, int b) { return a & b; }", lower);
+    const ir::Function *fn = m.find("f");
+    int randoms = 0;
+    for (size_t b = 0; b < fn->numBlocks(); b++)
+        for (const auto &in : fn->block(b).instrs)
+            if (in.op == ir::Opcode::Random)
+                randoms++;
+    EXPECT_EQ(randoms, 1);
+}
+
+const char *kListTrackedGet = R"(
+int list_get(struct device *dev, struct list *busy) {
+    if (probe_ready(dev)) {
+        pm_runtime_get_noresume(dev);
+        busy->head = dev;
+    }
+    return 0;
+}
+int probe_ready(struct device *dev);
+)";
+
+TEST(FieldStores, FalsePositiveWithoutExtension)
+{
+    EXPECT_EQ(reportsWith(kListTrackedGet, false, false), 1u);
+}
+
+TEST(FieldStores, DistinguishableWithExtension)
+{
+    EXPECT_EQ(reportsWith(kListTrackedGet, false, true), 0u);
+}
+
+TEST(FieldStores, LocalStoresDoNotDistinguish)
+{
+    // A store to a function-local object is invisible to callers; paths
+    // differing only by it still form an IPP.
+    const char *source = R"(
+int f(struct device *dev) {
+    struct tmp *scratch;
+    if (probe_ready(dev)) {
+        pm_runtime_get_noresume(dev);
+        scratch->mark = 1;
+    }
+    return 0;
+}
+int probe_ready(struct device *dev);
+)";
+    EXPECT_EQ(reportsWith(source, false, true), 1u);
+}
+
+TEST(FieldStores, PropagateThroughCalleeSummaries)
+{
+    // The helper records the taken count in the caller-visible list;
+    // its summary carries the store effect, so the caller's paths stay
+    // distinguishable too.
+    const char *source = R"(
+void track_get(struct device *dev, struct list *busy) {
+    pm_runtime_get_noresume(dev);
+    busy->head = dev;
+}
+int maybe_get(struct device *dev, struct list *busy) {
+    if (probe_ready(dev))
+        track_get(dev, busy);
+    return 0;
+}
+int probe_ready(struct device *dev);
+)";
+    EXPECT_EQ(reportsWith(source, false, true), 0u);
+    EXPECT_EQ(reportsWith(source, false, false), 1u);
+}
+
+TEST(FieldStores, RealBugsStillDetected)
+{
+    const char *source = R"(
+int f(struct device *dev) {
+    int ret = pm_runtime_get_sync(dev);
+    if (ret < 0)
+        return ret;
+    ret = op(dev);
+    pm_runtime_put(dev);
+    return ret;
+}
+int op(struct device *dev);
+)";
+    EXPECT_EQ(reportsWith(source, true, true), 1u);
+}
+
+TEST(FieldStores, StoreSetsSurviveSpecRoundTrip)
+{
+    frontend::LowerOptions lower;
+    lower.model_field_stores = true;
+    Rid tool({}, lower);
+    tool.loadSpecText(kernel::dpmSpecText());
+    tool.addSource(R"(
+void track_get(struct device *dev, struct list *busy) {
+    pm_runtime_get_noresume(dev);
+    busy->head = dev;
+}
+)");
+    tool.run();
+    std::string exported = tool.exportSummaries();
+    EXPECT_NE(exported.find("store: [busy].head"), std::string::npos);
+
+    Rid again({}, lower);
+    again.loadSpecText(kernel::dpmSpecText());
+    again.importSummaries(exported);
+    const auto *s = again.summaries().find("track_get");
+    ASSERT_NE(s, nullptr);
+    ASSERT_FALSE(s->entries.empty());
+    EXPECT_EQ(s->entries[0].stores.size(), 1u);
+}
+
+} // anonymous namespace
+} // namespace rid

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the Kernel-C lexer (frontend/lexer.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+
+namespace rid::frontend {
+namespace {
+
+std::vector<Tok>
+kinds(const std::string &src)
+{
+    std::vector<Tok> out;
+    for (const auto &tok : tokenize(src))
+        out.push_back(tok.kind);
+    return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd)
+{
+    EXPECT_EQ(kinds(""), (std::vector<Tok>{Tok::End}));
+}
+
+TEST(Lexer, IdentifiersAndKeywords)
+{
+    auto toks = tokenize("int foo while_x struct");
+    EXPECT_EQ(toks[0].kind, Tok::KwInt);
+    EXPECT_EQ(toks[1].kind, Tok::Ident);
+    EXPECT_EQ(toks[1].text, "foo");
+    EXPECT_EQ(toks[2].kind, Tok::Ident);  // not the keyword "while"
+    EXPECT_EQ(toks[3].kind, Tok::KwStruct);
+}
+
+TEST(Lexer, DecimalAndHexNumbers)
+{
+    auto toks = tokenize("42 0x54 0XFF");
+    EXPECT_EQ(toks[0].number, 42);
+    EXPECT_EQ(toks[1].number, 0x54);
+    EXPECT_EQ(toks[2].number, 0xFF);
+}
+
+TEST(Lexer, IntegerSuffixesStripped)
+{
+    auto toks = tokenize("10u 10UL 10ull 0x10L");
+    EXPECT_EQ(toks[0].number, 10);
+    EXPECT_EQ(toks[1].number, 10);
+    EXPECT_EQ(toks[2].number, 10);
+    EXPECT_EQ(toks[3].number, 16);
+}
+
+TEST(Lexer, CharConstantsBecomeNumbers)
+{
+    auto toks = tokenize("'a'");
+    EXPECT_EQ(toks[0].kind, Tok::Number);
+    EXPECT_EQ(toks[0].number, 'a');
+}
+
+TEST(Lexer, StringsWithEscapes)
+{
+    auto toks = tokenize(R"("hello \"world\"")");
+    EXPECT_EQ(toks[0].kind, Tok::String);
+}
+
+TEST(Lexer, LineCommentsSkipped)
+{
+    EXPECT_EQ(kinds("a // comment\nb"),
+              (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::End}));
+}
+
+TEST(Lexer, BlockCommentsSkipped)
+{
+    EXPECT_EQ(kinds("a /* multi\nline */ b"),
+              (std::vector<Tok>{Tok::Ident, Tok::Ident, Tok::End}));
+}
+
+TEST(Lexer, PreprocessorLinesSkipped)
+{
+    EXPECT_EQ(kinds("#include <foo.h>\nx"),
+              (std::vector<Tok>{Tok::Ident, Tok::End}));
+}
+
+TEST(Lexer, TwoCharOperators)
+{
+    EXPECT_EQ(kinds("== != <= >= && || -> ++ -- << >>"),
+              (std::vector<Tok>{Tok::Eq, Tok::Ne, Tok::Le, Tok::Ge,
+                                Tok::AndAnd, Tok::OrOr, Tok::Arrow,
+                                Tok::PlusPlus, Tok::MinusMinus, Tok::Shl,
+                                Tok::Shr, Tok::End}));
+}
+
+TEST(Lexer, CompoundAssignments)
+{
+    EXPECT_EQ(kinds("+= -= *= /= %= &= |= ^= <<= >>="),
+              (std::vector<Tok>{
+                  Tok::PlusAssign, Tok::MinusAssign, Tok::StarAssign,
+                  Tok::SlashAssign, Tok::PercentAssign, Tok::AmpAssign,
+                  Tok::PipeAssign, Tok::CaretAssign, Tok::ShlAssign,
+                  Tok::ShrAssign, Tok::End}));
+}
+
+TEST(Lexer, MinusVersusArrow)
+{
+    EXPECT_EQ(kinds("a-b a->b a-->b"),
+              (std::vector<Tok>{Tok::Ident, Tok::Minus, Tok::Ident,
+                                Tok::Ident, Tok::Arrow, Tok::Ident,
+                                Tok::Ident, Tok::MinusMinus, Tok::Gt,
+                                Tok::Ident, Tok::End}));
+}
+
+TEST(Lexer, Ellipsis)
+{
+    EXPECT_EQ(kinds("( ... )"),
+              (std::vector<Tok>{Tok::LParen, Tok::Ellipsis, Tok::RParen,
+                                Tok::End}));
+}
+
+TEST(Lexer, LineNumbersTracked)
+{
+    auto toks = tokenize("a\nb\n\nc");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, LineNumbersAcrossBlockComments)
+{
+    auto toks = tokenize("/* a\nb\n*/ x");
+    EXPECT_EQ(toks[0].line, 3);
+}
+
+TEST(Lexer, UnterminatedCommentThrows)
+{
+    EXPECT_THROW(tokenize("/* never closed"), ParseError);
+}
+
+TEST(Lexer, UnterminatedStringThrows)
+{
+    EXPECT_THROW(tokenize("\"never closed"), ParseError);
+}
+
+TEST(Lexer, StrayCharacterThrows)
+{
+    EXPECT_THROW(tokenize("a $ b"), ParseError);
+    try {
+        tokenize("\n\n@");
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 3);
+    }
+}
+
+TEST(Lexer, NullKeyword)
+{
+    auto toks = tokenize("NULL null");
+    EXPECT_EQ(toks[0].kind, Tok::KwNull);
+    EXPECT_EQ(toks[1].kind, Tok::Ident);  // lowercase is an identifier
+}
+
+} // anonymous namespace
+} // namespace rid::frontend

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for the abstract-program IR (ir/).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/function.h"
+
+namespace rid::ir {
+namespace {
+
+TEST(Value, Factories)
+{
+    EXPECT_TRUE(Value::none().isNone());
+    EXPECT_TRUE(Value::var("x").isVar());
+    EXPECT_EQ(Value::var("x").varName(), "x");
+    EXPECT_TRUE(Value::intConst(5).isConst());
+    EXPECT_EQ(Value::intConst(5).intValue(), 5);
+    EXPECT_TRUE(Value::boolConst(true).boolValue());
+    EXPECT_TRUE(Value::null().isConst());
+}
+
+TEST(Value, Equality)
+{
+    EXPECT_EQ(Value::var("x"), Value::var("x"));
+    EXPECT_FALSE(Value::var("x") == Value::var("y"));
+    EXPECT_FALSE(Value::intConst(0) == Value::null());
+}
+
+TEST(Value, Printing)
+{
+    EXPECT_EQ(Value::var("x").str(), "x");
+    EXPECT_EQ(Value::intConst(-3).str(), "-3");
+    EXPECT_EQ(Value::null().str(), "null");
+    EXPECT_EQ(Value::boolConst(false).str(), "false");
+}
+
+TEST(Instruction, FactoriesAndPrinting)
+{
+    EXPECT_EQ(Instruction::assign("x", Value::intConst(1)).str(),
+              "x = 1");
+    EXPECT_EQ(
+        Instruction::fieldLoad("t", Value::var("dev"), "pm").str(),
+        "t = dev.pm");
+    EXPECT_EQ(Instruction::random("r").str(), "r = random");
+    EXPECT_EQ(Instruction::call("", "f", {Value::var("a")}).str(),
+              "f(a)");
+    EXPECT_EQ(Instruction::call("x", "f", {}).str(), "x = f()");
+    EXPECT_EQ(Instruction::ret(Value::intConst(0)).str(), "return 0");
+    EXPECT_EQ(Instruction::ret(Value::none()).str(), "return");
+    EXPECT_EQ(Instruction::cmp("t", smt::Pred::Le, Value::var("v"),
+                               Value::intConst(0))
+                  .str(),
+              "t = v <= 0");
+    EXPECT_EQ(Instruction::branch(3).str(), "branch bb3");
+    EXPECT_EQ(Instruction::condBranch(Value::var("t"), 1, 2).str(),
+              "branch t, bb1, bb2");
+}
+
+TEST(Instruction, TerminatorClassification)
+{
+    EXPECT_TRUE(Instruction::ret(Value::none()).isTerminator());
+    EXPECT_TRUE(Instruction::branch(0).isTerminator());
+    EXPECT_TRUE(
+        Instruction::condBranch(Value::var("t"), 0, 1).isTerminator());
+    EXPECT_FALSE(Instruction::assign("x", Value::intConst(1))
+                     .isTerminator());
+    EXPECT_FALSE(Instruction::call("", "f", {}).isTerminator());
+}
+
+TEST(BasicBlock, Successors)
+{
+    Function fn("f", {}, false);
+    BlockId b0 = fn.addBlock();
+    BlockId b1 = fn.addBlock();
+    BlockId b2 = fn.addBlock();
+    fn.block(b0).instrs.push_back(
+        Instruction::condBranch(Value::var("t"), b1, b2));
+    fn.block(b1).instrs.push_back(Instruction::branch(b2));
+    fn.block(b2).instrs.push_back(Instruction::ret(Value::none()));
+    EXPECT_EQ(fn.block(b0).successors(), (std::vector<BlockId>{b1, b2}));
+    EXPECT_EQ(fn.block(b1).successors(), (std::vector<BlockId>{b2}));
+    EXPECT_TRUE(fn.block(b2).successors().empty());
+}
+
+TEST(Function, DeclarationHasNoBlocks)
+{
+    Function fn("f", {"a"}, true);
+    EXPECT_TRUE(fn.isDeclaration());
+    EXPECT_TRUE(fn.isParam("a"));
+    EXPECT_FALSE(fn.isParam("b"));
+}
+
+TEST(Function, CalleesDeduplicated)
+{
+    IrBuilder b("f", {}, false);
+    b.callVoid("g", {});
+    b.callVoid("h", {});
+    b.callVoid("g", {});
+    b.ret();
+    Function fn = b.take();
+    EXPECT_EQ(fn.callees(), (std::vector<std::string>{"g", "h"}));
+}
+
+TEST(Function, CountCondBranches)
+{
+    IrBuilder b("f", {"a"}, true);
+    BlockId t1 = b.newBlock(), f1 = b.newBlock();
+    b.cmp("c", smt::Pred::Gt, Value::var("a"), Value::intConst(0));
+    b.condBranch(Value::var("c"), t1, f1);
+    b.ret(Value::intConst(1));
+    b.setBlock(f1);
+    b.ret(Value::intConst(0));
+    Function fn = b.take();
+    EXPECT_EQ(fn.countCondBranches(), 1);
+}
+
+TEST(Builder, CursorFollowsBranches)
+{
+    IrBuilder b("f", {}, false);
+    BlockId next = b.newBlock();
+    b.branch(next);
+    EXPECT_EQ(b.currentBlock(), next);
+    b.ret();
+    Function fn = b.take();
+    EXPECT_EQ(fn.numBlocks(), 2u);
+}
+
+TEST(Builder, SealOpenBlocks)
+{
+    IrBuilder b("f", {}, true);
+    b.newBlock();  // never reached, never terminated
+    b.ret(Value::intConst(0));
+    b.sealOpenBlocks(Value::intConst(0));
+    Function fn = b.take();  // take() verifies all blocks terminated
+    EXPECT_EQ(fn.numBlocks(), 2u);
+}
+
+TEST(Builder, LinesAttach)
+{
+    IrBuilder b("f", {}, false);
+    b.atLine(42).callVoid("g", {});
+    b.ret();
+    Function fn = b.take();
+    EXPECT_EQ(fn.block(0).instrs[0].line, 42);
+}
+
+TEST(Module, FindAndAdd)
+{
+    Module m;
+    m.addFunction(Function("f", {"a"}, true));
+    EXPECT_NE(m.find("f"), nullptr);
+    EXPECT_EQ(m.find("g"), nullptr);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Module, DefinitionReplacesDeclaration)
+{
+    Module m;
+    m.addFunction(Function("f", {"a"}, true));  // declaration
+    EXPECT_TRUE(m.find("f")->isDeclaration());
+
+    IrBuilder b("f", {"a"}, true);
+    b.ret(Value::intConst(0));
+    m.addFunction(b.take());
+    EXPECT_FALSE(m.find("f")->isDeclaration());
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Module, FirstDefinitionWins)
+{
+    Module m;
+    IrBuilder b1("f", {}, true);
+    b1.ret(Value::intConst(1));
+    m.addFunction(b1.take());
+
+    IrBuilder b2("f", {}, true);
+    b2.ret(Value::intConst(2));
+    m.addFunction(b2.take());
+
+    EXPECT_EQ(m.size(), 1u);
+    const Instruction &ret = m.find("f")->block(0).instrs.back();
+    EXPECT_EQ(ret.a.intValue(), 1);
+}
+
+TEST(Module, AbsorbMergesModules)
+{
+    Module a, b;
+    a.addFunction(Function("f", {}, false));
+    IrBuilder builder("f", {}, false);
+    builder.ret();
+    b.addFunction(builder.take());
+    b.addFunction(Function("g", {}, false));
+    a.absorb(std::move(b));
+    EXPECT_EQ(a.size(), 2u);
+    EXPECT_FALSE(a.find("f")->isDeclaration());
+}
+
+TEST(Module, StablePointersAcrossAdds)
+{
+    Module m;
+    const Function *f = m.addFunction(Function("f", {}, false));
+    for (int i = 0; i < 100; i++)
+        m.addFunction(Function("g" + std::to_string(i), {}, false));
+    EXPECT_EQ(m.find("f"), f);
+}
+
+TEST(Function, PrinterShowsBlocksAndLabels)
+{
+    IrBuilder b("f", {"a"}, true);
+    BlockId exit = b.newBlock("exit");
+    b.branch(exit);
+    b.ret(Value::intConst(0));
+    std::string text = b.take().str();
+    EXPECT_NE(text.find("bb1 (exit):"), std::string::npos);
+    EXPECT_NE(text.find("int f(a)"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace rid::ir

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Property and robustness tests across the whole pipeline:
+ *
+ *  - random Kernel-C programs must lower to verifiable IR, enumerate
+ *    bounded paths and analyze without crashing, regardless of shape;
+ *  - randomly generated summaries must round-trip through the spec
+ *    language unchanged;
+ *  - analysis results must be independent of file ordering and thread
+ *    count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "analysis/paths.h"
+#include "core/rid.h"
+#include "frontend/lower.h"
+#include "kernel/dpm_specs.h"
+#include "kernel/generator.h"
+#include "summary/spec.h"
+
+namespace rid {
+namespace {
+
+/** Generates random Kernel-C functions from a small statement grammar. */
+class ProgramGen
+{
+  public:
+    explicit ProgramGen(uint64_t seed) : rng_(seed) {}
+
+    std::string
+    function(int index)
+    {
+        std::ostringstream os;
+        vars_ = 0;
+        os << "int fuzz" << index << "(struct device *dev, int a, int b) "
+           << "{\n";
+        os << body(3);
+        os << "    return 0;\n}\n";
+        return os.str();
+    }
+
+  private:
+    std::string
+    freshVar()
+    {
+        return "v" + std::to_string(vars_++);
+    }
+
+    std::string
+    expr()
+    {
+        switch (rng_() % 8) {
+          case 0: return "a";
+          case 1: return "b";
+          case 2: return std::to_string(static_cast<int>(rng_() % 7) - 3);
+          case 3: return "a + b";
+          case 4: return "dev->state";
+          case 5: return "a & 4";
+          case 6: return "probe(dev)";
+          default:
+            return vars_ > 0
+                       ? "v" + std::to_string(rng_() % vars_)
+                       : "a";
+        }
+    }
+
+    std::string
+    cond()
+    {
+        const char *ops[] = {"<", "<=", ">", ">=", "==", "!="};
+        std::string c = expr() + " " + ops[rng_() % 6] + " " + expr();
+        if (rng_() % 4 == 0)
+            c = "!(" + c + ")";
+        if (rng_() % 4 == 0)
+            c += (rng_() % 2 ? " && " : " || ") + cond_simple();
+        return c;
+    }
+
+    std::string
+    cond_simple()
+    {
+        const char *ops[] = {"<", ">", "=="};
+        return expr() + " " + ops[rng_() % 3] + " " + expr();
+    }
+
+    std::string
+    statement(int depth)
+    {
+        switch (rng_() % 8) {
+          case 0: {
+            std::string v = freshVar();
+            return "    int " + v + " = " + expr() + ";\n";
+          }
+          case 1:
+            return "    pm_runtime_get_noresume(dev);\n";
+          case 2:
+            return "    pm_runtime_put_noidle(dev);\n";
+          case 3:
+            if (depth > 0) {
+                std::string s = "    if (" + cond() + ") {\n" +
+                                body(depth - 1) + "    }\n";
+                if (rng_() % 2)
+                    s += "    else {\n" + body(depth - 1) + "    }\n";
+                return s;
+            }
+            return "    work(dev);\n";
+          case 4:
+            if (depth > 0) {
+                return "    while (" + cond_simple() + ") {\n" +
+                       body(depth - 1) + "    }\n";
+            }
+            return "    work(dev);\n";
+          case 5:
+            return "    if (" + cond_simple() + ")\n        return " +
+                   std::to_string(static_cast<int>(rng_() % 5) - 2) +
+                   ";\n";
+          case 6:
+            return "    dev->state = " + expr() + ";\n";
+          default:
+            return "    work(dev);\n";
+        }
+    }
+
+    std::string
+    body(int depth)
+    {
+        std::string out;
+        size_t n = 1 + rng_() % 3;
+        for (size_t i = 0; i < n; i++)
+            out += statement(depth);
+        return out;
+    }
+
+    std::mt19937_64 rng_;
+    int vars_ = 0;
+};
+
+class PipelineFuzzTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(PipelineFuzzTest, RandomProgramsAnalyzeCleanly)
+{
+    ProgramGen gen(GetParam());
+    std::string source = "int probe(struct device *dev);\n"
+                         "void work(struct device *dev);\n";
+    for (int i = 0; i < 20; i++)
+        source += gen.function(i);
+
+    // Lowering must produce verifiable IR (verify() aborts on bad IR).
+    ir::Module module = frontend::compile(source);
+    for (const auto &fn : module.functions()) {
+        if (fn->isDeclaration())
+            continue;
+        fn->verify();
+        // Path enumeration respects the cap and the unroll-once rule.
+        auto paths = analysis::enumeratePaths(*fn, 64);
+        EXPECT_LE(paths.paths.size(), 64u);
+        for (const auto &path : paths.paths) {
+            std::map<ir::BlockId, int> visits;
+            for (auto b : path.blocks)
+                EXPECT_LE(++visits[b], 2) << fn->name();
+        }
+    }
+
+    // The full analysis must terminate without crashing and be
+    // deterministic.
+    auto analyze = [&]() {
+        Rid tool;
+        tool.loadSpecText(kernel::dpmSpecText());
+        tool.addSource(source);
+        RunResult result = tool.run();
+        std::string digest;
+        for (const auto &report : result.reports)
+            digest += report.str() + "\n";
+        return digest;
+    };
+    EXPECT_EQ(analyze(), analyze());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzzTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606,
+                                           707, 808));
+
+class ExtensionFuzzTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(ExtensionFuzzTest, ExtensionsNeverAddReportsOnRandomPrograms)
+{
+    // The Section 5.4 extensions only make paths MORE distinguishable,
+    // so they can only remove reports, never add them (per function).
+    ProgramGen gen(GetParam() * 31);
+    std::string source = "int probe(struct device *dev);\n"
+                         "void work(struct device *dev);\n";
+    for (int i = 0; i < 12; i++)
+        source += gen.function(i);
+
+    auto reportedSet = [&](bool bits, bool stores) {
+        frontend::LowerOptions lower;
+        lower.model_bit_tests = bits;
+        lower.model_field_stores = stores;
+        Rid tool({}, lower);
+        tool.loadSpecText(kernel::dpmSpecText());
+        tool.addSource(source);
+        std::set<std::string> out;
+        for (const auto &report : tool.run().reports)
+            out.insert(report.function);
+        return out;
+    };
+
+    auto baseline = reportedSet(false, false);
+    for (auto [bits, stores] :
+         {std::pair{true, false}, {false, true}, {true, true}}) {
+        auto extended = reportedSet(bits, stores);
+        for (const auto &fn : extended) {
+            EXPECT_TRUE(baseline.count(fn))
+                << "extension invented a report in " << fn;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtensionFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+class SummaryRoundTripTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(SummaryRoundTripTest, RandomSummariesSurviveSerialization)
+{
+    std::mt19937_64 rng(GetParam());
+    using smt::Expr;
+    using smt::Formula;
+    using smt::Pred;
+
+    auto randomAtom = [&rng]() -> Expr {
+        switch (rng() % 4) {
+          case 0: return Expr::arg("a" + std::to_string(rng() % 3));
+          case 1: return Expr::ret();
+          case 2:
+            return Expr::field(Expr::arg("a" + std::to_string(rng() % 3)),
+                               "f" + std::to_string(rng() % 3));
+          default:
+            return Expr::temp("t" + std::to_string(rng() % 3));
+        }
+    };
+    auto randomLit = [&]() {
+        Pred preds[] = {Pred::Eq, Pred::Ne, Pred::Lt,
+                        Pred::Le, Pred::Gt, Pred::Ge};
+        Expr rhs = rng() % 2
+                       ? Expr::intConst(static_cast<int64_t>(rng() % 9) - 4)
+                       : randomAtom();
+        return Formula::lit(
+            Expr::cmp(preds[rng() % 6], randomAtom(), rhs));
+    };
+
+    for (int round = 0; round < 50; round++) {
+        summary::FunctionSummary s;
+        s.function = "fn" + std::to_string(round);
+        s.params = {"a0", "a1", "a2"};
+        s.returns_value = rng() % 2 == 0;
+        size_t entries = 1 + rng() % 3;
+        for (size_t e = 0; e < entries; e++) {
+            summary::SummaryEntry entry;
+            std::vector<Formula> parts;
+            size_t lits = rng() % 3;
+            for (size_t l = 0; l < lits; l++)
+                parts.push_back(randomLit());
+            entry.cons = rng() % 4 == 0 && parts.size() >= 2
+                             ? Formula::disj(parts)
+                             : Formula::conj(parts);
+            size_t changes = rng() % 3;
+            for (size_t c = 0; c < changes; c++) {
+                entry.changes[Expr::field(randomAtom(), "rc")] +=
+                    static_cast<int>(rng() % 5) - 2;
+            }
+            entry.normalizeChanges();
+            if (rng() % 3 == 0)
+                entry.stores.insert(Expr::field(randomAtom(), "head"));
+            if (s.returns_value)
+                entry.ret = rng() % 2 ? Expr::ret() : Expr::intConst(0);
+            s.entries.push_back(std::move(entry));
+        }
+
+        std::string text = summary::serializeSummary(s);
+        auto parsed = summary::parseSpecs(text);
+        ASSERT_EQ(parsed.size(), 1u) << text;
+        const auto &back = parsed[0].summary;
+        ASSERT_EQ(back.entries.size(), s.entries.size()) << text;
+        for (size_t e = 0; e < s.entries.size(); e++) {
+            EXPECT_TRUE(back.entries[e].cons.equals(s.entries[e].cons))
+                << text;
+            EXPECT_EQ(back.entries[e].changes, s.entries[e].changes)
+                << text;
+            EXPECT_EQ(back.entries[e].stores.size(),
+                      s.entries[e].stores.size())
+                << text;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummaryRoundTripTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(Determinism, ThreadCountDoesNotChangeReports)
+{
+    auto mix = kernel::CorpusMix::paperCalibrated(0.001);
+    auto corpus = kernel::generateCorpus(mix);
+    auto digest = [&](int threads) {
+        analysis::AnalyzerOptions opts;
+        opts.threads = threads;
+        Rid tool(opts);
+        tool.loadSpecText(kernel::dpmSpecText());
+        for (const auto &file : corpus.files)
+            tool.addSource(file.text);
+        std::multiset<std::string> out;
+        for (const auto &report : tool.run().reports)
+            out.insert(report.str());
+        return out;
+    };
+    EXPECT_EQ(digest(1), digest(4));
+}
+
+TEST(Determinism, FileOrderDoesNotChangeReportSet)
+{
+    auto mix = kernel::CorpusMix::paperCalibrated(0.001);
+    auto corpus = kernel::generateCorpus(mix);
+    auto digest = [&](bool reversed) {
+        Rid tool;
+        tool.loadSpecText(kernel::dpmSpecText());
+        if (reversed) {
+            for (auto it = corpus.files.rbegin();
+                 it != corpus.files.rend(); ++it) {
+                tool.addSource(it->text);
+            }
+        } else {
+            for (const auto &file : corpus.files)
+                tool.addSource(file.text);
+        }
+        std::multiset<std::string> out;
+        for (const auto &report : tool.run().reports)
+            out.insert(report.function);
+        return out;
+    };
+    EXPECT_EQ(digest(false), digest(true));
+}
+
+} // anonymous namespace
+} // namespace rid

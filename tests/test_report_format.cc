@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for report rendering (core/report_format.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report_format.h"
+#include "kernel/dpm_specs.h"
+
+namespace rid {
+namespace {
+
+RunResult
+sampleRun()
+{
+    Rid tool;
+    tool.loadSpecText(kernel::dpmSpecText());
+    tool.addSource(R"(
+int leak_one(struct device *dev) {
+    int r = pm_runtime_get_sync(dev);
+    if (r < 0)
+        return r;
+    r = op_one(dev);
+    pm_runtime_put(dev);
+    return r;
+}
+int leak_two(struct device *dev) {
+    int r = pm_runtime_get_sync(dev);
+    if (r < 0)
+        return r;
+    r = op_two(dev);
+    pm_runtime_put(dev);
+    return r;
+}
+int op_one(struct device *dev);
+int op_two(struct device *dev);
+)");
+    return tool.run();
+}
+
+TEST(JsonEscape, EscapesSpecials)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Json, ReportFieldsPresent)
+{
+    RunResult result = sampleRun();
+    ASSERT_EQ(result.reports.size(), 2u);
+    std::string json = toJson(result.reports[0]);
+    for (const char *key :
+         {"\"function\"", "\"refcount\"", "\"delta_a\"", "\"delta_b\"",
+          "\"cons_a\"", "\"cons_b\"", "\"lines_a\"",
+          "\"return_line_a\""}) {
+        EXPECT_NE(json.find(key), std::string::npos) << json;
+    }
+    EXPECT_NE(json.find("[dev].pm"), std::string::npos);
+}
+
+TEST(Json, RunDocumentStructure)
+{
+    std::string json = toJson(sampleRun());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"reports\":["), std::string::npos);
+    EXPECT_NE(json.find("\"stats\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"paths_enumerated\":"), std::string::npos);
+    // Two reports, comma-separated.
+    EXPECT_NE(json.find("},{"), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    int depth = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < json.size(); i++) {
+        char c = json[i];
+        if (in_string) {
+            if (c == '\\')
+                i++;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        if (c == '{' || c == '[')
+            depth++;
+        if (c == '}' || c == ']')
+            depth--;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Json, EmptyRunHasEmptyArray)
+{
+    Rid tool;
+    tool.loadSpecText(kernel::dpmSpecText());
+    tool.addSource("int ok(int a) { return a; }");
+    std::string json = toJson(tool.run());
+    EXPECT_NE(json.find("\"reports\":[]"), std::string::npos);
+}
+
+TEST(GroupedText, GroupsByFunction)
+{
+    std::string text = groupedText(sampleRun());
+    EXPECT_NE(text.find("2 report(s) in 2 function(s)"),
+              std::string::npos);
+    EXPECT_NE(text.find("leak_one (1):"), std::string::npos);
+    EXPECT_NE(text.find("leak_two (1):"), std::string::npos);
+    EXPECT_NE(text.find("refcount [dev].pm"), std::string::npos);
+}
+
+TEST(GroupedText, OrdersByCountThenName)
+{
+    std::string text = groupedText(sampleRun());
+    // Equal counts: alphabetical order.
+    EXPECT_LT(text.find("leak_one"), text.find("leak_two"));
+}
+
+} // anonymous namespace
+} // namespace rid

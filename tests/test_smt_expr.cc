@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the symbolic expression layer (smt/expr.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "smt/expr.h"
+
+namespace rid::smt {
+namespace {
+
+TEST(Pred, NegationIsInvolutive)
+{
+    for (Pred p : {Pred::Eq, Pred::Ne, Pred::Lt, Pred::Le, Pred::Gt,
+                   Pred::Ge}) {
+        EXPECT_EQ(negatePred(negatePred(p)), p);
+    }
+}
+
+TEST(Pred, SwapIsInvolutive)
+{
+    for (Pred p : {Pred::Eq, Pred::Ne, Pred::Lt, Pred::Le, Pred::Gt,
+                   Pred::Ge}) {
+        EXPECT_EQ(swapPred(swapPred(p)), p);
+    }
+}
+
+TEST(Pred, NegationComplementsEval)
+{
+    for (Pred p : {Pred::Eq, Pred::Ne, Pred::Lt, Pred::Le, Pred::Gt,
+                   Pred::Ge}) {
+        for (int64_t a = -2; a <= 2; a++) {
+            for (int64_t b = -2; b <= 2; b++) {
+                EXPECT_NE(evalPred(p, a, b),
+                          evalPred(negatePred(p), a, b));
+            }
+        }
+    }
+}
+
+TEST(Pred, SwapMirrorsOperands)
+{
+    for (Pred p : {Pred::Eq, Pred::Ne, Pred::Lt, Pred::Le, Pred::Gt,
+                   Pred::Ge}) {
+        for (int64_t a = -2; a <= 2; a++) {
+            for (int64_t b = -2; b <= 2; b++) {
+                EXPECT_EQ(evalPred(p, a, b),
+                          evalPred(swapPred(p), b, a));
+            }
+        }
+    }
+}
+
+TEST(Expr, IntConstRoundTrip)
+{
+    Expr e = Expr::intConst(42);
+    EXPECT_EQ(e.kind(), ExprKind::IntConst);
+    EXPECT_EQ(e.intValue(), 42);
+    EXPECT_TRUE(e.isConst());
+    EXPECT_FALSE(e.isAtomic());
+    EXPECT_FALSE(e.isBoolean());
+}
+
+TEST(Expr, NullIsIntegerZero)
+{
+    EXPECT_TRUE(Expr::null().equals(Expr::intConst(0)));
+}
+
+TEST(Expr, BoolConst)
+{
+    EXPECT_TRUE(Expr::boolConst(true).boolValue());
+    EXPECT_FALSE(Expr::boolConst(false).boolValue());
+    EXPECT_TRUE(Expr::boolConst(true).isBoolean());
+}
+
+TEST(Expr, ArgPrintsInPaperNotation)
+{
+    EXPECT_EQ(Expr::arg("dev").str(), "[dev]");
+    EXPECT_EQ(Expr::ret().str(), "[0]");
+}
+
+TEST(Expr, FieldChainsPrint)
+{
+    Expr e = Expr::field(Expr::field(Expr::arg("intf"), "dev"), "pm");
+    EXPECT_EQ(e.str(), "[intf].dev.pm");
+    EXPECT_TRUE(e.isAtomic());
+}
+
+TEST(Expr, LocalAndTempPrint)
+{
+    EXPECT_EQ(Expr::local("v").str(), "v");
+    EXPECT_EQ(Expr::temp("c1").str(), "%c1");
+}
+
+TEST(Expr, CmpPrints)
+{
+    Expr e = Expr::cmp(Pred::Ge, Expr::ret(), Expr::intConst(0));
+    EXPECT_EQ(e.str(), "[0] >= 0");
+    EXPECT_TRUE(e.isBoolean());
+}
+
+TEST(Expr, StructuralEquality)
+{
+    Expr a = Expr::field(Expr::arg("dev"), "pm");
+    Expr b = Expr::field(Expr::arg("dev"), "pm");
+    Expr c = Expr::field(Expr::arg("dev"), "rc");
+    EXPECT_TRUE(a.equals(b));
+    EXPECT_FALSE(a.equals(c));
+    EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(Expr, EqualityDistinguishesAtomKinds)
+{
+    EXPECT_FALSE(Expr::arg("x").equals(Expr::local("x")));
+    EXPECT_FALSE(Expr::local("x").equals(Expr::temp("x")));
+}
+
+TEST(Expr, LessIsStrictWeakOrder)
+{
+    std::vector<Expr> exprs = {
+        Expr::intConst(1), Expr::intConst(2), Expr::arg("a"),
+        Expr::arg("b"), Expr::local("a"),
+        Expr::field(Expr::arg("a"), "f"),
+        Expr::cmp(Pred::Lt, Expr::arg("a"), Expr::intConst(0)),
+    };
+    for (const auto &x : exprs) {
+        EXPECT_FALSE(x.less(x));
+        for (const auto &y : exprs) {
+            if (x.less(y))
+                EXPECT_FALSE(y.less(x));
+            else if (y.less(x))
+                EXPECT_FALSE(x.less(y));
+            else
+                EXPECT_TRUE(x.equals(y));
+        }
+    }
+}
+
+TEST(Expr, SubstituteAtom)
+{
+    Expr from = Expr::arg("d");
+    Expr to = Expr::field(Expr::arg("intf"), "dev");
+    Expr e = Expr::field(from, "pm");
+    EXPECT_EQ(e.substitute(from, to).str(), "[intf].dev.pm");
+}
+
+TEST(Expr, SubstituteInsideCmp)
+{
+    Expr e = Expr::cmp(Pred::Eq, Expr::local("v"), Expr::intConst(0));
+    Expr out = e.substitute(Expr::local("v"), Expr::ret());
+    EXPECT_EQ(out.str(), "[0] == 0");
+}
+
+TEST(Expr, SubstituteWholeMatch)
+{
+    Expr e = Expr::local("v");
+    EXPECT_TRUE(e.substitute(e, Expr::intConst(7))
+                    .equals(Expr::intConst(7)));
+}
+
+TEST(Expr, SubstituteNoMatchReturnsSame)
+{
+    Expr e = Expr::field(Expr::arg("a"), "f");
+    Expr out = e.substitute(Expr::arg("b"), Expr::intConst(0));
+    EXPECT_TRUE(out.equals(e));
+}
+
+TEST(Expr, SubstituteIsTopDownNotRecursiveIntoReplacement)
+{
+    // Replacing x by f(x)-like structures must not loop.
+    Expr x = Expr::local("x");
+    Expr to = Expr::field(Expr::local("x"), "f");
+    Expr out = x.substitute(x, to);
+    EXPECT_EQ(out.str(), "x.f");
+}
+
+TEST(Expr, NegatedCmpFlipsPredicate)
+{
+    Expr e = Expr::cmp(Pred::Lt, Expr::arg("a"), Expr::intConst(0));
+    EXPECT_EQ(e.negated().str(), "[a] >= 0");
+}
+
+TEST(Expr, NegatedBoolConstFlips)
+{
+    EXPECT_FALSE(Expr::boolConst(true).negated().boolValue());
+}
+
+TEST(Expr, MentionsLocalState)
+{
+    EXPECT_TRUE(Expr::local("v").mentionsLocalState());
+    EXPECT_TRUE(Expr::temp("c").mentionsLocalState());
+    EXPECT_TRUE(Expr::field(Expr::temp("c"), "rc").mentionsLocalState());
+    EXPECT_FALSE(Expr::arg("a").mentionsLocalState());
+    EXPECT_FALSE(Expr::ret().mentionsLocalState());
+    EXPECT_TRUE(Expr::cmp(Pred::Eq, Expr::ret(), Expr::local("v"))
+                    .mentionsLocalState());
+}
+
+TEST(Expr, ContainsIfFindsNestedNodes)
+{
+    Expr e = Expr::cmp(Pred::Eq, Expr::field(Expr::arg("a"), "f"),
+                       Expr::intConst(3));
+    bool found = e.containsIf([](const Expr &sub) {
+        return sub.kind() == ExprKind::IntConst && sub.intValue() == 3;
+    });
+    EXPECT_TRUE(found);
+}
+
+TEST(Expr, EmptyExprBehaves)
+{
+    Expr e;
+    EXPECT_TRUE(e.empty());
+    EXPECT_FALSE(static_cast<bool>(e));
+    EXPECT_EQ(e.hash(), 0u);
+}
+
+TEST(Expr, HashDiffersForDifferentStructures)
+{
+    // Not guaranteed in theory, but these simple cases must not collide.
+    EXPECT_NE(Expr::arg("a").hash(), Expr::arg("b").hash());
+    EXPECT_NE(Expr::intConst(1).hash(), Expr::intConst(2).hash());
+}
+
+} // anonymous namespace
+} // namespace rid::smt

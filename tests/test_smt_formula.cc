@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit tests for the formula layer (smt/formula.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "smt/formula.h"
+
+namespace rid::smt {
+namespace {
+
+Formula
+lit(Pred p, Expr a, Expr b)
+{
+    return Formula::lit(Expr::cmp(p, std::move(a), std::move(b)));
+}
+
+Formula
+argLit(const char *name, Pred p, int64_t k)
+{
+    return lit(p, Expr::arg(name), Expr::intConst(k));
+}
+
+TEST(Formula, DefaultIsTrue)
+{
+    EXPECT_TRUE(Formula().isTrue());
+}
+
+TEST(Formula, BoolConstLiteralsFold)
+{
+    EXPECT_TRUE(Formula::lit(Expr::boolConst(true)).isTrue());
+    EXPECT_TRUE(Formula::lit(Expr::boolConst(false)).isFalse());
+}
+
+TEST(Formula, ConstantComparisonsFold)
+{
+    EXPECT_TRUE(lit(Pred::Lt, Expr::intConst(1), Expr::intConst(2))
+                    .isTrue());
+    EXPECT_TRUE(lit(Pred::Eq, Expr::intConst(1), Expr::intConst(2))
+                    .isFalse());
+}
+
+TEST(Formula, ReflexiveComparisonsFold)
+{
+    Expr a = Expr::arg("a");
+    EXPECT_TRUE(lit(Pred::Eq, a, a).isTrue());
+    EXPECT_TRUE(lit(Pred::Le, a, a).isTrue());
+    EXPECT_TRUE(lit(Pred::Ne, a, a).isFalse());
+    EXPECT_TRUE(lit(Pred::Lt, a, a).isFalse());
+}
+
+TEST(Formula, ConjFoldsTrueAndFalse)
+{
+    Formula a = argLit("a", Pred::Gt, 0);
+    EXPECT_TRUE(Formula::conj({Formula::top(), Formula::top()}).isTrue());
+    EXPECT_TRUE(Formula::conj({a, Formula::bottom()}).isFalse());
+    EXPECT_TRUE(Formula::conj({Formula::top(), a}).equals(a));
+}
+
+TEST(Formula, DisjFoldsTrueAndFalse)
+{
+    Formula a = argLit("a", Pred::Gt, 0);
+    EXPECT_TRUE(Formula::disj({Formula::bottom(), Formula::bottom()})
+                    .isFalse());
+    EXPECT_TRUE(Formula::disj({a, Formula::top()}).isTrue());
+    EXPECT_TRUE(Formula::disj({Formula::bottom(), a}).equals(a));
+}
+
+TEST(Formula, ConjFlattensNestedAnds)
+{
+    Formula a = argLit("a", Pred::Gt, 0);
+    Formula b = argLit("b", Pred::Gt, 0);
+    Formula c = argLit("c", Pred::Gt, 0);
+    Formula nested = Formula::conj({Formula::conj({a, b}), c});
+    EXPECT_EQ(nested.kind(), FormulaKind::And);
+    EXPECT_EQ(nested.children().size(), 3u);
+}
+
+TEST(Formula, ConjDeduplicates)
+{
+    Formula a = argLit("a", Pred::Gt, 0);
+    Formula two = Formula::conj({a, a});
+    EXPECT_TRUE(two.equals(a));
+}
+
+TEST(Formula, DisjDeduplicates)
+{
+    Formula a = argLit("a", Pred::Gt, 0);
+    EXPECT_TRUE(Formula::disj({a, a}).equals(a));
+}
+
+TEST(Formula, NegationOfLiteralFlipsPredicate)
+{
+    Formula a = argLit("a", Pred::Lt, 0);
+    Formula not_a = Formula::negation(a);
+    EXPECT_EQ(not_a.str(), "[a] >= 0");
+}
+
+TEST(Formula, NegationOfTopBottom)
+{
+    EXPECT_TRUE(Formula::negation(Formula::top()).isFalse());
+    EXPECT_TRUE(Formula::negation(Formula::bottom()).isTrue());
+}
+
+TEST(Formula, DoubleNegationCancels)
+{
+    Formula a = Formula::conj(
+        {argLit("a", Pred::Gt, 0), argLit("b", Pred::Gt, 0)});
+    Formula back = Formula::negation(Formula::negation(a));
+    EXPECT_TRUE(back.equals(a));
+}
+
+TEST(Formula, NnfPushesNegationThroughAnd)
+{
+    Formula a = argLit("a", Pred::Gt, 0);
+    Formula b = argLit("b", Pred::Eq, 1);
+    Formula f = Formula::negation(Formula::conj({a, b})).nnf();
+    // De Morgan: !(a && b) == !a || !b
+    EXPECT_EQ(f.kind(), FormulaKind::Or);
+    EXPECT_EQ(f.str(), "[a] <= 0 || [b] != 1");
+}
+
+TEST(Formula, NnfPushesNegationThroughOr)
+{
+    Formula a = argLit("a", Pred::Gt, 0);
+    Formula b = argLit("b", Pred::Eq, 1);
+    Formula f = Formula::negation(Formula::disj({a, b})).nnf();
+    EXPECT_EQ(f.kind(), FormulaKind::And);
+    EXPECT_EQ(f.str(), "[a] <= 0 && [b] != 1");
+}
+
+TEST(Formula, LiteralsCollectsDeduplicated)
+{
+    Formula a = argLit("a", Pred::Gt, 0);
+    Formula b = argLit("b", Pred::Lt, 5);
+    Formula f = Formula::conj({a, Formula::disj({a, b})});
+    auto lits = f.literals();
+    EXPECT_EQ(lits.size(), 2u);
+}
+
+TEST(Formula, SubstituteRewritesLiterals)
+{
+    Formula f = Formula::conj(
+        {Formula::lit(Expr::cmp(Pred::Ge, Expr::local("v"),
+                                Expr::intConst(0))),
+         Formula::lit(Expr::cmp(Pred::Eq, Expr::ret(),
+                                Expr::local("v")))});
+    Formula out = f.substitute(Expr::local("v"), Expr::ret());
+    // [0] == [0] folds away; v >= 0 becomes [0] >= 0.
+    EXPECT_EQ(out.str(), "[0] >= 0");
+}
+
+TEST(Formula, MentionsLocalState)
+{
+    Formula clean = argLit("a", Pred::Gt, 0);
+    Formula dirty = Formula::lit(
+        Expr::cmp(Pred::Eq, Expr::local("v"), Expr::intConst(0)));
+    EXPECT_FALSE(clean.mentionsLocalState());
+    EXPECT_TRUE(dirty.mentionsLocalState());
+    EXPECT_TRUE(Formula::conj({clean, dirty}).mentionsLocalState());
+}
+
+TEST(Formula, DropLiteralsWeakensConjunction)
+{
+    Formula f = Formula::conj(
+        {argLit("a", Pred::Gt, 0),
+         Formula::lit(Expr::cmp(Pred::Eq, Expr::local("v"),
+                                Expr::intConst(1)))});
+    Formula out = f.dropLiteralsIf(
+        [](const Expr &e) { return e.mentionsLocalState(); });
+    EXPECT_EQ(out.str(), "[a] > 0");
+}
+
+TEST(Formula, DropLiteralsInsideDisjunction)
+{
+    Formula f = Formula::disj(
+        {Formula::lit(Expr::cmp(Pred::Eq, Expr::local("v"),
+                                Expr::intConst(1))),
+         argLit("a", Pred::Gt, 0)});
+    Formula out = f.dropLiteralsIf(
+        [](const Expr &e) { return e.mentionsLocalState(); });
+    // One disjunct became true, so the whole disjunction is true: a
+    // sound weakening.
+    EXPECT_TRUE(out.isTrue());
+}
+
+TEST(Formula, DropLiteralsOnNegatedFormulaIsSound)
+{
+    // dropLiteralsIf must work on NNF so that dropping under negation
+    // weakens rather than strengthens.
+    Formula f = Formula::negation(Formula::conj(
+        {argLit("a", Pred::Gt, 0),
+         Formula::lit(Expr::cmp(Pred::Eq, Expr::local("v"),
+                                Expr::intConst(1)))}));
+    Formula out = f.dropLiteralsIf(
+        [](const Expr &e) { return e.mentionsLocalState(); });
+    EXPECT_TRUE(out.isTrue());
+}
+
+TEST(Formula, StrParenthesizesMixedNesting)
+{
+    Formula a = argLit("a", Pred::Gt, 0);
+    Formula b = argLit("b", Pred::Gt, 0);
+    Formula c = argLit("c", Pred::Gt, 0);
+    Formula f = Formula::conj({Formula::disj({a, b}), c});
+    EXPECT_EQ(f.str(), "([a] > 0 || [b] > 0) && [c] > 0");
+}
+
+TEST(Formula, EqualsIsStructural)
+{
+    Formula a = Formula::conj(
+        {argLit("a", Pred::Gt, 0), argLit("b", Pred::Lt, 3)});
+    Formula b = Formula::conj(
+        {argLit("a", Pred::Gt, 0), argLit("b", Pred::Lt, 3)});
+    Formula c = Formula::conj(
+        {argLit("b", Pred::Lt, 3), argLit("a", Pred::Gt, 0)});
+    EXPECT_TRUE(a.equals(b));
+    EXPECT_FALSE(a.equals(c));  // order matters structurally
+}
+
+TEST(Formula, LandLorConvenience)
+{
+    Formula a = argLit("a", Pred::Gt, 0);
+    Formula b = argLit("b", Pred::Gt, 0);
+    EXPECT_EQ(a.land(b).kind(), FormulaKind::And);
+    EXPECT_EQ(a.lor(b).kind(), FormulaKind::Or);
+    EXPECT_TRUE(a.land(Formula::top()).equals(a));
+    EXPECT_TRUE(a.lor(Formula::bottom()).equals(a));
+}
+
+} // anonymous namespace
+} // namespace rid::smt

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unit tests for linear normalization (smt/linear.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include "smt/linear.h"
+
+namespace rid::smt {
+namespace {
+
+TEST(VarSpace, InternsStably)
+{
+    VarSpace space;
+    VarId a = space.idFor(Expr::arg("a"));
+    VarId b = space.idFor(Expr::arg("b"));
+    EXPECT_NE(a, b);
+    EXPECT_EQ(space.idFor(Expr::arg("a")), a);
+    EXPECT_EQ(space.size(), 2u);
+    EXPECT_TRUE(space.atomFor(a).equals(Expr::arg("a")));
+}
+
+TEST(VarSpace, TryIdForDoesNotAllocate)
+{
+    VarSpace space;
+    EXPECT_FALSE(space.tryIdFor(Expr::arg("a")).has_value());
+    EXPECT_EQ(space.size(), 0u);
+    space.idFor(Expr::arg("a"));
+    EXPECT_TRUE(space.tryIdFor(Expr::arg("a")).has_value());
+}
+
+TEST(VarSpace, FieldChainsAreDistinctVariables)
+{
+    VarSpace space;
+    VarId a = space.idFor(Expr::arg("dev"));
+    VarId b = space.idFor(Expr::field(Expr::arg("dev"), "pm"));
+    EXPECT_NE(a, b);
+}
+
+TEST(LinExpr, TermsCancel)
+{
+    LinExpr e;
+    e.addTerm(0, 2);
+    e.addTerm(0, -2);
+    EXPECT_TRUE(e.isConstant());
+}
+
+TEST(LinExpr, MinusSubtracts)
+{
+    LinExpr a(5);
+    a.addTerm(0, 2);
+    LinExpr b(3);
+    b.addTerm(0, 2);
+    b.addTerm(1, 1);
+    LinExpr d = a.minus(b);
+    EXPECT_EQ(d.constant(), 2);
+    EXPECT_EQ(d.terms().size(), 1u);
+    EXPECT_EQ(d.terms().at(1), -1);
+}
+
+TEST(LinExpr, EvalUnderAssignment)
+{
+    LinExpr e(7);
+    e.addTerm(0, 2);
+    e.addTerm(1, -3);
+    std::map<VarId, int64_t> assignment{{0, 5}, {1, 4}};
+    EXPECT_EQ(e.eval(assignment), 7 + 10 - 12);
+}
+
+class NormalizePredTest : public ::testing::TestWithParam<Pred>
+{};
+
+TEST_P(NormalizePredTest, AgreesWithDirectEvaluation)
+{
+    // Normalized literal must evaluate exactly like the original
+    // comparison over a grid of integer values.
+    Pred pred = GetParam();
+    VarSpace space;
+    Expr cmp = Expr::cmp(pred, Expr::arg("x"), Expr::arg("y"));
+    auto lit = normalizeCmp(cmp, space);
+    ASSERT_TRUE(lit.has_value());
+    VarId x = *space.tryIdFor(Expr::arg("x"));
+    VarId y = *space.tryIdFor(Expr::arg("y"));
+    for (int64_t a = -3; a <= 3; a++) {
+        for (int64_t b = -3; b <= 3; b++) {
+            std::map<VarId, int64_t> assignment{{x, a}, {y, b}};
+            EXPECT_EQ(lit->eval(assignment), evalPred(pred, a, b))
+                << predSpelling(pred) << " with " << a << "," << b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPredicates, NormalizePredTest,
+                         ::testing::Values(Pred::Eq, Pred::Ne, Pred::Lt,
+                                           Pred::Le, Pred::Gt, Pred::Ge));
+
+TEST(NormalizeCmp, ConstantsFoldIntoTheConstantTerm)
+{
+    VarSpace space;
+    auto lit = normalizeCmp(
+        Expr::cmp(Pred::Le, Expr::arg("x"), Expr::intConst(5)), space);
+    ASSERT_TRUE(lit.has_value());
+    EXPECT_EQ(lit->rel, LinRel::Le);
+    // x - 5 <= 0
+    EXPECT_EQ(lit->expr.constant(), -5);
+}
+
+TEST(NormalizeCmp, StrictBecomesNonStrict)
+{
+    VarSpace space;
+    auto lit = normalizeCmp(
+        Expr::cmp(Pred::Lt, Expr::arg("x"), Expr::intConst(5)), space);
+    ASSERT_TRUE(lit.has_value());
+    // x - 5 + 1 <= 0  i.e.  x <= 4
+    EXPECT_EQ(lit->expr.constant(), -4);
+}
+
+TEST(NormalizeCmp, GtFlipsOperands)
+{
+    VarSpace space;
+    auto lit = normalizeCmp(
+        Expr::cmp(Pred::Gt, Expr::arg("x"), Expr::intConst(0)), space);
+    ASSERT_TRUE(lit.has_value());
+    VarId x = *space.tryIdFor(Expr::arg("x"));
+    // -x + 1 <= 0
+    EXPECT_EQ(lit->expr.terms().at(x), -1);
+    EXPECT_EQ(lit->expr.constant(), 1);
+}
+
+TEST(NormalizeCmp, BooleanOperandsRejected)
+{
+    VarSpace space;
+    Expr inner = Expr::cmp(Pred::Eq, Expr::arg("a"), Expr::intConst(0));
+    Expr outer = Expr::cmp(Pred::Eq, inner, Expr::intConst(0));
+    EXPECT_FALSE(normalizeCmp(outer, space).has_value());
+}
+
+TEST(NormalizeCmp, BoolConstIsZeroOne)
+{
+    VarSpace space;
+    auto lit = normalizeCmp(Expr::cmp(Pred::Eq, Expr::arg("x"),
+                                      Expr::boolConst(true)),
+                            space);
+    ASSERT_TRUE(lit.has_value());
+    EXPECT_EQ(lit->rel, LinRel::Eq);
+    EXPECT_EQ(lit->expr.constant(), -1);
+}
+
+TEST(NormalizeCmp, NonCmpReturnsNullopt)
+{
+    VarSpace space;
+    EXPECT_FALSE(normalizeCmp(Expr::arg("x"), space).has_value());
+}
+
+TEST(LinLit, EvalRelations)
+{
+    VarSpace space;
+    VarId x = space.idFor(Expr::arg("x"));
+    LinLit le{LinExpr::variable(x), LinRel::Le};
+    LinLit eq{LinExpr::variable(x), LinRel::Eq};
+    LinLit ne{LinExpr::variable(x), LinRel::Ne};
+    std::map<VarId, int64_t> zero{{x, 0}}, one{{x, 1}}, neg{{x, -1}};
+    EXPECT_TRUE(le.eval(zero));
+    EXPECT_TRUE(le.eval(neg));
+    EXPECT_FALSE(le.eval(one));
+    EXPECT_TRUE(eq.eval(zero));
+    EXPECT_FALSE(eq.eval(one));
+    EXPECT_TRUE(ne.eval(one));
+    EXPECT_FALSE(ne.eval(zero));
+}
+
+TEST(LinExpr, StrRendersReadably)
+{
+    VarSpace space;
+    VarId x = space.idFor(Expr::arg("x"));
+    VarId y = space.idFor(Expr::arg("y"));
+    LinExpr e(3);
+    e.addTerm(x, 1);
+    e.addTerm(y, -2);
+    EXPECT_EQ(e.str(space), "[x]-2*[y]+3");
+}
+
+} // anonymous namespace
+} // namespace rid::smt

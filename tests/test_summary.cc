@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for summaries, the summary database and the spec language
+ * (summary/).
+ */
+
+#include <gtest/gtest.h>
+
+#include "summary/db.h"
+#include "summary/spec.h"
+#include "summary/summary.h"
+
+namespace rid::summary {
+namespace {
+
+using smt::Expr;
+using smt::Formula;
+using smt::Pred;
+
+SummaryEntry
+entryWith(Formula cons, std::map<std::string, int> changes, Expr ret)
+{
+    SummaryEntry e;
+    e.cons = std::move(cons);
+    for (const auto &[field, delta] : changes)
+        e.changes[Expr::field(Expr::arg("d"), field)] = delta;
+    e.ret = std::move(ret);
+    return e;
+}
+
+TEST(SummaryEntry, NormalizeDropsZeroDeltas)
+{
+    SummaryEntry e;
+    e.changes[Expr::field(Expr::arg("d"), "pm")] = 0;
+    e.changes[Expr::field(Expr::arg("d"), "rc")] = 1;
+    e.normalizeChanges();
+    EXPECT_EQ(e.changes.size(), 1u);
+}
+
+TEST(SummaryEntry, SameChangesSymmetric)
+{
+    SummaryEntry a = entryWith(Formula::top(), {{"pm", 1}}, Expr());
+    SummaryEntry b = entryWith(Formula::top(), {{"pm", 1}}, Expr());
+    SummaryEntry c = entryWith(Formula::top(), {{"pm", 2}}, Expr());
+    SummaryEntry d = entryWith(Formula::top(), {}, Expr());
+    EXPECT_TRUE(SummaryEntry::sameChanges(a, b));
+    EXPECT_FALSE(SummaryEntry::sameChanges(a, c));
+    EXPECT_FALSE(SummaryEntry::sameChanges(a, d));
+    EXPECT_FALSE(SummaryEntry::sameChanges(d, a));
+}
+
+TEST(SummaryEntry, ChangedDifferentlyReportsBothDeltas)
+{
+    SummaryEntry a = entryWith(Formula::top(), {{"pm", 1}}, Expr());
+    SummaryEntry b = entryWith(Formula::top(), {{"rc", -1}}, Expr());
+    auto diffs = SummaryEntry::changedDifferently(a, b);
+    ASSERT_EQ(diffs.size(), 2u);
+}
+
+TEST(SummaryEntry, MergeDisjoinsConstraints)
+{
+    Formula c1 = Formula::lit(
+        Expr::cmp(Pred::Eq, Expr::ret(), Expr::intConst(0)));
+    Formula c2 = Formula::lit(
+        Expr::cmp(Pred::Eq, Expr::ret(), Expr::intConst(1)));
+    SummaryEntry a = entryWith(c1, {{"pm", 1}}, Expr::intConst(0));
+    SummaryEntry b = entryWith(c2, {{"pm", 1}}, Expr::intConst(1));
+    SummaryEntry merged = SummaryEntry::merge(a, b);
+    EXPECT_EQ(merged.cons.kind(), smt::FormulaKind::Or);
+    // Different return expressions collapse to the opaque [0].
+    EXPECT_TRUE(merged.ret.equals(Expr::ret()));
+}
+
+TEST(SummaryEntry, MergeKeepsEqualReturn)
+{
+    SummaryEntry a =
+        entryWith(Formula::top(), {{"pm", 1}}, Expr::intConst(0));
+    SummaryEntry b =
+        entryWith(Formula::top(), {{"pm", 1}}, Expr::intConst(0));
+    EXPECT_TRUE(SummaryEntry::merge(a, b).ret.equals(Expr::intConst(0)));
+}
+
+TEST(FunctionSummary, DefaultSummaryShape)
+{
+    FunctionSummary s = FunctionSummary::defaultFor("f", true);
+    EXPECT_TRUE(s.is_default);
+    ASSERT_EQ(s.entries.size(), 1u);
+    EXPECT_TRUE(s.entries[0].cons.isTrue());
+    EXPECT_TRUE(s.entries[0].changes.empty());
+    EXPECT_TRUE(s.entries[0].ret.equals(Expr::ret()));
+    EXPECT_FALSE(s.hasChanges());
+}
+
+TEST(FunctionSummary, VoidDefaultHasNoReturn)
+{
+    FunctionSummary s = FunctionSummary::defaultFor("f", false);
+    EXPECT_TRUE(s.entries[0].ret.empty());
+}
+
+TEST(Instantiate, FormalsReplacedByActuals)
+{
+    SummaryEntry e;
+    e.cons = Formula::lit(
+        Expr::cmp(Pred::Ne, Expr::arg("d"), Expr::null()));
+    e.changes[Expr::field(Expr::arg("d"), "pm")] = 1;
+    e.ret = Expr::ret();
+
+    Expr actual = Expr::field(Expr::arg("intf"), "dev");
+    SummaryEntry inst = instantiate(e, {"d"}, {actual}, Expr());
+    EXPECT_EQ(inst.cons.str(), "[intf].dev != 0");
+    ASSERT_EQ(inst.changes.size(), 1u);
+    EXPECT_EQ(inst.changes.begin()->first.str(), "[intf].dev.pm");
+}
+
+TEST(Instantiate, ReturnAtomReplacedByResult)
+{
+    SummaryEntry e;
+    e.cons = Formula::lit(
+        Expr::cmp(Pred::Ge, Expr::ret(), Expr::intConst(0)));
+    e.ret = Expr::ret();
+    SummaryEntry inst = instantiate(e, {}, {}, Expr::temp("c1"));
+    EXPECT_EQ(inst.cons.str(), "%c1 >= 0");
+    EXPECT_TRUE(inst.ret.equals(Expr::temp("c1")));
+}
+
+TEST(Instantiate, MissingActualsBecomeFreshTemps)
+{
+    SummaryEntry e;
+    e.changes[Expr::field(Expr::arg("d"), "pm")] = 1;
+    SummaryEntry inst = instantiate(e, {"d"}, {}, Expr());
+    EXPECT_EQ(inst.changes.begin()->first.str(), "%missing$d.pm");
+}
+
+TEST(Instantiate, ChangeKeysThatCollideAccumulate)
+{
+    // Two formals instantiated with the same actual: deltas add up.
+    SummaryEntry e;
+    e.changes[Expr::field(Expr::arg("a"), "rc")] = 1;
+    e.changes[Expr::field(Expr::arg("b"), "rc")] = 1;
+    Expr same = Expr::arg("x");
+    SummaryEntry inst = instantiate(e, {"a", "b"}, {same, same}, Expr());
+    ASSERT_EQ(inst.changes.size(), 1u);
+    EXPECT_EQ(inst.changes.begin()->second, 2);
+}
+
+TEST(SummaryDb, PredefinedBeatsComputed)
+{
+    SummaryDb db;
+    FunctionSummary computed;
+    computed.function = "f";
+    computed.entries.push_back(SummaryEntry{});
+    db.addComputed(computed);
+
+    FunctionSummary spec;
+    spec.function = "f";
+    spec.entries.push_back(SummaryEntry{});
+    spec.entries.push_back(SummaryEntry{});
+    db.addPredefined(spec);
+
+    const FunctionSummary *found = db.find("f");
+    ASSERT_NE(found, nullptr);
+    EXPECT_TRUE(found->is_predefined);
+    EXPECT_EQ(found->entries.size(), 2u);
+
+    // Computed summaries never overwrite predefined ones.
+    db.addComputed(computed);
+    EXPECT_TRUE(db.find("f")->is_predefined);
+}
+
+TEST(SummaryDb, FindMissingReturnsNull)
+{
+    SummaryDb db;
+    EXPECT_EQ(db.find("nope"), nullptr);
+}
+
+TEST(SpecParser, ParsesTheDpmShape)
+{
+    auto parsed = parseSpecs(R"(
+summary pm_runtime_get_sync(dev) -> int {
+  entry { cons: true; change: [dev].pm += 1; return: [0]; }
+}
+)");
+    ASSERT_EQ(parsed.size(), 1u);
+    const auto &s = parsed[0].summary;
+    EXPECT_EQ(s.function, "pm_runtime_get_sync");
+    EXPECT_EQ(s.params, (std::vector<std::string>{"dev"}));
+    EXPECT_TRUE(s.returns_value);
+    ASSERT_EQ(s.entries.size(), 1u);
+    EXPECT_TRUE(s.entries[0].cons.isTrue());
+    EXPECT_EQ(s.entries[0].changes.begin()->first.str(), "[dev].pm");
+    EXPECT_EQ(s.entries[0].changes.begin()->second, 1);
+}
+
+TEST(SpecParser, MultipleEntriesAndConstraints)
+{
+    auto parsed = parseSpecs(R"(
+summary PyList_New(len) -> ptr {
+  entry { cons: [0] != null; change: [0].rc += 1; return: [0]; }
+  entry { cons: [0] == null; return: null; }
+}
+)");
+    const auto &s = parsed[0].summary;
+    ASSERT_EQ(s.entries.size(), 2u);
+    EXPECT_EQ(s.entries[0].cons.str(), "[0] != 0");
+    EXPECT_TRUE(s.entries[1].ret.equals(smt::Expr::null()));
+}
+
+TEST(SpecParser, VoidFunctionsHaveNoReturn)
+{
+    auto parsed = parseSpecs(
+        "summary Py_INCREF(o) -> void {"
+        " entry { cons: true; change: [o].rc += 1; return: none; } }");
+    EXPECT_FALSE(parsed[0].returns_value);
+    EXPECT_TRUE(parsed[0].summary.entries[0].ret.empty());
+}
+
+TEST(SpecParser, NegativeChangesAndConstants)
+{
+    auto parsed = parseSpecs(
+        "summary f(a) -> int {"
+        " entry { cons: [0] == -1; change: [a].rc -= 2; return: -1; } }");
+    const auto &e = parsed[0].summary.entries[0];
+    EXPECT_EQ(e.changes.begin()->second, -2);
+    EXPECT_EQ(e.ret.intValue(), -1);
+}
+
+TEST(SpecParser, DisjunctionAndNegationInCons)
+{
+    auto parsed = parseSpecs(
+        "summary f(a) -> int {"
+        " entry { cons: [a] == 0 || !([0] < 0) && [a] > 1; } }");
+    // || binds loosest: a == 0 || (!(..) && a > 1)
+    const auto &cons = parsed[0].summary.entries[0].cons;
+    EXPECT_EQ(cons.kind(), smt::FormulaKind::Or);
+}
+
+TEST(SpecParser, CommentsAndBlankLines)
+{
+    auto parsed = parseSpecs(
+        "# leading comment\n\n"
+        "summary f() -> void { # trailing\n entry { cons: true; "
+        "return: none; } }\n# done\n");
+    EXPECT_EQ(parsed.size(), 1u);
+}
+
+TEST(SpecParser, ErrorsCarryLineNumbers)
+{
+    try {
+        parseSpecs("summary f() -> int {\n  entry { bogus: 1; }\n}");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_EQ(e.line(), 2);
+    }
+}
+
+TEST(SpecParser, RejectsNonZeroBracketNumbers)
+{
+    EXPECT_THROW(parseSpecs("summary f() -> int {"
+                            " entry { cons: [1] == 0; } }"),
+                 SpecError);
+}
+
+TEST(SpecParser, RejectsMissingSummaryKeyword)
+{
+    EXPECT_THROW(parseSpecs("function f() -> int {}"), SpecError);
+}
+
+TEST(SpecRoundTrip, SerializeThenParse)
+{
+    auto parsed = parseSpecs(R"(
+summary usb_autopm_get_interface(intf) -> int {
+  entry { cons: [0] < 0; return: [0]; }
+  entry { cons: [0] == 0; change: [intf].dev.pm += 1; return: [0]; }
+}
+)");
+    std::string text = serializeSummary(parsed[0].summary);
+    auto again = parseSpecs(text);
+    ASSERT_EQ(again.size(), 1u);
+    const auto &a = parsed[0].summary;
+    const auto &b = again[0].summary;
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (size_t i = 0; i < a.entries.size(); i++) {
+        EXPECT_TRUE(a.entries[i].cons.equals(b.entries[i].cons));
+        EXPECT_EQ(a.entries[i].changes, b.entries[i].changes);
+    }
+    EXPECT_EQ(a.params, b.params);
+}
+
+TEST(SpecRoundTrip, FlagsSurvive)
+{
+    FunctionSummary s = FunctionSummary::defaultFor("f", true);
+    s.is_truncated = true;
+    auto again = parseSpecs(serializeSummary(s));
+    EXPECT_TRUE(again[0].summary.is_default);
+    EXPECT_TRUE(again[0].summary.is_truncated);
+}
+
+TEST(SpecRoundTrip, TempAtomsSurvive)
+{
+    FunctionSummary s;
+    s.function = "f";
+    s.returns_value = false;
+    SummaryEntry e;
+    e.changes[smt::Expr::field(smt::Expr::temp("c1_0"), "rc")] = 1;
+    s.entries.push_back(e);
+    auto again = parseSpecs(serializeSummary(s));
+    EXPECT_EQ(again[0].summary.entries[0].changes.begin()->first.str(),
+              "%c1_0.rc");
+}
+
+TEST(SpecLoad, LoadSpecsIntoRegistersPredefined)
+{
+    SummaryDb db;
+    loadSpecsInto("summary f(a) -> int { entry { cons: true; "
+                  "change: [a].rc += 1; } }",
+                  db);
+    ASSERT_TRUE(db.hasPredefined("f"));
+    EXPECT_TRUE(db.find("f")->hasChanges());
+}
+
+TEST(SpecSave, DbSavesOnlyComputed)
+{
+    SummaryDb db;
+    loadSpecsInto("summary api(a) -> void { entry { cons: true; } }",
+                  db);
+    FunctionSummary computed = FunctionSummary::defaultFor("mine", true);
+    db.addComputed(computed);
+    std::string saved = db.saveComputed();
+    EXPECT_NE(saved.find("summary mine"), std::string::npos);
+    EXPECT_EQ(saved.find("summary api"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace rid::summary
