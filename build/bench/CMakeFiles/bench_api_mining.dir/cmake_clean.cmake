@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_api_mining.dir/bench_api_mining.cpp.o"
+  "CMakeFiles/bench_api_mining.dir/bench_api_mining.cpp.o.d"
+  "bench_api_mining"
+  "bench_api_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_api_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fp_taxonomy.dir/bench_fp_taxonomy.cpp.o"
+  "CMakeFiles/bench_fp_taxonomy.dir/bench_fp_taxonomy.cpp.o.d"
+  "bench_fp_taxonomy"
+  "bench_fp_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fp_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

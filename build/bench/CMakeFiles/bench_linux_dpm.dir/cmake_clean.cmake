@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linux_dpm.dir/bench_linux_dpm.cpp.o"
+  "CMakeFiles/bench_linux_dpm.dir/bench_linux_dpm.cpp.o.d"
+  "bench_linux_dpm"
+  "bench_linux_dpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linux_dpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

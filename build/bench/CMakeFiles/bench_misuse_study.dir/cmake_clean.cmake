@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_misuse_study.dir/bench_misuse_study.cpp.o"
+  "CMakeFiles/bench_misuse_study.dir/bench_misuse_study.cpp.o.d"
+  "bench_misuse_study"
+  "bench_misuse_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misuse_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

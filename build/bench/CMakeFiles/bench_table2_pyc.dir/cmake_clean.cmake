@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pyc.dir/bench_table2_pyc.cpp.o"
+  "CMakeFiles/bench_table2_pyc.dir/bench_table2_pyc.cpp.o.d"
+  "bench_table2_pyc"
+  "bench_table2_pyc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pyc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

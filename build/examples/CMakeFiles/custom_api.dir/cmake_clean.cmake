@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_api.dir/custom_api.cpp.o"
+  "CMakeFiles/custom_api.dir/custom_api.cpp.o.d"
+  "custom_api"
+  "custom_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

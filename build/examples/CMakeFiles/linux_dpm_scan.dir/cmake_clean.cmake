@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linux_dpm_scan.dir/linux_dpm_scan.cpp.o"
+  "CMakeFiles/linux_dpm_scan.dir/linux_dpm_scan.cpp.o.d"
+  "linux_dpm_scan"
+  "linux_dpm_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linux_dpm_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

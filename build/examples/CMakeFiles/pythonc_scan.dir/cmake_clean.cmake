@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pythonc_scan.dir/pythonc_scan.cpp.o"
+  "CMakeFiles/pythonc_scan.dir/pythonc_scan.cpp.o.d"
+  "pythonc_scan"
+  "pythonc_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pythonc_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ridc.dir/ridc.cpp.o"
+  "CMakeFiles/ridc.dir/ridc.cpp.o.d"
+  "ridc"
+  "ridc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ridc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

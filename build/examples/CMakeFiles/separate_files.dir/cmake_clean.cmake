@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separate_files.dir/separate_files.cpp.o"
+  "CMakeFiles/separate_files.dir/separate_files.cpp.o.d"
+  "separate_files"
+  "separate_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separate_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

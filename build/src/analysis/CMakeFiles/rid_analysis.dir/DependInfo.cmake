@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cc" "src/analysis/CMakeFiles/rid_analysis.dir/analyzer.cc.o" "gcc" "src/analysis/CMakeFiles/rid_analysis.dir/analyzer.cc.o.d"
+  "/root/repo/src/analysis/callgraph.cc" "src/analysis/CMakeFiles/rid_analysis.dir/callgraph.cc.o" "gcc" "src/analysis/CMakeFiles/rid_analysis.dir/callgraph.cc.o.d"
+  "/root/repo/src/analysis/classifier.cc" "src/analysis/CMakeFiles/rid_analysis.dir/classifier.cc.o" "gcc" "src/analysis/CMakeFiles/rid_analysis.dir/classifier.cc.o.d"
+  "/root/repo/src/analysis/domtree.cc" "src/analysis/CMakeFiles/rid_analysis.dir/domtree.cc.o" "gcc" "src/analysis/CMakeFiles/rid_analysis.dir/domtree.cc.o.d"
+  "/root/repo/src/analysis/dot.cc" "src/analysis/CMakeFiles/rid_analysis.dir/dot.cc.o" "gcc" "src/analysis/CMakeFiles/rid_analysis.dir/dot.cc.o.d"
+  "/root/repo/src/analysis/filegraph.cc" "src/analysis/CMakeFiles/rid_analysis.dir/filegraph.cc.o" "gcc" "src/analysis/CMakeFiles/rid_analysis.dir/filegraph.cc.o.d"
+  "/root/repo/src/analysis/ipp.cc" "src/analysis/CMakeFiles/rid_analysis.dir/ipp.cc.o" "gcc" "src/analysis/CMakeFiles/rid_analysis.dir/ipp.cc.o.d"
+  "/root/repo/src/analysis/paths.cc" "src/analysis/CMakeFiles/rid_analysis.dir/paths.cc.o" "gcc" "src/analysis/CMakeFiles/rid_analysis.dir/paths.cc.o.d"
+  "/root/repo/src/analysis/slicer.cc" "src/analysis/CMakeFiles/rid_analysis.dir/slicer.cc.o" "gcc" "src/analysis/CMakeFiles/rid_analysis.dir/slicer.cc.o.d"
+  "/root/repo/src/analysis/summary_check.cc" "src/analysis/CMakeFiles/rid_analysis.dir/summary_check.cc.o" "gcc" "src/analysis/CMakeFiles/rid_analysis.dir/summary_check.cc.o.d"
+  "/root/repo/src/analysis/symexec.cc" "src/analysis/CMakeFiles/rid_analysis.dir/symexec.cc.o" "gcc" "src/analysis/CMakeFiles/rid_analysis.dir/symexec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/rid_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/summary/CMakeFiles/rid_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/rid_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/rid_smt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

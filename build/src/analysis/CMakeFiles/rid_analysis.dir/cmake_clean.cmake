@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_analysis.dir/analyzer.cc.o"
+  "CMakeFiles/rid_analysis.dir/analyzer.cc.o.d"
+  "CMakeFiles/rid_analysis.dir/callgraph.cc.o"
+  "CMakeFiles/rid_analysis.dir/callgraph.cc.o.d"
+  "CMakeFiles/rid_analysis.dir/classifier.cc.o"
+  "CMakeFiles/rid_analysis.dir/classifier.cc.o.d"
+  "CMakeFiles/rid_analysis.dir/domtree.cc.o"
+  "CMakeFiles/rid_analysis.dir/domtree.cc.o.d"
+  "CMakeFiles/rid_analysis.dir/dot.cc.o"
+  "CMakeFiles/rid_analysis.dir/dot.cc.o.d"
+  "CMakeFiles/rid_analysis.dir/filegraph.cc.o"
+  "CMakeFiles/rid_analysis.dir/filegraph.cc.o.d"
+  "CMakeFiles/rid_analysis.dir/ipp.cc.o"
+  "CMakeFiles/rid_analysis.dir/ipp.cc.o.d"
+  "CMakeFiles/rid_analysis.dir/paths.cc.o"
+  "CMakeFiles/rid_analysis.dir/paths.cc.o.d"
+  "CMakeFiles/rid_analysis.dir/slicer.cc.o"
+  "CMakeFiles/rid_analysis.dir/slicer.cc.o.d"
+  "CMakeFiles/rid_analysis.dir/summary_check.cc.o"
+  "CMakeFiles/rid_analysis.dir/summary_check.cc.o.d"
+  "CMakeFiles/rid_analysis.dir/symexec.cc.o"
+  "CMakeFiles/rid_analysis.dir/symexec.cc.o.d"
+  "librid_analysis.a"
+  "librid_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_baseline.dir/cpychecker.cc.o"
+  "CMakeFiles/rid_baseline.dir/cpychecker.cc.o.d"
+  "librid_baseline.a"
+  "librid_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

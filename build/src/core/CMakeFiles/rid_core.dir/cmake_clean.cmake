@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_core.dir/report_format.cc.o"
+  "CMakeFiles/rid_core.dir/report_format.cc.o.d"
+  "CMakeFiles/rid_core.dir/rid.cc.o"
+  "CMakeFiles/rid_core.dir/rid.cc.o.d"
+  "librid_core.a"
+  "librid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

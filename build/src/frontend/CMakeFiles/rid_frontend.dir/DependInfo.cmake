@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/ast.cc" "src/frontend/CMakeFiles/rid_frontend.dir/ast.cc.o" "gcc" "src/frontend/CMakeFiles/rid_frontend.dir/ast.cc.o.d"
+  "/root/repo/src/frontend/lexer.cc" "src/frontend/CMakeFiles/rid_frontend.dir/lexer.cc.o" "gcc" "src/frontend/CMakeFiles/rid_frontend.dir/lexer.cc.o.d"
+  "/root/repo/src/frontend/lower.cc" "src/frontend/CMakeFiles/rid_frontend.dir/lower.cc.o" "gcc" "src/frontend/CMakeFiles/rid_frontend.dir/lower.cc.o.d"
+  "/root/repo/src/frontend/parser.cc" "src/frontend/CMakeFiles/rid_frontend.dir/parser.cc.o" "gcc" "src/frontend/CMakeFiles/rid_frontend.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/rid_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/rid_smt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

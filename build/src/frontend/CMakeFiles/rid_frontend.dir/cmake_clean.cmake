@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_frontend.dir/ast.cc.o"
+  "CMakeFiles/rid_frontend.dir/ast.cc.o.d"
+  "CMakeFiles/rid_frontend.dir/lexer.cc.o"
+  "CMakeFiles/rid_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/rid_frontend.dir/lower.cc.o"
+  "CMakeFiles/rid_frontend.dir/lower.cc.o.d"
+  "CMakeFiles/rid_frontend.dir/parser.cc.o"
+  "CMakeFiles/rid_frontend.dir/parser.cc.o.d"
+  "librid_frontend.a"
+  "librid_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librid_frontend.a"
+)

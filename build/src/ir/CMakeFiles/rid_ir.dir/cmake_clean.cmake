@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_ir.dir/builder.cc.o"
+  "CMakeFiles/rid_ir.dir/builder.cc.o.d"
+  "CMakeFiles/rid_ir.dir/ir.cc.o"
+  "CMakeFiles/rid_ir.dir/ir.cc.o.d"
+  "librid_ir.a"
+  "librid_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_kernel.dir/api_miner.cc.o"
+  "CMakeFiles/rid_kernel.dir/api_miner.cc.o.d"
+  "CMakeFiles/rid_kernel.dir/dpm_specs.cc.o"
+  "CMakeFiles/rid_kernel.dir/dpm_specs.cc.o.d"
+  "CMakeFiles/rid_kernel.dir/generator.cc.o"
+  "CMakeFiles/rid_kernel.dir/generator.cc.o.d"
+  "CMakeFiles/rid_kernel.dir/patterns.cc.o"
+  "CMakeFiles/rid_kernel.dir/patterns.cc.o.d"
+  "CMakeFiles/rid_kernel.dir/scanner.cc.o"
+  "CMakeFiles/rid_kernel.dir/scanner.cc.o.d"
+  "librid_kernel.a"
+  "librid_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_pyc.dir/pyc_generator.cc.o"
+  "CMakeFiles/rid_pyc.dir/pyc_generator.cc.o.d"
+  "CMakeFiles/rid_pyc.dir/pyc_specs.cc.o"
+  "CMakeFiles/rid_pyc.dir/pyc_specs.cc.o.d"
+  "librid_pyc.a"
+  "librid_pyc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_pyc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

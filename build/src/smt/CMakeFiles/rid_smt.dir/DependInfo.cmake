@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/expr.cc" "src/smt/CMakeFiles/rid_smt.dir/expr.cc.o" "gcc" "src/smt/CMakeFiles/rid_smt.dir/expr.cc.o.d"
+  "/root/repo/src/smt/formula.cc" "src/smt/CMakeFiles/rid_smt.dir/formula.cc.o" "gcc" "src/smt/CMakeFiles/rid_smt.dir/formula.cc.o.d"
+  "/root/repo/src/smt/linear.cc" "src/smt/CMakeFiles/rid_smt.dir/linear.cc.o" "gcc" "src/smt/CMakeFiles/rid_smt.dir/linear.cc.o.d"
+  "/root/repo/src/smt/solver.cc" "src/smt/CMakeFiles/rid_smt.dir/solver.cc.o" "gcc" "src/smt/CMakeFiles/rid_smt.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

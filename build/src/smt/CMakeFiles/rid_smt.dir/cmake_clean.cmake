@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_smt.dir/expr.cc.o"
+  "CMakeFiles/rid_smt.dir/expr.cc.o.d"
+  "CMakeFiles/rid_smt.dir/formula.cc.o"
+  "CMakeFiles/rid_smt.dir/formula.cc.o.d"
+  "CMakeFiles/rid_smt.dir/linear.cc.o"
+  "CMakeFiles/rid_smt.dir/linear.cc.o.d"
+  "CMakeFiles/rid_smt.dir/solver.cc.o"
+  "CMakeFiles/rid_smt.dir/solver.cc.o.d"
+  "librid_smt.a"
+  "librid_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

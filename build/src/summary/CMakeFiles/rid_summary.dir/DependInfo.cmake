@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/summary/db.cc" "src/summary/CMakeFiles/rid_summary.dir/db.cc.o" "gcc" "src/summary/CMakeFiles/rid_summary.dir/db.cc.o.d"
+  "/root/repo/src/summary/spec.cc" "src/summary/CMakeFiles/rid_summary.dir/spec.cc.o" "gcc" "src/summary/CMakeFiles/rid_summary.dir/spec.cc.o.d"
+  "/root/repo/src/summary/summary.cc" "src/summary/CMakeFiles/rid_summary.dir/summary.cc.o" "gcc" "src/summary/CMakeFiles/rid_summary.dir/summary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smt/CMakeFiles/rid_smt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rid_summary.dir/db.cc.o"
+  "CMakeFiles/rid_summary.dir/db.cc.o.d"
+  "CMakeFiles/rid_summary.dir/spec.cc.o"
+  "CMakeFiles/rid_summary.dir/spec.cc.o.d"
+  "CMakeFiles/rid_summary.dir/summary.cc.o"
+  "CMakeFiles/rid_summary.dir/summary.cc.o.d"
+  "librid_summary.a"
+  "librid_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rid_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

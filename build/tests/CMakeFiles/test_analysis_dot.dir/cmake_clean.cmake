@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_dot.dir/test_analysis_dot.cc.o"
+  "CMakeFiles/test_analysis_dot.dir/test_analysis_dot.cc.o.d"
+  "test_analysis_dot"
+  "test_analysis_dot.pdb"
+  "test_analysis_dot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis_filegraph.cc" "tests/CMakeFiles/test_analysis_filegraph.dir/test_analysis_filegraph.cc.o" "gcc" "tests/CMakeFiles/test_analysis_filegraph.dir/test_analysis_filegraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/rid_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pyc/CMakeFiles/rid_pyc.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rid_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rid_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/rid_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rid_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/summary/CMakeFiles/rid_summary.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/rid_smt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_filegraph.dir/test_analysis_filegraph.cc.o"
+  "CMakeFiles/test_analysis_filegraph.dir/test_analysis_filegraph.cc.o.d"
+  "test_analysis_filegraph"
+  "test_analysis_filegraph.pdb"
+  "test_analysis_filegraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_filegraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

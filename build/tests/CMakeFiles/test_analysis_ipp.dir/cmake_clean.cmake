@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_ipp.dir/test_analysis_ipp.cc.o"
+  "CMakeFiles/test_analysis_ipp.dir/test_analysis_ipp.cc.o.d"
+  "test_analysis_ipp"
+  "test_analysis_ipp.pdb"
+  "test_analysis_ipp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_ipp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

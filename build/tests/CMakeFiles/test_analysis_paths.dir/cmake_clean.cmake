@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_paths.dir/test_analysis_paths.cc.o"
+  "CMakeFiles/test_analysis_paths.dir/test_analysis_paths.cc.o.d"
+  "test_analysis_paths"
+  "test_analysis_paths.pdb"
+  "test_analysis_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

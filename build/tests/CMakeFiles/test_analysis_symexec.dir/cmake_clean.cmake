@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_symexec.dir/test_analysis_symexec.cc.o"
+  "CMakeFiles/test_analysis_symexec.dir/test_analysis_symexec.cc.o.d"
+  "test_analysis_symexec"
+  "test_analysis_symexec.pdb"
+  "test_analysis_symexec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_symexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

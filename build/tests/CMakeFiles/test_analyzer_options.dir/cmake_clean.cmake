@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analyzer_options.dir/test_analyzer_options.cc.o"
+  "CMakeFiles/test_analyzer_options.dir/test_analyzer_options.cc.o.d"
+  "test_analyzer_options"
+  "test_analyzer_options.pdb"
+  "test_analyzer_options[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analyzer_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

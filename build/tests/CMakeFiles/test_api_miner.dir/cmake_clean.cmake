@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_api_miner.dir/test_api_miner.cc.o"
+  "CMakeFiles/test_api_miner.dir/test_api_miner.cc.o.d"
+  "test_api_miner"
+  "test_api_miner.pdb"
+  "test_api_miner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_api_miner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frontend_parser.dir/test_frontend_parser.cc.o"
+  "CMakeFiles/test_frontend_parser.dir/test_frontend_parser.cc.o.d"
+  "test_frontend_parser"
+  "test_frontend_parser.pdb"
+  "test_frontend_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frontend_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_corpus.dir/test_kernel_corpus.cc.o"
+  "CMakeFiles/test_kernel_corpus.dir/test_kernel_corpus.cc.o.d"
+  "test_kernel_corpus"
+  "test_kernel_corpus.pdb"
+  "test_kernel_corpus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

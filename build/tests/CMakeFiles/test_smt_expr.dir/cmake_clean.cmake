@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt_expr.dir/test_smt_expr.cc.o"
+  "CMakeFiles/test_smt_expr.dir/test_smt_expr.cc.o.d"
+  "test_smt_expr"
+  "test_smt_expr.pdb"
+  "test_smt_expr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

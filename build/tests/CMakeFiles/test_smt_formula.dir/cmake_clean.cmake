@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt_formula.dir/test_smt_formula.cc.o"
+  "CMakeFiles/test_smt_formula.dir/test_smt_formula.cc.o.d"
+  "test_smt_formula"
+  "test_smt_formula.pdb"
+  "test_smt_formula[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

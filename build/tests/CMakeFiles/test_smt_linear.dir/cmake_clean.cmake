@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt_linear.dir/test_smt_linear.cc.o"
+  "CMakeFiles/test_smt_linear.dir/test_smt_linear.cc.o.d"
+  "test_smt_linear"
+  "test_smt_linear.pdb"
+  "test_smt_linear[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt_solver.dir/test_smt_solver.cc.o"
+  "CMakeFiles/test_smt_solver.dir/test_smt_solver.cc.o.d"
+  "test_smt_solver"
+  "test_smt_solver.pdb"
+  "test_smt_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt_solver_theory.dir/test_smt_solver_theory.cc.o"
+  "CMakeFiles/test_smt_solver_theory.dir/test_smt_solver_theory.cc.o.d"
+  "test_smt_solver_theory"
+  "test_smt_solver_theory.pdb"
+  "test_smt_solver_theory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt_solver_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

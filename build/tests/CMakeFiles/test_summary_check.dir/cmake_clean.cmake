@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summary_check.dir/test_summary_check.cc.o"
+  "CMakeFiles/test_summary_check.dir/test_summary_check.cc.o.d"
+  "test_summary_check"
+  "test_summary_check.pdb"
+  "test_summary_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summary_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smt_expr[1]_include.cmake")
+include("/root/repo/build/tests/test_smt_formula[1]_include.cmake")
+include("/root/repo/build/tests/test_smt_linear[1]_include.cmake")
+include("/root/repo/build/tests/test_smt_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_smt_solver_theory[1]_include.cmake")
+include("/root/repo/build/tests/test_ir[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend_lexer[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_frontend_lower[1]_include.cmake")
+include("/root/repo/build/tests/test_summary[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis_graphs[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis_symexec[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis_ipp[1]_include.cmake")
+include("/root/repo/build/tests/test_core_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_pyc_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis_filegraph[1]_include.cmake")
+include("/root/repo/build/tests/test_property_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_api_miner[1]_include.cmake")
+include("/root/repo/build/tests/test_report_format[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis_dot[1]_include.cmake")
+include("/root/repo/build/tests/test_analyzer_options[1]_include.cmake")
+include("/root/repo/build/tests/test_summary_check[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_conformance[1]_include.cmake")
