@@ -16,6 +16,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
 #include "analysis/analyzer.h"
 #include "analysis/paths.h"
 #include "analysis/symexec.h"
@@ -23,6 +27,7 @@
 #include "frontend/lower.h"
 #include "kernel/dpm_specs.h"
 #include "kernel/generator.h"
+#include "smt/query_cache.h"
 #include "smt/solver.h"
 #include "summary/spec.h"
 
@@ -167,6 +172,38 @@ BENCHMARK(BM_ClassifyCorpus)->Arg(2)->Arg(10)->Arg(40)
     ->Unit(benchmark::kMillisecond);
 
 void
+BM_AnalyzeCorpusQueryCache(benchmark::State &state)
+{
+    // The repeated-overlap workload: the IPP phase restarts its pairwise
+    // scan after every merge/drop and symbolic execution re-checks
+    // growing path prefixes, so the same formulas are solved over and
+    // over. Arg(1) attaches the shared memoized query cache; Arg(0) is
+    // the uncached baseline.
+    auto mix = rid::kernel::CorpusMix::paperCalibrated(0.01);
+    auto corpus = rid::kernel::generateCorpus(mix);
+    rid::ir::Module module;
+    for (const auto &file : corpus.files)
+        module.absorb(rid::frontend::compile(file.text));
+    uint64_t theory_checks = 0;
+    uint64_t hits = 0;
+    for (auto _ : state) {
+        rid::summary::SummaryDb db;
+        rid::summary::loadSpecsInto(rid::kernel::dpmSpecText(), db);
+        rid::analysis::AnalyzerOptions opts;
+        opts.use_query_cache = state.range(0) != 0;
+        rid::analysis::Analyzer analyzer(module, db, opts);
+        analyzer.run();
+        theory_checks = analyzer.stats().solver.theory_checks;
+        hits = analyzer.stats().query_cache.hits;
+        benchmark::DoNotOptimize(analyzer.reports().size());
+    }
+    state.counters["theory_checks"] = static_cast<double>(theory_checks);
+    state.counters["cache_hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_AnalyzeCorpusQueryCache)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
 BM_AnalyzeCorpusThreads(benchmark::State &state)
 {
     // Parse once outside the loop: the timed region is the bottom-up
@@ -223,6 +260,73 @@ BM_AnalyzePathsParallel(benchmark::State &state)
 BENCHMARK(BM_AnalyzePathsParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Machine-readable trajectory record: run the repeated-overlap corpus
+ * workload with the query cache off and on, and write solver/cache
+ * counters plus per-phase wall times to BENCH_performance.json. The
+ * schema is documented in DESIGN.md ("Solver query cache"); each field
+ * under "cache_off"/"cache_on" is RunResult::statsJson().
+ */
+void
+writeBenchJson(const char *path)
+{
+    auto mix = rid::kernel::CorpusMix::paperCalibrated(0.01);
+    auto corpus = rid::kernel::generateCorpus(mix);
+
+    auto runOnce = [&](bool cache) {
+        rid::analysis::AnalyzerOptions opts;
+        opts.use_query_cache = cache;
+        rid::Rid tool(opts);
+        tool.loadSpecText(rid::kernel::dpmSpecText());
+        for (const auto &file : corpus.files)
+            tool.addSource(file.text);
+        auto t0 = std::chrono::steady_clock::now();
+        rid::RunResult result = tool.run();
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        return std::pair<rid::RunResult, double>(std::move(result), wall);
+    };
+
+    auto [off, off_wall] = runOnce(false);
+    auto [on, on_wall] = runOnce(true);
+
+    uint64_t checks_off = off.stats.solver.theory_checks;
+    uint64_t checks_on = on.stats.solver.theory_checks;
+    double reduction =
+        checks_off ? 1.0 - static_cast<double>(checks_on) / checks_off
+                   : 0.0;
+
+    std::ofstream out(path);
+    out << "{\n";
+    out << "  \"workload\": \"synthetic DPM corpus (scale 0.01), "
+           "repeated-overlap IPP + feasibility pruning\",\n";
+    out << "  \"cache_off\": " << off.statsJson() << ",\n";
+    out << "  \"cache_on\": " << on.statsJson() << ",\n";
+    out << "  \"wall_seconds_off\": " << off_wall << ",\n";
+    out << "  \"wall_seconds_on\": " << on_wall << ",\n";
+    out << "  \"theory_checks_off\": " << checks_off << ",\n";
+    out << "  \"theory_checks_on\": " << checks_on << ",\n";
+    out << "  \"theory_check_reduction\": " << reduction << ",\n";
+    out << "  \"cache_hit_rate\": " << on.stats.query_cache.hitRate()
+        << "\n";
+    out << "}\n";
+    std::printf("wrote %s (theory checks %llu -> %llu, hit rate %.2f)\n",
+                path, static_cast<unsigned long long>(checks_off),
+                static_cast<unsigned long long>(checks_on),
+                on.stats.query_cache.hitRate());
+}
+
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writeBenchJson("BENCH_performance.json");
+    return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the determinism regression, run twice.
+#
+# This is the exact line ROADMAP.md documents as "Tier-1 verify", followed
+# by two back-to-back runs of the analyzer determinism suite (which itself
+# compares threads {1,4} x query-cache {on,off}); running the binary twice
+# catches run-to-run nondeterminism that a single in-process comparison
+# cannot (e.g. ASLR-dependent container ordering).
+#
+# Usage: scripts/check.sh        (from anywhere inside the repo)
+# CMake equivalent: cmake --build build --target check
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== determinism suite, run 1/2 =="
+./build/tests/test_analyzer_determinism
+echo "== determinism suite, run 2/2 =="
+./build/tests/test_analyzer_determinism
+
+echo "check.sh: all green"

@@ -26,12 +26,19 @@ secondsSince(std::chrono::steady_clock::time_point start)
 Analyzer::Analyzer(const ir::Module &mod, summary::SummaryDb &db,
                    AnalyzerOptions opts)
     : mod_(mod), db_(db), opts_(opts)
-{}
+{
+    if (opts_.use_query_cache) {
+        smt::QueryCache::Options cache_opts;
+        cache_opts.capacity = opts_.query_cache_capacity;
+        query_cache_ = std::make_shared<smt::QueryCache>(cache_opts);
+    }
+}
 
 std::vector<BugReport>
 Analyzer::analyzeFunction(const ir::Function &fn)
 {
     smt::Solver solver;
+    solver.attachCache(query_cache_);
 
     auto paths = enumeratePaths(fn, opts_.max_paths);
     ExecOptions exec_opts;
@@ -40,6 +47,7 @@ Analyzer::analyzeFunction(const ir::Function &fn)
 
     std::vector<summary::SummaryEntry> path_entries;
     bool truncated = paths.truncated;
+    auto symexec_t0 = std::chrono::steady_clock::now();
     if (opts_.path_threads > 1 && paths.paths.size() > 1) {
         // Section 7 future work: paths are independent, so their
         // summaries can be computed in parallel. Results are collected
@@ -54,6 +62,7 @@ Analyzer::analyzeFunction(const ir::Function &fn)
         for (int w = 0; w < workers; w++) {
             futures.push_back(std::async(std::launch::async, [&]() {
                 smt::Solver local_solver;
+                local_solver.attachCache(query_cache_);
                 while (true) {
                     size_t i = cursor.fetch_add(1);
                     if (i >= paths.paths.size())
@@ -62,6 +71,8 @@ Analyzer::analyzeFunction(const ir::Function &fn)
                                              static_cast<int>(i), db_,
                                              local_solver, exec_opts);
                 }
+                std::lock_guard<std::mutex> lock(stats_mutex_);
+                stats_.solver += local_solver.stats();
             }));
         }
         for (auto &f : futures)
@@ -81,12 +92,15 @@ Analyzer::analyzeFunction(const ir::Function &fn)
                 path_entries.push_back(std::move(e));
         }
     }
+    double symexec_seconds = secondsSince(symexec_t0);
 
     IppOptions ipp_opts;
     ipp_opts.drop_seed = opts_.drop_seed;
     size_t num_entries = path_entries.size();
+    auto ipp_t0 = std::chrono::steady_clock::now();
     auto ipp = checkAndMerge(fn.name(), std::move(path_entries), solver,
                              ipp_opts);
+    double ipp_seconds = secondsSince(ipp_t0);
 
     summary::FunctionSummary summary;
     summary.function = fn.name();
@@ -117,6 +131,9 @@ Analyzer::analyzeFunction(const ir::Function &fn)
         stats_.entries_computed += num_entries;
         if (truncated)
             stats_.functions_truncated++;
+        stats_.symexec_seconds += symexec_seconds;
+        stats_.ipp_seconds += ipp_seconds;
+        stats_.solver += solver.stats();
     }
     return std::move(ipp.reports);
 }
@@ -212,6 +229,8 @@ Analyzer::run()
         }
     }
     stats_.analyze_seconds = secondsSince(t1);
+    if (query_cache_)
+        stats_.query_cache = query_cache_->stats();
 }
 
 } // namespace rid::analysis

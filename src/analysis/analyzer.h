@@ -25,6 +25,7 @@
 #include "analysis/summary_check.h"
 #include "analysis/symexec.h"
 #include "ir/function.h"
+#include "smt/query_cache.h"
 #include "summary/db.h"
 
 namespace rid::analysis {
@@ -50,6 +51,13 @@ struct AnalyzerOptions
     int path_threads = 1;
     /** Seed for the inconsistent-entry drop choice. */
     uint64_t drop_seed = 0x5eed;
+    /** Share one memoized solver-verdict cache (smt/query_cache.h)
+     *  between every solver of the run — across SCC-level workers,
+     *  path-level workers and the IPP phase. Results are identical with
+     *  the cache on or off; only repeated-query cost changes. */
+    bool use_query_cache = true;
+    /** Capacity of the shared query cache (entries). */
+    size_t query_cache_capacity = 1 << 16;
     /** Optional stronger-property check run on every computed summary
      *  (Sections 2.1 / 4.5); its reports are appended to the IPP ones.
      *  See makeEscapeRuleCheck(). */
@@ -66,6 +74,15 @@ struct AnalyzerStats
     size_t functions_truncated = 0;
     double classify_seconds = 0;
     double analyze_seconds = 0;
+    /** Wall time of the symbolic-execution phase, summed per function
+     *  (parallel sections count once, not per worker). */
+    double symexec_seconds = 0;
+    /** Wall time of the IPP check-and-merge phase, summed per function. */
+    double ipp_seconds = 0;
+    /** Solver counters aggregated over every solver of the run. */
+    smt::Solver::Stats solver;
+    /** Shared query-cache counters (zero when the cache is off). */
+    smt::QueryCache::Stats query_cache;
 };
 
 class Analyzer
@@ -91,6 +108,12 @@ class Analyzer
         return classifier_.get();
     }
 
+    /** The shared solver-verdict cache (null when disabled). */
+    const std::shared_ptr<smt::QueryCache> &queryCache() const
+    {
+        return query_cache_;
+    }
+
   private:
     /** Analyze one function and store its summary; returns its reports. */
     std::vector<BugReport> analyzeFunction(const ir::Function &fn);
@@ -101,6 +124,7 @@ class Analyzer
     std::vector<BugReport> reports_;
     AnalyzerStats stats_;
     std::unique_ptr<FunctionClassifier> classifier_;
+    std::shared_ptr<smt::QueryCache> query_cache_;
     std::mutex stats_mutex_;
 };
 

@@ -21,6 +21,75 @@ RunResult::str() const
        << stats.functions_analyzed << " analyzed ("
        << stats.functions_truncated << " truncated), "
        << stats.paths_enumerated << " paths\n";
+    os << "solver: " << stats.solver.queries << " queries, "
+       << stats.solver.theory_checks << " theory checks, "
+       << stats.solver.branches << " branches, " << stats.solver.unknowns
+       << " unknowns\n";
+    const auto &qc = stats.query_cache;
+    if (qc.hits + qc.misses > 0) {
+        os << "query cache: " << qc.hits << " hit(s) / "
+           << qc.misses << " miss(es) ("
+           << static_cast<int>(qc.hitRate() * 100 + 0.5) << "% hit rate), "
+           << qc.evictions << " eviction(s), " << qc.entries
+           << " resident\n";
+    }
+    os << "phases: classify " << stats.classify_seconds << "s, analyze "
+       << stats.analyze_seconds << "s (symexec " << stats.symexec_seconds
+       << "s, ipp " << stats.ipp_seconds << "s)\n";
+    return os.str();
+}
+
+namespace {
+
+/** Render a double for JSON (no inf/nan in these stats). */
+std::string
+jsonNum(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // anonymous namespace
+
+std::string
+RunResult::statsJson() const
+{
+    const auto &s = stats;
+    const auto &qc = s.query_cache;
+    std::ostringstream os;
+    os << "{";
+    os << "\"reports\":" << reports.size() << ",";
+    os << "\"functions\":{"
+       << "\"refcount_changing\":" << s.categories.refcount_changing << ","
+       << "\"affecting\":" << s.categories.affecting << ","
+       << "\"other\":" << s.categories.other << ","
+       << "\"analyzed\":" << s.functions_analyzed << ","
+       << "\"defaulted\":" << s.functions_defaulted << ","
+       << "\"truncated\":" << s.functions_truncated << "},";
+    os << "\"paths_enumerated\":" << s.paths_enumerated << ",";
+    os << "\"entries_computed\":" << s.entries_computed << ",";
+    os << "\"phases\":{"
+       << "\"classify_seconds\":" << jsonNum(s.classify_seconds) << ","
+       << "\"analyze_seconds\":" << jsonNum(s.analyze_seconds) << ","
+       << "\"symexec_seconds\":" << jsonNum(s.symexec_seconds) << ","
+       << "\"ipp_seconds\":" << jsonNum(s.ipp_seconds) << "},";
+    os << "\"solver\":{"
+       << "\"queries\":" << s.solver.queries << ","
+       << "\"theory_checks\":" << s.solver.theory_checks << ","
+       << "\"branches\":" << s.solver.branches << ","
+       << "\"unknowns\":" << s.solver.unknowns << ","
+       << "\"cache_hits\":" << s.solver.cache_hits << ","
+       << "\"cache_misses\":" << s.solver.cache_misses << "},";
+    os << "\"query_cache\":{"
+       << "\"hits\":" << qc.hits << ","
+       << "\"misses\":" << qc.misses << ","
+       << "\"insertions\":" << qc.insertions << ","
+       << "\"evictions\":" << qc.evictions << ","
+       << "\"collisions\":" << qc.collisions << ","
+       << "\"entries\":" << qc.entries << ","
+       << "\"hit_rate\":" << jsonNum(qc.hitRate()) << "}";
+    os << "}";
     return os.str();
 }
 

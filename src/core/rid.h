@@ -37,6 +37,15 @@ struct RunResult
 
     /** Human-readable multi-line report. */
     std::string str() const;
+
+    /**
+     * Machine-readable stats export (one JSON object, schema documented
+     * in DESIGN.md "Solver query cache"): report count, function
+     * category counters, per-phase wall times, aggregated solver
+     * counters and query-cache effectiveness. Consumed by
+     * bench/bench_performance.cpp to emit BENCH_performance.json.
+     */
+    std::string statsJson() const;
 };
 
 class Rid

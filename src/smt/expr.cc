@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "smt/intern.h"
+
 namespace rid::smt {
 
 Pred
@@ -64,7 +66,8 @@ evalPred(Pred p, int64_t lhs, int64_t rhs)
 }
 
 /**
- * Immutable node backing an Expr. Hash is computed once at construction.
+ * Immutable node backing an Expr. The fingerprint is computed once at
+ * construction, before the node is offered to the intern table.
  */
 class ExprNode
 {
@@ -75,29 +78,44 @@ class ExprNode
     Pred pred = Pred::Eq;       // Cmp
     std::shared_ptr<const ExprNode> a; // Field base / Cmp lhs
     std::shared_ptr<const ExprNode> b; // Cmp rhs
-    size_t cachedHash = 0;
+    uint64_t fingerprint = 0;
 
     void
     finalize()
     {
-        size_t h = std::hash<int>()(static_cast<int>(kind));
-        auto mix = [&h](size_t v) {
-            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-        };
-        mix(std::hash<int64_t>()(value));
-        mix(std::hash<std::string>()(name));
-        mix(std::hash<int>()(static_cast<int>(pred)));
-        if (a)
-            mix(a->cachedHash);
-        if (b)
-            mix(b->cachedHash);
-        cachedHash = h;
+        uint64_t h = fpMix64(0x45787052ULL);  // "ExpR" domain tag
+        h = fpCombine(h, static_cast<uint64_t>(kind));
+        h = fpCombine(h, static_cast<uint64_t>(value));
+        h = fpCombine(h, fpBytes(name));
+        h = fpCombine(h, static_cast<uint64_t>(pred));
+        h = fpCombine(h, a ? a->fingerprint : 0x6e756c6cULL);
+        h = fpCombine(h, b ? b->fingerprint : 0x6e756c6cULL);
+        fingerprint = h;
     }
 };
 
 namespace {
 
 using NodePtr = std::shared_ptr<const ExprNode>;
+
+InternTable<ExprNode> &
+exprInterner()
+{
+    static InternTable<ExprNode> table;
+    return table;
+}
+
+/**
+ * Shallow structural equality used by the intern table. Children are
+ * interned bottom-up before their parent, so equal subtrees are already
+ * pointer-identical and comparing child pointers suffices.
+ */
+bool
+shallowEquals(const ExprNode &x, const ExprNode &y)
+{
+    return x.kind == y.kind && x.value == y.value && x.pred == y.pred &&
+           x.a == y.a && x.b == y.b && x.name == y.name;
+}
 
 NodePtr
 makeNode(ExprKind kind, int64_t value, std::string name, Pred pred,
@@ -111,17 +129,21 @@ makeNode(ExprKind kind, int64_t value, std::string name, Pred pred,
     n->a = std::move(a);
     n->b = std::move(b);
     n->finalize();
-    return n;
+    uint64_t fp = n->fingerprint;
+    return exprInterner().intern(fp, std::move(n), shallowEquals);
 }
 
 bool
 nodeEquals(const ExprNode *x, const ExprNode *y)
 {
+    // Interning makes structurally equal live trees pointer-identical,
+    // so this is the common exit; the deep walk below only runs for
+    // unequal trees (and bails on the fingerprint).
     if (x == y)
         return true;
     if (!x || !y)
         return false;
-    if (x->cachedHash != y->cachedHash || x->kind != y->kind ||
+    if (x->fingerprint != y->fingerprint || x->kind != y->kind ||
         x->value != y->value || x->pred != y->pred || x->name != y->name) {
         return false;
     }
@@ -414,7 +436,13 @@ Expr::less(const Expr &other) const
 size_t
 Expr::hash() const
 {
-    return node_ ? node_->cachedHash : 0;
+    return node_ ? static_cast<size_t>(node_->fingerprint) : 0;
+}
+
+uint64_t
+Expr::fingerprint() const
+{
+    return node_ ? node_->fingerprint : 0;
 }
 
 std::string
@@ -423,6 +451,12 @@ Expr::str() const
     std::ostringstream os;
     nodeStr(node_.get(), os);
     return os.str();
+}
+
+InternStats
+exprInternStats()
+{
+    return exprInterner().stats();
 }
 
 } // namespace rid::smt

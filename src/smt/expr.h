@@ -8,8 +8,12 @@
  * comparison conditions (e1 pred e2).
  *
  * Expressions are immutable trees of reference-counted nodes with
- * structural equality and a cached hash. They are cheap to copy (a single
- * shared_ptr) and safe to share across threads once built.
+ * structural equality and a cached hash. Nodes are hash-consed through a
+ * process-wide intern table (smt/intern.h): syntactically equal trees
+ * share one node, equality degenerates to a pointer comparison, and every
+ * tree carries a stable 64-bit fingerprint usable as a cache key. They
+ * are cheap to copy (a single shared_ptr) and safe to share across
+ * threads once built.
  */
 
 #ifndef RID_SMT_EXPR_H
@@ -133,7 +137,7 @@ class Expr
      */
     Expr negated() const;
 
-    /** Structural equality. */
+    /** Structural equality (pointer comparison for interned trees). */
     bool equals(const Expr &other) const;
     bool operator==(const Expr &other) const { return equals(other); }
     bool operator!=(const Expr &other) const { return !equals(other); }
@@ -142,6 +146,15 @@ class Expr
     bool less(const Expr &other) const;
 
     size_t hash() const;
+
+    /**
+     * Stable structural 64-bit fingerprint, computed once at
+     * construction. Equal trees always fingerprint equally (on every run
+     * and platform); distinct trees collide with probability 2^-64 and
+     * consumers must verify with equals() before trusting a match.
+     * The empty expression fingerprints to 0.
+     */
+    uint64_t fingerprint() const;
 
     /** Render in the paper's notation, e.g. "[dev].pm" or "[0] >= 0". */
     std::string str() const;

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "smt/intern.h"
+
 namespace rid::smt {
 
 /** Immutable node backing a Formula. */
@@ -13,25 +15,50 @@ class FormulaNode
     FormulaKind kind;
     Expr literal;                     // Lit
     std::vector<Formula> children;    // And / Or / Not
-    size_t cachedHash = 0;
+    uint64_t fingerprint = 0;
 
     void
     finalize()
     {
-        size_t h = std::hash<int>()(static_cast<int>(kind));
-        auto mix = [&h](size_t v) {
-            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
-        };
-        mix(literal.hash());
+        uint64_t h = fpMix64(0x466f726dULL);  // "Form" domain tag
+        h = fpCombine(h, static_cast<uint64_t>(kind));
+        h = fpCombine(h, literal.fingerprint());
+        h = fpCombine(h, children.size());
         for (const auto &c : children)
-            mix(c.hash());
-        cachedHash = h;
+            h = fpCombine(h, c.fingerprint());
+        fingerprint = h;
     }
 };
 
 namespace {
 
 using NodePtr = std::shared_ptr<const FormulaNode>;
+
+InternTable<FormulaNode> &
+formulaInterner()
+{
+    static InternTable<FormulaNode> table;
+    return table;
+}
+
+/**
+ * Shallow equality for interning: literals and children are themselves
+ * interned, so comparing their node identities suffices. Formula has no
+ * public node accessor, so compare via fingerprint + equals, which
+ * short-circuits to pointer checks for interned sub-structure.
+ */
+bool
+shallowFormulaEquals(const FormulaNode &x, const FormulaNode &y)
+{
+    if (x.kind != y.kind || !x.literal.equals(y.literal) ||
+        x.children.size() != y.children.size()) {
+        return false;
+    }
+    for (size_t i = 0; i < x.children.size(); i++)
+        if (!x.children[i].equals(y.children[i]))
+            return false;
+    return true;
+}
 
 NodePtr
 makeNode(FormulaKind kind, Expr literal, std::vector<Formula> children)
@@ -41,7 +68,9 @@ makeNode(FormulaKind kind, Expr literal, std::vector<Formula> children)
     n->literal = std::move(literal);
     n->children = std::move(children);
     n->finalize();
-    return n;
+    uint64_t fp = n->fingerprint;
+    return formulaInterner().intern(fp, std::move(n),
+                                    shallowFormulaEquals);
 }
 
 } // anonymous namespace
@@ -338,11 +367,13 @@ Formula::nnfImpl(bool negate) const
 bool
 Formula::equals(const Formula &other) const
 {
+    // Interned live formulas are pointer-identical when equal; the deep
+    // walk below only disambiguates fingerprint collisions.
     if (node_ == other.node_)
         return true;
     if (!node_ || !other.node_)
         return kind() == other.kind();
-    if (kind() != other.kind() || hash() != other.hash())
+    if (kind() != other.kind() || fingerprint() != other.fingerprint())
         return false;
     if (kind() == FormulaKind::Lit)
         return literal().equals(other.literal());
@@ -359,7 +390,13 @@ Formula::equals(const Formula &other) const
 size_t
 Formula::hash() const
 {
-    return node_ ? node_->cachedHash : 0;
+    return node_ ? static_cast<size_t>(node_->fingerprint) : 0;
+}
+
+uint64_t
+Formula::fingerprint() const
+{
+    return node_ ? node_->fingerprint : 0;
 }
 
 std::string
@@ -405,6 +442,12 @@ Formula::str() const
     };
     render(*this, 0);
     return os.str();
+}
+
+InternStats
+formulaInternStats()
+{
+    return formulaInterner().stats();
 }
 
 } // namespace rid::smt

@@ -5,6 +5,10 @@
  * Path constraints in RID are conjunctions of comparison literals; merging
  * summary entries (Section 4.3 of the paper) introduces disjunction, so the
  * formula language supports arbitrary and/or/not nesting over literals.
+ *
+ * Like expressions, formula nodes are hash-consed (smt/intern.h):
+ * structurally equal formulas share one node and carry a stable 64-bit
+ * fingerprint, which is what the solver query cache keys on.
  */
 
 #ifndef RID_SMT_FORMULA_H
@@ -92,6 +96,13 @@ class Formula
     bool equals(const Formula &other) const;
 
     size_t hash() const;
+
+    /**
+     * Stable structural 64-bit fingerprint (see Expr::fingerprint);
+     * suitable as a solver-query cache key when a hit is verified with
+     * equals(). The True formula fingerprints to 0.
+     */
+    uint64_t fingerprint() const;
 
     /** Render using the paper's notation with "&&", "||", "!". */
     std::string str() const;

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Hash-consing (interning) infrastructure for the smt layer.
+ *
+ * Expression and formula nodes are immutable trees; interning their
+ * construction makes syntactically equal trees share one node, so
+ *
+ *  - structural equality short-circuits to a pointer comparison,
+ *  - every tree carries a stable 64-bit *fingerprint* computed once at
+ *    construction, usable as a cache key across threads and runs.
+ *
+ * Fingerprints are deliberately independent of std::hash: they mix the
+ * node's kind, payload bytes and child fingerprints with fixed 64-bit
+ * constants, so the same formula text fingerprints identically on every
+ * run and platform. A fingerprint collision between structurally distinct
+ * trees is possible (64 bits) but harmless for correctness: every consumer
+ * (the intern tables, the query cache) verifies structural equality before
+ * treating two trees as the same.
+ *
+ * The tables hold weak references only — interning never extends a node's
+ * lifetime. Expired entries are scavenged opportunistically during lookups
+ * in the same bucket.
+ */
+
+#ifndef RID_SMT_INTERN_H
+#define RID_SMT_INTERN_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace rid::smt {
+
+/** @name Fingerprint mixing primitives */
+/** @{ */
+
+/** Finalizer from splitmix64; good avalanche for single words. */
+inline uint64_t
+fpMix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Fold @p v into running fingerprint @p h (order-sensitive). */
+inline uint64_t
+fpCombine(uint64_t h, uint64_t v)
+{
+    return fpMix64(h ^ (v + 0x2545f4914f6cdd1dULL + (h << 6) + (h >> 2)));
+}
+
+/** FNV-1a over a byte string; stable across runs. */
+inline uint64_t
+fpBytes(std::string_view s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** @} */
+
+/** Counters exposed by one intern table (monotonic except entries). */
+struct InternStats
+{
+    uint64_t hits = 0;       ///< constructions that found an existing node
+    uint64_t misses = 0;     ///< constructions that inserted a new node
+    uint64_t scavenged = 0;  ///< expired weak entries removed
+    size_t entries = 0;      ///< current table size (incl. not-yet-expired)
+
+    InternStats &operator+=(const InternStats &o)
+    {
+        hits += o.hits;
+        misses += o.misses;
+        scavenged += o.scavenged;
+        entries += o.entries;
+        return *this;
+    }
+};
+
+/**
+ * Sharded weak intern table for immutable nodes of type Node.
+ *
+ * Thread-safe; each shard is guarded by its own mutex so concurrent
+ * construction from analysis worker threads rarely contends. Candidate
+ * equality is decided by the caller-supplied predicate, which may be
+ * shallow (payload + child pointer identity) when children are always
+ * interned first.
+ */
+template <typename Node>
+class InternTable
+{
+  public:
+    using Ptr = std::shared_ptr<const Node>;
+    using EqFn = bool (*)(const Node &, const Node &);
+
+    /**
+     * Return the canonical node equal to @p fresh (interning it if new).
+     *
+     * @param fp    fingerprint of @p fresh (bucket key)
+     * @param fresh candidate node, consumed
+     * @param eq    structural equality predicate
+     */
+    Ptr
+    intern(uint64_t fp, Ptr fresh, EqFn eq)
+    {
+        Shard &shard = shards_[shardOf(fp)];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto range = shard.nodes.equal_range(fp);
+        for (auto it = range.first; it != range.second;) {
+            Ptr live = it->second.lock();
+            if (!live) {
+                it = shard.nodes.erase(it);
+                shard.scavenged++;
+                continue;
+            }
+            if (eq(*live, *fresh)) {
+                shard.hits++;
+                return live;
+            }
+            ++it;
+        }
+        shard.nodes.emplace(fp, fresh);
+        shard.misses++;
+        return fresh;
+    }
+
+    InternStats
+    stats() const
+    {
+        InternStats total;
+        for (const Shard &s : shards_) {
+            std::lock_guard<std::mutex> lock(s.mutex);
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.scavenged += s.scavenged;
+            total.entries += s.nodes.size();
+        }
+        return total;
+    }
+
+    /** Drop all expired entries (called by tests; never required). */
+    void
+    scavenge()
+    {
+        for (Shard &s : shards_) {
+            std::lock_guard<std::mutex> lock(s.mutex);
+            for (auto it = s.nodes.begin(); it != s.nodes.end();) {
+                if (it->second.expired()) {
+                    it = s.nodes.erase(it);
+                    s.scavenged++;
+                } else {
+                    ++it;
+                }
+            }
+        }
+    }
+
+  private:
+    static constexpr size_t kShards = 32;
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::unordered_multimap<uint64_t, std::weak_ptr<const Node>> nodes;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t scavenged = 0;
+    };
+
+    static size_t
+    shardOf(uint64_t fp)
+    {
+        // The multimap re-hashes the full fingerprint per bucket; shard
+        // selection uses high bits so both stay well distributed.
+        return (fp >> 57) & (kShards - 1);
+    }
+
+    Shard shards_[kShards];
+};
+
+/** Stats of the process-wide expression intern table (see expr.cc). */
+InternStats exprInternStats();
+
+/** Stats of the process-wide formula intern table (see formula.cc). */
+InternStats formulaInternStats();
+
+/** Combined expression + formula interning stats. */
+InternStats totalInternStats();
+
+/** One-line human-readable rendering of @p s. */
+std::string internStatsStr(const InternStats &s);
+
+} // namespace rid::smt
+
+#endif // RID_SMT_INTERN_H

@@ -1,0 +1,93 @@
+#include "smt/query_cache.h"
+
+#include "smt/solver.h"
+
+namespace rid::smt {
+
+QueryCache::QueryCache(Options opts)
+{
+    size_t cap = opts.capacity ? opts.capacity : 1;
+    shard_capacity_ = (cap + kShards - 1) / kShards;
+    if (shard_capacity_ == 0)
+        shard_capacity_ = 1;
+}
+
+std::optional<SatResult>
+QueryCache::lookup(const Formula &f)
+{
+    uint64_t fp = f.fingerprint();
+    Shard &shard = shards_[shardOf(fp)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(fp);
+    if (it == shard.index.end()) {
+        shard.misses++;
+        return std::nullopt;
+    }
+    Entry &entry = *it->second;
+    if (!entry.formula.equals(f)) {
+        shard.collisions++;
+        shard.misses++;
+        return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    shard.hits++;
+    return entry.result;
+}
+
+void
+QueryCache::insert(const Formula &f, SatResult result)
+{
+    uint64_t fp = f.fingerprint();
+    Shard &shard = shards_[shardOf(fp)];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(fp);
+    if (it != shard.index.end()) {
+        // Same fingerprint already cached: refresh (same formula) or
+        // overwrite (collision — keep the newest verdict, the older
+        // formula will simply re-solve on its next query).
+        Entry &entry = *it->second;
+        if (!entry.formula.equals(f)) {
+            shard.collisions++;
+            entry.formula = f;
+        }
+        entry.result = result;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.push_front(Entry{fp, f, result});
+    shard.index[fp] = shard.lru.begin();
+    shard.insertions++;
+    if (shard.lru.size() > shard_capacity_) {
+        shard.index.erase(shard.lru.back().fp);
+        shard.lru.pop_back();
+        shard.evictions++;
+    }
+}
+
+QueryCache::Stats
+QueryCache::stats() const
+{
+    Stats total;
+    for (const Shard &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.insertions += s.insertions;
+        total.evictions += s.evictions;
+        total.collisions += s.collisions;
+        total.entries += s.lru.size();
+    }
+    return total;
+}
+
+void
+QueryCache::clear()
+{
+    for (Shard &s : shards_) {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        s.lru.clear();
+        s.index.clear();
+    }
+}
+
+} // namespace rid::smt

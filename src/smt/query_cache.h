@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Memoized satisfiability-query cache.
+ *
+ * RID's analysis re-solves the same formulas many times: the pairwise IPP
+ * check restarts its O(n^2) scan after every merge/drop, and symbolic
+ * execution re-checks path-prefix feasibility as constraints accumulate.
+ * This cache maps a formula's structural fingerprint (smt/intern.h) to
+ * its SatResult so syntactically repeated queries cost a hash lookup.
+ *
+ * Soundness. The solver is deterministic for a given Options, and cached
+ * verdicts are verified against the stored formula with equals() before
+ * use, so a hit always returns what re-solving the identical formula
+ * would have. When solvers with *different* budgets share a cache the
+ * only possible divergence is Unknown vs Sat (Unsat proofs are
+ * budget-independent), which isSat() maps to the same conservative
+ * answer; see DESIGN.md "Solver query cache".
+ *
+ * Concurrency. The cache is sharded by fingerprint; each shard holds an
+ * independent mutex, LRU list and index, so worker threads touching
+ * different formulas rarely contend. One instance is shared by every
+ * Solver the Analyzer creates, across SCC-level and path-level workers.
+ */
+
+#ifndef RID_SMT_QUERY_CACHE_H
+#define RID_SMT_QUERY_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "smt/formula.h"
+
+namespace rid::smt {
+
+enum class SatResult : uint8_t;  // full definition in smt/solver.h
+
+class QueryCache
+{
+  public:
+    struct Options
+    {
+        /** Max cached verdicts across all shards. */
+        size_t capacity = 1 << 16;
+    };
+
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;
+        /** Fingerprint matched but formula differed (treated as miss). */
+        uint64_t collisions = 0;
+        size_t entries = 0;
+
+        double
+        hitRate() const
+        {
+            uint64_t lookups = hits + misses;
+            return lookups ? static_cast<double>(hits) / lookups : 0.0;
+        }
+    };
+
+    QueryCache() : QueryCache(Options()) {}
+    explicit QueryCache(Options opts);
+
+    /** Cached verdict for @p f, or nullopt. Promotes the entry to MRU. */
+    std::optional<SatResult> lookup(const Formula &f);
+
+    /** Record the verdict for @p f, evicting the shard's LRU entry if
+     *  full. Re-inserting an existing formula refreshes it. */
+    void insert(const Formula &f, SatResult result);
+
+    /** Aggregate counters across shards. */
+    Stats stats() const;
+
+    /** Drop all entries (counters are kept). */
+    void clear();
+
+    size_t capacity() const { return shard_capacity_ * kShards; }
+
+  private:
+    static constexpr size_t kShards = 16;
+
+    struct Entry
+    {
+        uint64_t fp;
+        Formula formula;  // for verification of fingerprint hits
+        SatResult result;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::list<Entry> lru;  // front = most recently used
+        std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t insertions = 0;
+        uint64_t evictions = 0;
+        uint64_t collisions = 0;
+    };
+
+    static size_t
+    shardOf(uint64_t fp)
+    {
+        // Bits disjoint from both the intern tables' shard selector
+        // (high bits) and the index's own hashing of the full value.
+        return (fp >> 43) & (kShards - 1);
+    }
+
+    size_t shard_capacity_;
+    Shard shards_[kShards];
+};
+
+} // namespace rid::smt
+
+#endif // RID_SMT_QUERY_CACHE_H

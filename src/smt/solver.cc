@@ -4,6 +4,8 @@
 #include <cassert>
 #include <numeric>
 
+#include "smt/query_cache.h"
+
 namespace rid::smt {
 
 const char *
@@ -110,11 +112,21 @@ Solver::check(const Formula &f)
         return SatResult::Sat;
     if (f.isFalse())
         return SatResult::Unsat;
+    if (cache_) {
+        if (auto cached = cache_->lookup(f)) {
+            stats_.cache_hits++;
+            return *cached;
+        }
+        stats_.cache_misses++;
+    }
     Formula n = f.nnf();
     std::vector<LinLit> acc;
     VarSpace space;
     int budget = opts_.max_branches;
-    return enumerate(n, acc, space, budget);
+    SatResult r = enumerate(n, acc, space, budget);
+    if (cache_)
+        cache_->insert(f, r);
+    return r;
 }
 
 bool

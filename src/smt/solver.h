@@ -25,12 +25,15 @@
 #define RID_SMT_SOLVER_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "smt/formula.h"
 #include "smt/linear.h"
 
 namespace rid::smt {
+
+class QueryCache;
 
 enum class SatResult : uint8_t { Sat, Unsat, Unknown };
 
@@ -62,10 +65,40 @@ class Solver
         uint64_t theory_checks = 0;
         uint64_t branches = 0;
         uint64_t unknowns = 0;
+        /** Queries answered by the attached QueryCache. */
+        uint64_t cache_hits = 0;
+        /** Non-trivial queries that missed the cache and were solved. */
+        uint64_t cache_misses = 0;
+
+        Stats &
+        operator+=(const Stats &o)
+        {
+            queries += o.queries;
+            theory_checks += o.theory_checks;
+            branches += o.branches;
+            unknowns += o.unknowns;
+            cache_hits += o.cache_hits;
+            cache_misses += o.cache_misses;
+            return *this;
+        }
     };
 
     Solver() = default;
     explicit Solver(Options opts) : opts_(opts) {}
+
+    /**
+     * Attach a (typically shared) verdict cache consulted by check().
+     * Pass nullptr to detach. Sharing one cache between solvers with
+     * different Options is sound for isSat() consumers but may convert
+     * an Unknown into the other solver's Sat/Unsat or vice versa; see
+     * smt/query_cache.h.
+     */
+    void attachCache(std::shared_ptr<QueryCache> cache)
+    {
+        cache_ = std::move(cache);
+    }
+
+    const std::shared_ptr<QueryCache> &cache() const { return cache_; }
 
     /** Decide satisfiability of @p f. */
     SatResult check(const Formula &f);
@@ -90,6 +123,7 @@ class Solver
 
     Options opts_;
     Stats stats_;
+    std::shared_ptr<QueryCache> cache_;
 };
 
 } // namespace rid::smt

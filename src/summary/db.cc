@@ -1,5 +1,6 @@
 #include "summary/db.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "summary/spec.h"
@@ -51,6 +52,7 @@ SummaryDb::predefinedNames() const
     names.reserve(predefined_.size());
     for (const auto &[name, s] : predefined_)
         names.push_back(name);
+    std::sort(names.begin(), names.end());
     return names;
 }
 
@@ -67,6 +69,7 @@ SummaryDb::namesWithChanges() const
         if (s.hasChanges() && !predefined_.count(name))
             names.push_back(name);
     }
+    std::sort(names.begin(), names.end());
     return names;
 }
 
@@ -81,9 +84,19 @@ std::string
 SummaryDb::saveComputed() const
 {
     std::shared_lock lock(mutex_);
-    std::ostringstream os;
+    std::vector<const FunctionSummary *> rows;
+    rows.reserve(computed_.size());
     for (const auto &[name, s] : computed_)
-        os << serializeSummary(s);
+        rows.push_back(&s);
+    // Name-sorted so the export is byte-identical regardless of the
+    // (thread-scheduling-dependent) order summaries were inserted in.
+    std::sort(rows.begin(), rows.end(),
+              [](const FunctionSummary *a, const FunctionSummary *b) {
+                  return a->function < b->function;
+              });
+    std::ostringstream os;
+    for (const FunctionSummary *s : rows)
+        os << serializeSummary(*s);
     return os.str();
 }
 

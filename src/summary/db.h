@@ -49,9 +49,10 @@ class SummaryDb
     size_t size() const;
 
     /**
-     * Serialize all computed summaries in the spec format understood by
-     * loadSpecFile() (predefined ones are configuration, not results, and
-     * are not saved).
+     * Serialize all computed summaries, name-sorted, in the spec format
+     * understood by loadSpecFile() (predefined ones are configuration, not
+     * results, and are not saved). Sorted output makes the export
+     * byte-identical across runs and thread counts.
      */
     std::string saveComputed() const;
 
