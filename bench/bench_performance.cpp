@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "analysis/analyzer.h"
@@ -327,6 +328,9 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    writeBenchJson("BENCH_performance.json");
+    // RID_BENCH_JSON lets scripts/check.sh and the CMake `check` target
+    // pin the output to the repo root regardless of working directory.
+    const char *out = std::getenv("RID_BENCH_JSON");
+    writeBenchJson(out && *out ? out : "BENCH_performance.json");
     return 0;
 }

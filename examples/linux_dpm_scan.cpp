@@ -8,9 +8,11 @@
  * refcount-irrelevant filler), runs RID over it, and scores the reports
  * against the generator's ground truth.
  *
- * Usage: linux_dpm_scan [scale] [seed]
- *   scale  multiplier for the filler populations (default 0.01)
- *   seed   corpus RNG seed (default 0x101)
+ * Usage: linux_dpm_scan [scale] [seed] [trace.json] [metrics.prom]
+ *   scale    multiplier for the filler populations (default 0.01)
+ *   seed     corpus RNG seed (default 0x101)
+ *   trace    write a Chrome-trace JSON of the run (open in Perfetto)
+ *   metrics  write the run's Prometheus metrics exposition
  */
 
 #include <cstdio>
@@ -35,7 +37,13 @@ main(int argc, char **argv)
                 totals.functions, corpus.files.size(), totals.real_bugs,
                 totals.rid_detectable_bugs, totals.fp_inducers);
 
-    rid::Rid tool;
+    rid::analysis::AnalyzerOptions opts;
+    if (argc > 3)
+        opts.trace_path = argv[3];
+    if (argc > 4)
+        opts.metrics_path = argv[4];
+
+    rid::Rid tool(opts);
     tool.loadSpecText(rid::kernel::dpmSpecText());
     for (const auto &file : corpus.files)
         tool.addSource(file.text);
@@ -73,5 +81,10 @@ main(int argc, char **argv)
     }
 
     std::printf("\n%s", result.str().c_str());
+    std::printf("\n%s", result.profile.str().c_str());
+    if (argc > 3)
+        std::printf("\nwrote trace to %s\n", argv[3]);
+    if (argc > 4)
+        std::printf("wrote metrics to %s\n", argv[4]);
     return 0;
 }

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the determinism regression, run twice.
+# Tier-1 verification plus the determinism regression (run twice), the
+# performance trajectory record, and an observability smoke-check.
 #
 # This is the exact line ROADMAP.md documents as "Tier-1 verify", followed
 # by two back-to-back runs of the analyzer determinism suite (which itself
-# compares threads {1,4} x query-cache {on,off}); running the binary twice
-# catches run-to-run nondeterminism that a single in-process comparison
-# cannot (e.g. ASLR-dependent container ordering).
+# compares threads {1,4} x query-cache {on,off} x tracing {off,on});
+# running the binary twice catches run-to-run nondeterminism that a single
+# in-process comparison cannot (e.g. ASLR-dependent container ordering).
+# It then refreshes BENCH_performance.json at the repo root (the
+# microbenchmarks themselves are skipped via a non-matching filter — only
+# the trajectory-record workload runs) and exercises the tracing path end
+# to end on a small DPM corpus.
 #
 # Usage: scripts/check.sh        (from anywhere inside the repo)
 # CMake equivalent: cmake --build build --target check
@@ -21,5 +26,32 @@ echo "== determinism suite, run 1/2 =="
 ./build/tests/test_analyzer_determinism
 echo "== determinism suite, run 2/2 =="
 ./build/tests/test_analyzer_determinism
+
+echo "== performance trajectory record =="
+RID_BENCH_JSON="$PWD/BENCH_performance.json" \
+    ./build/bench/bench_performance --benchmark_filter='^$none'
+test -s BENCH_performance.json
+
+echo "== observability smoke-check =="
+trace_json="$(mktemp)" metrics_prom="$(mktemp)"
+trap 'rm -f "$trace_json" "$metrics_prom"' EXIT
+./build/examples/linux_dpm_scan 0.001 0x101 "$trace_json" "$metrics_prom" \
+    > /dev/null
+test -s "$trace_json"
+test -s "$metrics_prom"
+if command -v python3 > /dev/null; then
+    python3 -m json.tool "$trace_json" > /dev/null
+    python3 - "$trace_json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+assert events, "trace has no events"
+assert any(e["name"] == "analyze-function" for e in events)
+EOF
+else
+    # No python3: at least require the structural markers.
+    grep -q '"traceEvents"' "$trace_json"
+    grep -q '"analyze-function"' "$trace_json"
+fi
+grep -q '^rid_functions_analyzed_total ' "$metrics_prom"
 
 echo "check.sh: all green"

@@ -1,5 +1,6 @@
 #include "analysis/analyzer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
@@ -32,13 +33,119 @@ Analyzer::Analyzer(const ir::Module &mod, summary::SummaryDb &db,
         cache_opts.capacity = opts_.query_cache_capacity;
         query_cache_ = std::make_shared<smt::QueryCache>(cache_opts);
     }
+    tracer_ = opts_.tracer;
+    if (!tracer_ && !opts_.trace_path.empty())
+        tracer_ = std::make_shared<obs::Tracer>();
+    metrics_ = opts_.metrics ? opts_.metrics
+                             : std::make_shared<obs::MetricsRegistry>();
+
+    auto &m = *metrics_;
+    ins_.functions_analyzed = &m.counter(
+        "rid_functions_analyzed_total", "Functions fully analyzed.");
+    ins_.functions_defaulted =
+        &m.counter("rid_functions_defaulted_total",
+                   "Functions given the default summary unanalyzed.");
+    ins_.functions_truncated =
+        &m.counter("rid_functions_truncated_total",
+                   "Functions whose path/subcase caps truncated analysis.");
+    ins_.paths_enumerated = &m.counter("rid_paths_enumerated_total",
+                                       "Entry-to-exit paths enumerated.");
+    ins_.entries_computed =
+        &m.counter("rid_entries_computed_total",
+                   "Path summary entries computed before IPP merging.");
+    ins_.solver_queries =
+        &m.counter("rid_solver_queries_total", "Solver check() calls.");
+    ins_.solver_theory_checks = &m.counter(
+        "rid_solver_theory_checks_total", "Theory-core conjunction checks.");
+    ins_.solver_branches = &m.counter("rid_solver_branches_total",
+                                      "Solver branch enumerations.");
+    ins_.solver_unknowns = &m.counter("rid_solver_unknowns_total",
+                                      "Solver Unknown results.");
+    ins_.solver_cache_hits = &m.counter(
+        "rid_solver_cache_hits_total", "Queries answered by the cache.");
+    ins_.solver_cache_misses =
+        &m.counter("rid_solver_cache_misses_total",
+                   "Non-trivial queries that missed the cache.");
+    ins_.solver_solve_ns =
+        &m.counter("rid_solver_solve_ns_total",
+                   "Wall nanoseconds spent inside solver check().");
+    ins_.classify_seconds = &m.gauge(
+        "rid_classify_seconds", "Wall time of the classification phase.");
+    ins_.analyze_seconds = &m.gauge(
+        "rid_analyze_seconds", "Wall time of the bottom-up analysis.");
+    ins_.paths_per_function =
+        &m.histogram("rid_paths_per_function",
+                     "Enumerated paths per analyzed function.",
+                     obs::pathCountBuckets());
+    ins_.symexec_seconds =
+        &m.histogram("rid_symexec_seconds",
+                     "Per-function symbolic-execution phase wall time.");
+    ins_.ipp_seconds = &m.histogram(
+        "rid_ipp_seconds", "Per-function IPP check-and-merge wall time.");
+    ins_.solver_query_seconds = &m.histogram(
+        "rid_solver_query_seconds", "Solver query latency (seconds).");
+}
+
+smt::Solver
+Analyzer::makeSolver() const
+{
+    smt::Solver::Options sopts;
+    sopts.trace_queries = opts_.trace_solver_queries;
+    smt::Solver solver(sopts);
+    solver.attachCache(query_cache_);
+    solver.attachLatencyHistogram(ins_.solver_query_seconds);
+    return solver;
+}
+
+void
+Analyzer::addSolverStats(const smt::Solver::Stats &s)
+{
+    ins_.solver_queries->inc(s.queries);
+    ins_.solver_theory_checks->inc(s.theory_checks);
+    ins_.solver_branches->inc(s.branches);
+    ins_.solver_unknowns->inc(s.unknowns);
+    ins_.solver_cache_hits->inc(s.cache_hits);
+    ins_.solver_cache_misses->inc(s.cache_misses);
+    ins_.solver_solve_ns->inc(s.solve_ns);
+}
+
+void
+Analyzer::refreshStatsFromRegistry()
+{
+    stats_.functions_analyzed = ins_.functions_analyzed->value();
+    stats_.functions_defaulted = ins_.functions_defaulted->value();
+    stats_.functions_truncated = ins_.functions_truncated->value();
+    stats_.paths_enumerated = ins_.paths_enumerated->value();
+    stats_.entries_computed = ins_.entries_computed->value();
+    stats_.symexec_seconds = ins_.symexec_seconds->sum();
+    stats_.ipp_seconds = ins_.ipp_seconds->sum();
+    stats_.solver.queries = ins_.solver_queries->value();
+    stats_.solver.theory_checks = ins_.solver_theory_checks->value();
+    stats_.solver.branches = ins_.solver_branches->value();
+    stats_.solver.unknowns = ins_.solver_unknowns->value();
+    stats_.solver.cache_hits = ins_.solver_cache_hits->value();
+    stats_.solver.cache_misses = ins_.solver_cache_misses->value();
+    stats_.solver.solve_ns = ins_.solver_solve_ns->value();
+}
+
+std::vector<obs::FunctionCost>
+Analyzer::functionCosts() const
+{
+    std::vector<obs::FunctionCost> costs = function_costs_;
+    std::sort(costs.begin(), costs.end(),
+              [](const obs::FunctionCost &a, const obs::FunctionCost &b) {
+                  return a.name < b.name;
+              });
+    return costs;
 }
 
 std::vector<BugReport>
 Analyzer::analyzeFunction(const ir::Function &fn)
 {
-    smt::Solver solver;
-    solver.attachCache(query_cache_);
+    obs::Span fn_span("function", "analyze-function");
+    fn_span.arg("fn", fn.name());
+
+    smt::Solver solver = makeSolver();
 
     auto paths = enumeratePaths(fn, opts_.max_paths);
     ExecOptions exec_opts;
@@ -47,49 +154,55 @@ Analyzer::analyzeFunction(const ir::Function &fn)
 
     std::vector<summary::SummaryEntry> path_entries;
     bool truncated = paths.truncated;
+    smt::Solver::Stats fn_solver_stats;
     auto symexec_t0 = std::chrono::steady_clock::now();
-    if (opts_.path_threads > 1 && paths.paths.size() > 1) {
-        // Section 7 future work: paths are independent, so their
-        // summaries can be computed in parallel. Results are collected
-        // per path index to keep entry order (and therefore the whole
-        // analysis) deterministic.
-        std::vector<ExecResult> results(paths.paths.size());
-        std::atomic<size_t> cursor{0};
-        int workers =
-            std::min<int>(opts_.path_threads,
-                          static_cast<int>(paths.paths.size()));
-        std::vector<std::future<void>> futures;
-        for (int w = 0; w < workers; w++) {
-            futures.push_back(std::async(std::launch::async, [&]() {
-                smt::Solver local_solver;
-                local_solver.attachCache(query_cache_);
-                while (true) {
-                    size_t i = cursor.fetch_add(1);
-                    if (i >= paths.paths.size())
-                        break;
-                    results[i] = executePath(fn, paths.paths[i],
-                                             static_cast<int>(i), db_,
-                                             local_solver, exec_opts);
-                }
-                std::lock_guard<std::mutex> lock(stats_mutex_);
-                stats_.solver += local_solver.stats();
-            }));
-        }
-        for (auto &f : futures)
-            f.get();
-        for (auto &exec : results) {
-            truncated = truncated || exec.truncated;
-            for (auto &e : exec.entries)
-                path_entries.push_back(std::move(e));
-        }
-    } else {
-        for (size_t i = 0; i < paths.paths.size(); i++) {
-            auto exec = executePath(fn, paths.paths[i],
-                                    static_cast<int>(i), db_, solver,
-                                    exec_opts);
-            truncated = truncated || exec.truncated;
-            for (auto &e : exec.entries)
-                path_entries.push_back(std::move(e));
+    {
+        obs::Span symexec_span("phase", "symexec");
+        symexec_span.arg("fn", fn.name());
+        if (opts_.path_threads > 1 && paths.paths.size() > 1) {
+            // Section 7 future work: paths are independent, so their
+            // summaries can be computed in parallel. Results are
+            // collected per path index to keep entry order (and
+            // therefore the whole analysis) deterministic.
+            std::vector<ExecResult> results(paths.paths.size());
+            std::atomic<size_t> cursor{0};
+            std::mutex merge_mutex;
+            int workers =
+                std::min<int>(opts_.path_threads,
+                              static_cast<int>(paths.paths.size()));
+            std::vector<std::future<void>> futures;
+            for (int w = 0; w < workers; w++) {
+                futures.push_back(std::async(std::launch::async, [&]() {
+                    obs::ScopedTracer scoped(tracer_.get());
+                    smt::Solver local_solver = makeSolver();
+                    while (true) {
+                        size_t i = cursor.fetch_add(1);
+                        if (i >= paths.paths.size())
+                            break;
+                        results[i] = executePath(fn, paths.paths[i],
+                                                 static_cast<int>(i), db_,
+                                                 local_solver, exec_opts);
+                    }
+                    std::lock_guard<std::mutex> lock(merge_mutex);
+                    fn_solver_stats += local_solver.stats();
+                }));
+            }
+            for (auto &f : futures)
+                f.get();
+            for (auto &exec : results) {
+                truncated = truncated || exec.truncated;
+                for (auto &e : exec.entries)
+                    path_entries.push_back(std::move(e));
+            }
+        } else {
+            for (size_t i = 0; i < paths.paths.size(); i++) {
+                auto exec = executePath(fn, paths.paths[i],
+                                        static_cast<int>(i), db_, solver,
+                                        exec_opts);
+                truncated = truncated || exec.truncated;
+                for (auto &e : exec.entries)
+                    path_entries.push_back(std::move(e));
+            }
         }
     }
     double symexec_seconds = secondsSince(symexec_t0);
@@ -124,16 +237,30 @@ Analyzer::analyzeFunction(const ir::Function &fn)
     }
     db_.addComputed(std::move(summary));
 
-    {
+    fn_solver_stats += solver.stats();
+    ins_.functions_analyzed->inc();
+    ins_.paths_enumerated->inc(paths.paths.size());
+    ins_.entries_computed->inc(num_entries);
+    if (truncated)
+        ins_.functions_truncated->inc();
+    ins_.paths_per_function->observe(
+        static_cast<double>(paths.paths.size()));
+    ins_.symexec_seconds->observe(symexec_seconds);
+    ins_.ipp_seconds->observe(ipp_seconds);
+    addSolverStats(fn_solver_stats);
+
+    if (opts_.profile_top_n > 0) {
+        obs::FunctionCost cost;
+        cost.name = fn.name();
+        cost.paths = paths.paths.size();
+        cost.entries = num_entries;
+        cost.truncated = truncated;
+        cost.symexec_seconds = symexec_seconds;
+        cost.ipp_seconds = ipp_seconds;
+        cost.solver_seconds = fn_solver_stats.solveSeconds();
+        cost.solver_queries = fn_solver_stats.queries;
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.functions_analyzed++;
-        stats_.paths_enumerated += paths.paths.size();
-        stats_.entries_computed += num_entries;
-        if (truncated)
-            stats_.functions_truncated++;
-        stats_.symexec_seconds += symexec_seconds;
-        stats_.ipp_seconds += ipp_seconds;
-        stats_.solver += solver.stats();
+        function_costs_.push_back(std::move(cost));
     }
     return std::move(ipp.reports);
 }
@@ -141,6 +268,9 @@ Analyzer::analyzeFunction(const ir::Function &fn)
 void
 Analyzer::run()
 {
+    obs::ScopedTracer scoped(tracer_.get());
+    obs::Span run_span("pipeline", "run");
+
     auto t0 = std::chrono::steady_clock::now();
 
     // Seeds are every known summary that changes a refcount: the
@@ -148,9 +278,14 @@ Analyzer::run()
     // passes (Section 5.3).
     std::vector<std::string> seeds = db_.namesWithChanges();
 
-    if (opts_.classify)
-        classifier_ = std::make_unique<FunctionClassifier>(mod_, seeds);
+    {
+        obs::Span classify_span("pipeline", "classify");
+        if (opts_.classify)
+            classifier_ =
+                std::make_unique<FunctionClassifier>(mod_, seeds);
+    }
     stats_.classify_seconds = secondsSince(t0);
+    ins_.classify_seconds->set(stats_.classify_seconds);
     if (classifier_)
         stats_.categories = classifier_->stats();
 
@@ -173,6 +308,7 @@ Analyzer::run()
     };
 
     auto t1 = std::chrono::steady_clock::now();
+    obs::Span analyze_span("pipeline", "analyze");
     CallGraph cg(mod_);
 
     auto processNode = [&](int node) -> std::vector<BugReport> {
@@ -183,8 +319,7 @@ Analyzer::run()
             if (!fn->isDeclaration() && !db_.hasPredefined(fn->name())) {
                 db_.addComputed(summary::FunctionSummary::defaultFor(
                     fn->name(), fn->returnsValue()));
-                std::lock_guard<std::mutex> lock(stats_mutex_);
-                stats_.functions_defaulted++;
+                ins_.functions_defaulted->inc();
             }
             return {};
         }
@@ -207,6 +342,7 @@ Analyzer::run()
                                         static_cast<int>(level.size()));
             for (int w = 0; w < workers; w++) {
                 futures.push_back(std::async(std::launch::async, [&]() {
+                    obs::ScopedTracer worker_scoped(tracer_.get());
                     std::vector<BugReport> local;
                     while (true) {
                         size_t k = cursor.fetch_add(1);
@@ -229,8 +365,28 @@ Analyzer::run()
         }
     }
     stats_.analyze_seconds = secondsSince(t1);
-    if (query_cache_)
+    ins_.analyze_seconds->set(stats_.analyze_seconds);
+    refreshStatsFromRegistry();
+    if (query_cache_) {
         stats_.query_cache = query_cache_->stats();
+        const auto &qc = stats_.query_cache;
+        metrics_
+            ->gauge("rid_query_cache_hits",
+                    "Shared query-cache hits (snapshot).")
+            .set(static_cast<double>(qc.hits));
+        metrics_
+            ->gauge("rid_query_cache_misses",
+                    "Shared query-cache misses (snapshot).")
+            .set(static_cast<double>(qc.misses));
+        metrics_
+            ->gauge("rid_query_cache_entries",
+                    "Resident query-cache entries.")
+            .set(static_cast<double>(qc.entries));
+        metrics_
+            ->gauge("rid_query_cache_evictions",
+                    "Query-cache evictions (snapshot).")
+            .set(static_cast<double>(qc.evictions));
+    }
 }
 
 } // namespace rid::analysis

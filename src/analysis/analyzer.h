@@ -25,6 +25,9 @@
 #include "analysis/summary_check.h"
 #include "analysis/symexec.h"
 #include "ir/function.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "smt/query_cache.h"
 #include "summary/db.h"
 
@@ -62,6 +65,23 @@ struct AnalyzerOptions
      *  (Sections 2.1 / 4.5); its reports are appended to the IPP ones.
      *  See makeEscapeRuleCheck(). */
     SummaryCheck summary_check;
+    /** Chrome-trace output path (empty = tracing off). Rid::run()
+     *  writes the file; the Analyzer only enables span recording. */
+    std::string trace_path;
+    /** Prometheus metrics dump path (empty = none); written by
+     *  Rid::run() from the run's metrics registry. */
+    std::string metrics_path;
+    /** Rows kept in the post-run analysis profile (0 = no profile). */
+    int profile_top_n = 10;
+    /** Record one span per solver query (noisy; off by default). */
+    bool trace_solver_queries = false;
+    /** Injected tracer (tests / embedding). When null, the Analyzer
+     *  creates one iff trace_path is set. */
+    std::shared_ptr<obs::Tracer> tracer;
+    /** Injected metrics registry; a fresh one is created when null.
+     *  Counters are cumulative, so share one registry per run if the
+     *  derived AnalyzerStats should describe a single run. */
+    std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 struct AnalyzerStats
@@ -114,9 +134,56 @@ class Analyzer
         return query_cache_;
     }
 
+    /** The run's span tracer (null when tracing is off). */
+    const std::shared_ptr<obs::Tracer> &tracer() const { return tracer_; }
+
+    /** The run's metrics registry (never null). */
+    const std::shared_ptr<obs::MetricsRegistry> &metrics() const
+    {
+        return metrics_;
+    }
+
+    /** Per-function cost records (empty when profile_top_n == 0).
+     *  Deterministically ordered by function name. */
+    std::vector<obs::FunctionCost> functionCosts() const;
+
   private:
+    /** Registry-backed instruments, resolved once in the constructor so
+     *  hot paths skip the registry's name lookup. */
+    struct Instruments
+    {
+        obs::Counter *functions_analyzed;
+        obs::Counter *functions_defaulted;
+        obs::Counter *functions_truncated;
+        obs::Counter *paths_enumerated;
+        obs::Counter *entries_computed;
+        obs::Counter *solver_queries;
+        obs::Counter *solver_theory_checks;
+        obs::Counter *solver_branches;
+        obs::Counter *solver_unknowns;
+        obs::Counter *solver_cache_hits;
+        obs::Counter *solver_cache_misses;
+        obs::Counter *solver_solve_ns;
+        obs::Gauge *classify_seconds;
+        obs::Gauge *analyze_seconds;
+        obs::Histogram *paths_per_function;
+        obs::Histogram *symexec_seconds;
+        obs::Histogram *ipp_seconds;
+        obs::Histogram *solver_query_seconds;
+    };
+
     /** Analyze one function and store its summary; returns its reports. */
     std::vector<BugReport> analyzeFunction(const ir::Function &fn);
+
+    /** A solver wired to the run's cache, latency histogram and query
+     *  tracing option. */
+    smt::Solver makeSolver() const;
+
+    /** Add one (sub)run's solver counters to the registry. */
+    void addSolverStats(const smt::Solver::Stats &s);
+
+    /** Derive the legacy AnalyzerStats counters from the registry. */
+    void refreshStatsFromRegistry();
 
     const ir::Module &mod_;
     summary::SummaryDb &db_;
@@ -125,6 +192,10 @@ class Analyzer
     AnalyzerStats stats_;
     std::unique_ptr<FunctionClassifier> classifier_;
     std::shared_ptr<smt::QueryCache> query_cache_;
+    std::shared_ptr<obs::Tracer> tracer_;
+    std::shared_ptr<obs::MetricsRegistry> metrics_;
+    Instruments ins_;
+    std::vector<obs::FunctionCost> function_costs_;
     std::mutex stats_mutex_;
 };
 

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "analysis/slicer.h"
+#include "obs/trace.h"
 
 namespace rid::analysis {
 
@@ -25,7 +26,10 @@ FunctionClassifier::FunctionClassifier(
     const ir::Module &mod, const std::vector<std::string> &seeds)
     : mod_(mod)
 {
+    obs::Span span("phase", "classify-module");
+
     CallGraph cg(mod);
+    span.arg("functions", std::to_string(cg.size()));
     std::set<std::string> seed_set(seeds.begin(), seeds.end());
 
     const size_t n = cg.size();

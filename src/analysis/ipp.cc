@@ -4,6 +4,8 @@
 #include <random>
 #include <sstream>
 
+#include "obs/trace.h"
+
 namespace rid::analysis {
 
 std::string
@@ -35,6 +37,10 @@ checkAndMerge(const std::string &function,
               std::vector<summary::SummaryEntry> entries,
               smt::Solver &solver, const IppOptions &opts)
 {
+    obs::Span span("phase", "ipp-check");
+    span.arg("fn", function);
+    span.arg("entries", std::to_string(entries.size()));
+
     IppResult result;
     std::mt19937_64 rng(opts.drop_seed ^
                         std::hash<std::string>()(function));

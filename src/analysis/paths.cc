@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "frontend/lower.h"
+#include "obs/trace.h"
 
 namespace rid::analysis {
 
@@ -64,11 +65,14 @@ PathEnumResult
 enumeratePaths(const ir::Function &fn, int max_paths, int max_visits)
 {
     assert(!fn.isDeclaration());
+    obs::Span span("phase", "enumerate-paths");
+    span.arg("fn", fn.name());
     Enumerator e{fn, max_paths, max_visits, {}, {}, {}};
     e.visits.assign(fn.numBlocks(), 0);
     e.dfs(0);
     if (static_cast<int>(e.result.paths.size()) >= max_paths)
         e.result.truncated = true;
+    span.arg("paths", std::to_string(e.result.paths.size()));
     return std::move(e.result);
 }
 

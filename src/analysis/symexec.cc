@@ -4,6 +4,7 @@
 #include <map>
 
 #include "frontend/lower.h"
+#include "obs/trace.h"
 #include "summary/summary.h"
 
 namespace rid::analysis {
@@ -233,6 +234,10 @@ executePath(const ir::Function &fn, const Path &path, int path_index,
             const summary::SummaryDb &db, smt::Solver &solver,
             const ExecOptions &opts)
 {
+    obs::Span span("phase", "symexec-path");
+    span.arg("fn", fn.name());
+    span.arg("path", std::to_string(path_index));
+
     ExecResult result;
 
     State initial;

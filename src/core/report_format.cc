@@ -4,46 +4,44 @@
 #include <map>
 #include <sstream>
 
+#include "obs/json_writer.h"
+
 namespace rid {
 
 std::string
 jsonEscape(const std::string &text)
 {
-    std::string out;
-    out.reserve(text.size() + 8);
-    for (char c : text) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          case '\r': out += "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
+    return obs::jsonEscape(text);
 }
 
 namespace {
 
-std::string
-jsonIntArray(const std::vector<int> &values)
+void
+writeIntArray(obs::JsonWriter &w, const std::vector<int> &values)
 {
-    std::string out = "[";
-    for (size_t i = 0; i < values.size(); i++) {
-        if (i)
-            out += ",";
-        out += std::to_string(values[i]);
-    }
-    out += "]";
-    return out;
+    w.beginArray();
+    for (int v : values)
+        w.value(v);
+    w.endArray();
+}
+
+void
+writeReport(obs::JsonWriter &w, const analysis::BugReport &report)
+{
+    w.beginObject();
+    w.key("function").value(report.function);
+    w.key("refcount").value(report.refcount);
+    w.key("delta_a").value(report.delta_a);
+    w.key("delta_b").value(report.delta_b);
+    w.key("cons_a").value(report.cons_a);
+    w.key("cons_b").value(report.cons_b);
+    w.key("lines_a");
+    writeIntArray(w, report.lines_a);
+    w.key("lines_b");
+    writeIntArray(w, report.lines_b);
+    w.key("return_line_a").value(report.return_line_a);
+    w.key("return_line_b").value(report.return_line_b);
+    w.endObject();
 }
 
 } // anonymous namespace
@@ -51,48 +49,40 @@ jsonIntArray(const std::vector<int> &values)
 std::string
 toJson(const analysis::BugReport &report)
 {
-    std::ostringstream os;
-    os << "{"
-       << "\"function\":\"" << jsonEscape(report.function) << "\","
-       << "\"refcount\":\"" << jsonEscape(report.refcount) << "\","
-       << "\"delta_a\":" << report.delta_a << ","
-       << "\"delta_b\":" << report.delta_b << ","
-       << "\"cons_a\":\"" << jsonEscape(report.cons_a) << "\","
-       << "\"cons_b\":\"" << jsonEscape(report.cons_b) << "\","
-       << "\"lines_a\":" << jsonIntArray(report.lines_a) << ","
-       << "\"lines_b\":" << jsonIntArray(report.lines_b) << ","
-       << "\"return_line_a\":" << report.return_line_a << ","
-       << "\"return_line_b\":" << report.return_line_b << "}";
-    return os.str();
+    obs::JsonWriter w;
+    writeReport(w, report);
+    return w.str();
 }
 
 std::string
 toJson(const RunResult &result)
 {
-    std::ostringstream os;
-    os << "{\"reports\":[";
-    for (size_t i = 0; i < result.reports.size(); i++) {
-        if (i)
-            os << ",";
-        os << toJson(result.reports[i]);
-    }
-    os << "],\"stats\":{"
-       << "\"refcount_changing\":"
-       << result.stats.categories.refcount_changing << ","
-       << "\"affecting\":" << result.stats.categories.affecting << ","
-       << "\"other\":" << result.stats.categories.other << ","
-       << "\"functions_analyzed\":" << result.stats.functions_analyzed
-       << ","
-       << "\"functions_defaulted\":" << result.stats.functions_defaulted
-       << ","
-       << "\"functions_truncated\":" << result.stats.functions_truncated
-       << ","
-       << "\"paths_enumerated\":" << result.stats.paths_enumerated << ","
-       << "\"entries_computed\":" << result.stats.entries_computed << ","
-       << "\"classify_seconds\":" << result.stats.classify_seconds << ","
-       << "\"analyze_seconds\":" << result.stats.analyze_seconds
-       << "}}";
-    return os.str();
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("reports").beginArray();
+    for (const auto &report : result.reports)
+        writeReport(w, report);
+    w.endArray();
+    w.key("stats").beginObject();
+    w.key("refcount_changing")
+        .value(uint64_t{result.stats.categories.refcount_changing});
+    w.key("affecting").value(uint64_t{result.stats.categories.affecting});
+    w.key("other").value(uint64_t{result.stats.categories.other});
+    w.key("functions_analyzed")
+        .value(uint64_t{result.stats.functions_analyzed});
+    w.key("functions_defaulted")
+        .value(uint64_t{result.stats.functions_defaulted});
+    w.key("functions_truncated")
+        .value(uint64_t{result.stats.functions_truncated});
+    w.key("paths_enumerated")
+        .value(uint64_t{result.stats.paths_enumerated});
+    w.key("entries_computed")
+        .value(uint64_t{result.stats.entries_computed});
+    w.key("classify_seconds").value(result.stats.classify_seconds);
+    w.key("analyze_seconds").value(result.stats.analyze_seconds);
+    w.endObject();
+    w.endObject();
+    return w.str();
 }
 
 std::string

@@ -4,6 +4,9 @@
 #include <sstream>
 
 #include "frontend/lower.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "summary/spec.h"
 
 namespace rid {
@@ -39,58 +42,54 @@ RunResult::str() const
     return os.str();
 }
 
-namespace {
-
-/** Render a double for JSON (no inf/nan in these stats). */
-std::string
-jsonNum(double v)
-{
-    std::ostringstream os;
-    os << v;
-    return os.str();
-}
-
-} // anonymous namespace
-
 std::string
 RunResult::statsJson() const
 {
+    // Key set and order are a stable schema (strictly additive across
+    // PRs): bench_performance and any external trajectory tooling
+    // parse this document.
     const auto &s = stats;
     const auto &qc = s.query_cache;
-    std::ostringstream os;
-    os << "{";
-    os << "\"reports\":" << reports.size() << ",";
-    os << "\"functions\":{"
-       << "\"refcount_changing\":" << s.categories.refcount_changing << ","
-       << "\"affecting\":" << s.categories.affecting << ","
-       << "\"other\":" << s.categories.other << ","
-       << "\"analyzed\":" << s.functions_analyzed << ","
-       << "\"defaulted\":" << s.functions_defaulted << ","
-       << "\"truncated\":" << s.functions_truncated << "},";
-    os << "\"paths_enumerated\":" << s.paths_enumerated << ",";
-    os << "\"entries_computed\":" << s.entries_computed << ",";
-    os << "\"phases\":{"
-       << "\"classify_seconds\":" << jsonNum(s.classify_seconds) << ","
-       << "\"analyze_seconds\":" << jsonNum(s.analyze_seconds) << ","
-       << "\"symexec_seconds\":" << jsonNum(s.symexec_seconds) << ","
-       << "\"ipp_seconds\":" << jsonNum(s.ipp_seconds) << "},";
-    os << "\"solver\":{"
-       << "\"queries\":" << s.solver.queries << ","
-       << "\"theory_checks\":" << s.solver.theory_checks << ","
-       << "\"branches\":" << s.solver.branches << ","
-       << "\"unknowns\":" << s.solver.unknowns << ","
-       << "\"cache_hits\":" << s.solver.cache_hits << ","
-       << "\"cache_misses\":" << s.solver.cache_misses << "},";
-    os << "\"query_cache\":{"
-       << "\"hits\":" << qc.hits << ","
-       << "\"misses\":" << qc.misses << ","
-       << "\"insertions\":" << qc.insertions << ","
-       << "\"evictions\":" << qc.evictions << ","
-       << "\"collisions\":" << qc.collisions << ","
-       << "\"entries\":" << qc.entries << ","
-       << "\"hit_rate\":" << jsonNum(qc.hitRate()) << "}";
-    os << "}";
-    return os.str();
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("reports").value(uint64_t{reports.size()});
+    w.key("functions").beginObject();
+    w.key("refcount_changing").value(uint64_t{s.categories.refcount_changing});
+    w.key("affecting").value(uint64_t{s.categories.affecting});
+    w.key("other").value(uint64_t{s.categories.other});
+    w.key("analyzed").value(uint64_t{s.functions_analyzed});
+    w.key("defaulted").value(uint64_t{s.functions_defaulted});
+    w.key("truncated").value(uint64_t{s.functions_truncated});
+    w.endObject();
+    w.key("paths_enumerated").value(uint64_t{s.paths_enumerated});
+    w.key("entries_computed").value(uint64_t{s.entries_computed});
+    w.key("phases").beginObject();
+    w.key("classify_seconds").value(s.classify_seconds);
+    w.key("analyze_seconds").value(s.analyze_seconds);
+    w.key("symexec_seconds").value(s.symexec_seconds);
+    w.key("ipp_seconds").value(s.ipp_seconds);
+    w.endObject();
+    w.key("solver").beginObject();
+    w.key("queries").value(s.solver.queries);
+    w.key("theory_checks").value(s.solver.theory_checks);
+    w.key("branches").value(s.solver.branches);
+    w.key("unknowns").value(s.solver.unknowns);
+    w.key("cache_hits").value(s.solver.cache_hits);
+    w.key("cache_misses").value(s.solver.cache_misses);
+    w.key("solve_seconds").value(s.solver.solveSeconds());
+    w.endObject();
+    w.key("query_cache").beginObject();
+    w.key("hits").value(qc.hits);
+    w.key("misses").value(qc.misses);
+    w.key("insertions").value(qc.insertions);
+    w.key("evictions").value(qc.evictions);
+    w.key("collisions").value(qc.collisions);
+    w.key("entries").value(uint64_t{qc.entries});
+    w.key("hit_rate").value(qc.hitRate());
+    w.endObject();
+    w.key("profile").raw(profile.json());
+    w.endObject();
+    return w.str();
 }
 
 Rid::Rid(analysis::AnalyzerOptions opts, frontend::LowerOptions lower_opts)
@@ -139,6 +138,21 @@ Rid::exportSummaries() const
     return db_.saveComputed();
 }
 
+namespace {
+
+void
+writeTextFile(const std::string &path, const std::string &contents,
+              const char *what)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error(std::string("cannot write ") + what +
+                                 " file: " + path);
+    out << contents;
+}
+
+} // anonymous namespace
+
 RunResult
 Rid::run()
 {
@@ -147,6 +161,17 @@ Rid::run()
     RunResult result;
     result.reports = analyzer.reports();
     result.stats = analyzer.stats();
+    result.profile =
+        obs::buildProfile(analyzer.functionCosts(),
+                          opts_.profile_top_n > 0
+                              ? static_cast<size_t>(opts_.profile_top_n)
+                              : 0);
+    if (!opts_.trace_path.empty() && analyzer.tracer())
+        writeTextFile(opts_.trace_path,
+                      analyzer.tracer()->chromeTraceJson(), "trace");
+    if (!opts_.metrics_path.empty())
+        writeTextFile(opts_.metrics_path,
+                      analyzer.metrics()->prometheusText(), "metrics");
     return result;
 }
 

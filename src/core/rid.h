@@ -25,6 +25,7 @@
 #include "analysis/analyzer.h"
 #include "frontend/lower.h"
 #include "ir/function.h"
+#include "obs/profile.h"
 #include "summary/db.h"
 
 namespace rid {
@@ -34,15 +35,21 @@ struct RunResult
 {
     std::vector<analysis::BugReport> reports;
     analysis::AnalyzerStats stats;
+    /** Post-run cost attribution: the profile_top_n hottest functions
+     *  by per-phase wall time, solver time and path count (empty when
+     *  AnalyzerOptions::profile_top_n == 0). */
+    obs::AnalysisProfile profile;
 
     /** Human-readable multi-line report. */
     std::string str() const;
 
     /**
      * Machine-readable stats export (one JSON object, schema documented
-     * in DESIGN.md "Solver query cache"): report count, function
-     * category counters, per-phase wall times, aggregated solver
-     * counters and query-cache effectiveness. Consumed by
+     * in DESIGN.md "Solver query cache" and "Observability"): report
+     * count, function category counters, per-phase wall times,
+     * aggregated solver counters, query-cache effectiveness and the
+     * analysis profile. Additions are strictly additive — existing
+     * keys never change meaning. Consumed by
      * bench/bench_performance.cpp to emit BENCH_performance.json.
      */
     std::string statsJson() const;

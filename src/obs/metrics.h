@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges and fixed-bucket latency
+ * histograms with Prometheus text exposition and JSON export.
+ *
+ * Metric objects are created once through the registry (which hands out
+ * stable references — instruments are never destroyed before the
+ * registry) and updated lock-free with relaxed atomics, so hot paths
+ * pay a few atomic adds per update. The registry map itself is
+ * mutex-guarded; instrument it once, cache the reference.
+ *
+ * The analyzer keeps one registry per run and fills the legacy
+ * AnalyzerStats struct from it when the run finishes, so the
+ * RunResult::statsJson() schema is unchanged while every counter gains
+ * a Prometheus exposition.
+ */
+
+#ifndef RID_OBS_METRICS_H
+#define RID_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rid::obs {
+
+/** Monotonically increasing integer metric. */
+class Counter
+{
+  public:
+    void inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+    uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v_{0};
+};
+
+/** Settable floating-point metric. */
+class Gauge
+{
+  public:
+    void set(double v) { v_.store(v, std::memory_order_relaxed); }
+    void add(double d);
+    double value() const { return v_.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> v_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations <= bounds[i]
+ * (Prometheus "le" semantics); one implicit +Inf bucket catches the
+ * rest. Bounds are sorted at construction.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    const std::vector<double> &bounds() const { return bounds_; }
+    /** Per-bucket (non-cumulative) counts; size bounds().size() + 1. */
+    std::vector<uint64_t> bucketCounts() const;
+
+  private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+    std::atomic<double> sum_{0.0};
+    std::atomic<uint64_t> count_{0};
+};
+
+/** Default bucket bounds for solver-query / phase latencies (seconds). */
+std::vector<double> latencyBucketsSeconds();
+
+/** Default bucket bounds for per-function path counts. */
+std::vector<double> pathCountBuckets();
+
+class MetricsRegistry
+{
+  public:
+    /** Get-or-create. Same name with a different metric kind throws
+     *  std::logic_error; help text is kept from the first call. */
+    Counter &counter(const std::string &name,
+                     const std::string &help = "");
+    Gauge &gauge(const std::string &name, const std::string &help = "");
+    /** @p bounds applies on first registration only. */
+    Histogram &histogram(const std::string &name,
+                         const std::string &help = "",
+                         std::vector<double> bounds =
+                             latencyBucketsSeconds());
+
+    /** Prometheus text exposition format, metrics in name order. */
+    std::string prometheusText() const;
+
+    /** One JSON object keyed by metric name, in name order. */
+    std::string json() const;
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Entry
+    {
+        Kind kind;
+        std::string help;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &lookup(const std::string &name, Kind kind,
+                  const std::string &help);
+
+    mutable std::mutex mutex_;
+    /** Ordered map: exposition order is deterministic by name. */
+    std::map<std::string, Entry> metrics_;
+};
+
+} // namespace rid::obs
+
+#endif // RID_OBS_METRICS_H

@@ -1,0 +1,94 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace rid::obs {
+
+AnalysisProfile
+buildProfile(std::vector<FunctionCost> costs, size_t top_n)
+{
+    AnalysisProfile profile;
+    if (top_n == 0)
+        return profile;
+    profile.functions_ranked = costs.size();
+    for (const auto &c : costs) {
+        profile.total_seconds += c.totalSeconds();
+        profile.solver_seconds += c.solver_seconds;
+        profile.paths_total += c.paths;
+    }
+    std::sort(costs.begin(), costs.end(),
+              [](const FunctionCost &a, const FunctionCost &b) {
+                  if (a.totalSeconds() != b.totalSeconds())
+                      return a.totalSeconds() > b.totalSeconds();
+                  if (a.solver_seconds != b.solver_seconds)
+                      return a.solver_seconds > b.solver_seconds;
+                  if (a.paths != b.paths)
+                      return a.paths > b.paths;
+                  return a.name < b.name;
+              });
+    if (costs.size() > top_n)
+        costs.resize(top_n);
+    profile.top = std::move(costs);
+    return profile;
+}
+
+std::string
+AnalysisProfile::str() const
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "analysis profile: %zu function(s), %.6fs total "
+                  "(%.6fs solver), %llu paths\n",
+                  functions_ranked, total_seconds, solver_seconds,
+                  static_cast<unsigned long long>(paths_total));
+    out += line;
+    for (size_t i = 0; i < top.size(); i++) {
+        const auto &f = top[i];
+        std::snprintf(
+            line, sizeof(line),
+            "  #%-2zu %-40s %9.6fs (symexec %.6fs, ipp %.6fs, solver "
+            "%.6fs/%llu queries) %llu paths, %llu entries%s\n",
+            i + 1, f.name.c_str(), f.totalSeconds(), f.symexec_seconds,
+            f.ipp_seconds, f.solver_seconds,
+            static_cast<unsigned long long>(f.solver_queries),
+            static_cast<unsigned long long>(f.paths),
+            static_cast<unsigned long long>(f.entries),
+            f.truncated ? " [truncated]" : "");
+        out += line;
+    }
+    return out;
+}
+
+std::string
+AnalysisProfile::json() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("functions_ranked").value(uint64_t{functions_ranked});
+    w.key("total_seconds").value(total_seconds);
+    w.key("solver_seconds").value(solver_seconds);
+    w.key("paths_total").value(paths_total);
+    w.key("top").beginArray();
+    for (const auto &f : top) {
+        w.beginObject();
+        w.key("function").value(f.name);
+        w.key("total_seconds").value(f.totalSeconds());
+        w.key("symexec_seconds").value(f.symexec_seconds);
+        w.key("ipp_seconds").value(f.ipp_seconds);
+        w.key("solver_seconds").value(f.solver_seconds);
+        w.key("solver_queries").value(f.solver_queries);
+        w.key("paths").value(f.paths);
+        w.key("entries").value(f.entries);
+        w.key("truncated").value(f.truncated);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace rid::obs

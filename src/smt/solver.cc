@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "smt/query_cache.h"
 
 namespace rid::smt {
@@ -112,20 +115,39 @@ Solver::check(const Formula &f)
         return SatResult::Sat;
     if (f.isFalse())
         return SatResult::Unsat;
+    obs::Span span(opts_.trace_queries ? obs::currentTracer() : nullptr,
+                   "smt", "solver-query");
+    auto t0 = std::chrono::steady_clock::now();
+    SatResult r;
+    bool cached_hit = false;
     if (cache_) {
         if (auto cached = cache_->lookup(f)) {
             stats_.cache_hits++;
-            return *cached;
+            cached_hit = true;
+            r = *cached;
+        } else {
+            stats_.cache_misses++;
         }
-        stats_.cache_misses++;
     }
-    Formula n = f.nnf();
-    std::vector<LinLit> acc;
-    VarSpace space;
-    int budget = opts_.max_branches;
-    SatResult r = enumerate(n, acc, space, budget);
-    if (cache_)
-        cache_->insert(f, r);
+    if (!cached_hit) {
+        Formula n = f.nnf();
+        std::vector<LinLit> acc;
+        VarSpace space;
+        int budget = opts_.max_branches;
+        r = enumerate(n, acc, space, budget);
+        if (cache_)
+            cache_->insert(f, r);
+    }
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    stats_.solve_ns += ns;
+    if (latency_hist_)
+        latency_hist_->observe(ns * 1e-9);
+    span.arg("result", satResultName(r));
+    if (cached_hit)
+        span.arg("cache", "hit");
     return r;
 }
 

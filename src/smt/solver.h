@@ -31,6 +31,10 @@
 #include "smt/formula.h"
 #include "smt/linear.h"
 
+namespace rid::obs {
+class Histogram;
+}
+
 namespace rid::smt {
 
 class QueryCache;
@@ -57,6 +61,9 @@ class Solver
         int max_search_nodes = 100000;
         /** Half-width of the search box for unbounded variables. */
         int64_t search_bound = 64;
+        /** Open one obs::Span per non-trivial check() against the
+         *  ambient tracer (noisy; for deep trace drill-downs). */
+        bool trace_queries = false;
     };
 
     struct Stats
@@ -69,6 +76,12 @@ class Solver
         uint64_t cache_hits = 0;
         /** Non-trivial queries that missed the cache and were solved. */
         uint64_t cache_misses = 0;
+        /** Wall time spent inside non-trivial check() calls (cache
+         *  lookups included) — the per-function solver-cost signal the
+         *  analysis profile attributes. */
+        uint64_t solve_ns = 0;
+
+        double solveSeconds() const { return solve_ns * 1e-9; }
 
         Stats &
         operator+=(const Stats &o)
@@ -79,6 +92,7 @@ class Solver
             unknowns += o.unknowns;
             cache_hits += o.cache_hits;
             cache_misses += o.cache_misses;
+            solve_ns += o.solve_ns;
             return *this;
         }
     };
@@ -99,6 +113,16 @@ class Solver
     }
 
     const std::shared_ptr<QueryCache> &cache() const { return cache_; }
+
+    /**
+     * Attach a (typically registry-owned, shared) latency histogram;
+     * every non-trivial check() observes its wall time into it. The
+     * histogram must outlive the solver. Null detaches.
+     */
+    void attachLatencyHistogram(obs::Histogram *hist)
+    {
+        latency_hist_ = hist;
+    }
 
     /** Decide satisfiability of @p f. */
     SatResult check(const Formula &f);
@@ -124,6 +148,7 @@ class Solver
     Options opts_;
     Stats stats_;
     std::shared_ptr<QueryCache> cache_;
+    obs::Histogram *latency_hist_ = nullptr;
 };
 
 } // namespace rid::smt

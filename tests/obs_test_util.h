@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Minimal JSON parser for the observability tests.
+ *
+ * The repo deliberately has no JSON library dependency; the obs tests
+ * still need to assert that emitted documents are well-formed and
+ * schema-valid. This recursive-descent parser covers exactly the JSON
+ * the emitters produce (objects, arrays, strings with the emitted
+ * escapes, numbers, booleans, null) and is strict: any trailing or
+ * malformed input fails the parse.
+ */
+
+#ifndef RID_TESTS_OBS_TEST_UTIL_H
+#define RID_TESTS_OBS_TEST_UTIL_H
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rid::testutil {
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Insertion-ordered key list plus lookup map. */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const auto &[k, v] : members)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s_(text) {}
+
+    /** Parse the whole document; returns false on any syntax error or
+     *  trailing garbage. */
+    bool
+    parse(JsonValue &out)
+    {
+        pos_ = 0;
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])))
+            pos_++;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"')
+            return false;
+        pos_++;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                return false;
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    return false;
+                std::string hex = s_.substr(pos_, 4);
+                pos_ += 4;
+                char *end = nullptr;
+                long cp = std::strtol(hex.c_str(), &end, 16);
+                if (end != hex.c_str() + 4)
+                    return false;
+                // The emitters only escape control bytes (< 0x20).
+                out += static_cast<char>(cp);
+                break;
+              }
+              default: return false;
+            }
+        }
+        if (pos_ >= s_.size())
+            return false;
+        pos_++;  // closing quote
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            pos_++;
+        bool digits = false;
+        auto eatDigits = [&]() {
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+                pos_++;
+                digits = true;
+            }
+        };
+        eatDigits();
+        if (pos_ < s_.size() && s_[pos_] == '.') {
+            pos_++;
+            eatDigits();
+        }
+        if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+            pos_++;
+            if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+                pos_++;
+            size_t exp_start = pos_;
+            while (pos_ < s_.size() &&
+                   std::isdigit(static_cast<unsigned char>(s_[pos_])))
+                pos_++;
+            if (pos_ == exp_start)
+                return false;
+        }
+        if (!digits)
+            return false;
+        out.kind = JsonValue::Kind::Number;
+        out.number = std::strtod(s_.substr(start, pos_ - start).c_str(),
+                                 nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size())
+            return false;
+        char c = s_[pos_];
+        if (c == '{') {
+            pos_++;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == '}') {
+                pos_++;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (pos_ >= s_.size() || s_[pos_] != ':')
+                    return false;
+                pos_++;
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.members.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (pos_ >= s_.size())
+                    return false;
+                if (s_[pos_] == ',') {
+                    pos_++;
+                    continue;
+                }
+                if (s_[pos_] == '}') {
+                    pos_++;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '[') {
+            pos_++;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos_ < s_.size() && s_[pos_] == ']') {
+                pos_++;
+                return true;
+            }
+            while (true) {
+                JsonValue v;
+                if (!parseValue(v))
+                    return false;
+                out.array.push_back(std::move(v));
+                skipWs();
+                if (pos_ >= s_.size())
+                    return false;
+                if (s_[pos_] == ',') {
+                    pos_++;
+                    continue;
+                }
+                if (s_[pos_] == ']') {
+                    pos_++;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        return parseNumber(out);
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+inline bool
+parseJson(const std::string &text, JsonValue &out)
+{
+    return JsonParser(text).parse(out);
+}
+
+} // namespace rid::testutil
+
+#endif // RID_TESTS_OBS_TEST_UTIL_H

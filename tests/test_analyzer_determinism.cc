@@ -56,15 +56,21 @@ void usb_autopm_put_interface(struct usb_interface *i);
  * One full analysis run; the digest is the sorted report multiset plus
  * the (name-ordered) computed-summary export, so any divergence in
  * reports, report contents, or summaries shows up byte-for-byte.
+ * With @p trace the run records spans (including per-solver-query
+ * spans), which must not perturb any result.
  */
 std::string
 runDigest(const kernel::Corpus &corpus, int threads, int path_threads,
-          bool cache)
+          bool cache, bool trace = false)
 {
     analysis::AnalyzerOptions opts;
     opts.threads = threads;
     opts.path_threads = path_threads;
     opts.use_query_cache = cache;
+    if (trace) {
+        opts.tracer = std::make_shared<obs::Tracer>();
+        opts.trace_solver_queries = true;
+    }
     Rid tool(opts);
     tool.loadSpecText(kernel::dpmSpecText());
     tool.addSource(kFigure9Source);
@@ -110,6 +116,19 @@ TEST_F(AnalyzerDeterminismTest, ThreadsByCacheMatrixIsByteIdentical)
                       baseline)
                 << "threads=" << threads << " cache=" << cache;
         }
+    }
+}
+
+TEST_F(AnalyzerDeterminismTest, TracingDoesNotPerturbResults)
+{
+    // Span recording (including per-query solver spans) must be purely
+    // observational: the digest stays byte-identical to the untraced
+    // baseline at every thread count.
+    std::string baseline = runDigest(corpus_, 1, 1, true);
+    for (int threads : {1, 4}) {
+        EXPECT_EQ(runDigest(corpus_, threads, threads, true, true),
+                  baseline)
+            << "threads=" << threads << " trace=on";
     }
 }
 

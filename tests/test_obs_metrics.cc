@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for the metrics registry (obs/metrics.h) and the shared JSON
+ * writer (obs/json_writer.h): counter/gauge/histogram semantics,
+ * concurrent updates, exact Prometheus-exposition round-trips, JSON
+ * export validity, and byte-stable JsonWriter output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs_test_util.h"
+
+namespace rid {
+namespace {
+
+TEST(Counter, IncrementAndValue)
+{
+    obs::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd)
+{
+    obs::Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(1.5);
+    EXPECT_EQ(g.value(), 1.5);
+    g.add(0.25);
+    EXPECT_EQ(g.value(), 1.75);
+    g.set(-3.0);
+    EXPECT_EQ(g.value(), -3.0);
+}
+
+TEST(Histogram, LeBucketSemantics)
+{
+    obs::Histogram h({1.0, 2.0, 4.0});
+    h.observe(0.5);  // <= 1.0
+    h.observe(1.0);  // <= 1.0 (le is inclusive)
+    h.observe(1.5);  // <= 2.0
+    h.observe(4.0);  // <= 4.0
+    h.observe(99.0); // +Inf
+    auto counts = h.bucketCounts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 99.0);
+}
+
+TEST(Histogram, BoundsAreSortedAndDeduped)
+{
+    obs::Histogram h({4.0, 1.0, 2.0, 1.0});
+    ASSERT_EQ(h.bounds().size(), 3u);
+    EXPECT_EQ(h.bounds()[0], 1.0);
+    EXPECT_EQ(h.bounds()[1], 2.0);
+    EXPECT_EQ(h.bounds()[2], 4.0);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstance)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &a = reg.counter("rid_test_total", "help");
+    obs::Counter &b = reg.counter("rid_test_total");
+    EXPECT_EQ(&a, &b);
+    a.inc(7);
+    EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("rid_test_total");
+    EXPECT_THROW(reg.gauge("rid_test_total"), std::logic_error);
+    EXPECT_THROW(reg.histogram("rid_test_total"), std::logic_error);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsSumCorrectly)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &counter = reg.counter("rid_conc_total");
+    obs::Gauge &gauge = reg.gauge("rid_conc_gauge");
+    obs::Histogram &hist = reg.histogram("rid_conc_hist", "", {1.0, 2.0});
+
+    constexpr int kThreads = 8;
+    constexpr int kIters = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&]() {
+            for (int i = 0; i < kIters; i++) {
+                counter.inc();
+                gauge.add(0.5);
+                hist.observe(1.0);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(counter.value(), uint64_t{kThreads} * kIters);
+    // 0.5 and 1.0 are exactly representable, so the CAS-loop adds must
+    // sum without rounding error.
+    EXPECT_EQ(gauge.value(), 0.5 * kThreads * kIters);
+    EXPECT_EQ(hist.count(), uint64_t{kThreads} * kIters);
+    EXPECT_EQ(hist.sum(), 1.0 * kThreads * kIters);
+    auto counts = hist.bucketCounts();
+    EXPECT_EQ(counts[0], uint64_t{kThreads} * kIters);  // le=1.0
+    EXPECT_EQ(counts[1], 0u);
+    EXPECT_EQ(counts[2], 0u);
+}
+
+/** One parsed exposition sample: metric line name + labels + value. */
+struct PromSample
+{
+    std::string labels;  // raw text between {} (empty if none)
+    std::string value;
+};
+
+/** Parse the subset of the Prometheus text format the registry emits:
+ *  # HELP / # TYPE comments plus `name[{labels}] value` samples. */
+std::multimap<std::string, PromSample>
+parsePrometheus(const std::string &text,
+                std::map<std::string, std::string> *types = nullptr)
+{
+    std::multimap<std::string, PromSample> samples;
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        EXPECT_FALSE(line.empty());
+        if (line.rfind("# TYPE ", 0) == 0) {
+            std::istringstream fields(line.substr(7));
+            std::string name, type;
+            fields >> name >> type;
+            if (types)
+                (*types)[name] = type;
+            continue;
+        }
+        if (line.rfind("#", 0) == 0)
+            continue;
+        size_t space = line.rfind(' ');
+        if (space == std::string::npos) {
+            ADD_FAILURE() << "malformed sample line: " << line;
+            continue;
+        }
+        std::string name = line.substr(0, space);
+        PromSample s;
+        s.value = line.substr(space + 1);
+        size_t brace = name.find('{');
+        if (brace != std::string::npos) {
+            EXPECT_EQ(name.back(), '}') << line;
+            s.labels = name.substr(brace + 1, name.size() - brace - 2);
+            name = name.substr(0, brace);
+        }
+        samples.emplace(name, s);
+    }
+    return samples;
+}
+
+TEST(MetricsRegistry, PrometheusExpositionRoundTrips)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("rid_queries_total", "solver queries").inc(12345);
+    reg.gauge("rid_classify_seconds", "classify wall time")
+        .set(0.12345678901234567);
+    obs::Histogram &h =
+        reg.histogram("rid_latency_seconds", "latency", {0.001, 0.1, 1.0});
+    h.observe(0.0005);
+    h.observe(0.05);
+    h.observe(0.05);
+    h.observe(5.0);
+
+    std::map<std::string, std::string> types;
+    auto samples = parsePrometheus(reg.prometheusText(), &types);
+
+    EXPECT_EQ(types["rid_queries_total"], "counter");
+    EXPECT_EQ(types["rid_classify_seconds"], "gauge");
+    EXPECT_EQ(types["rid_latency_seconds"], "histogram");
+
+    ASSERT_EQ(samples.count("rid_queries_total"), 1u);
+    EXPECT_EQ(std::strtoull(
+                  samples.find("rid_queries_total")->second.value.c_str(),
+                  nullptr, 10),
+              12345u);
+
+    ASSERT_EQ(samples.count("rid_classify_seconds"), 1u);
+    // %.17g renders doubles exactly; parsing back must reproduce the
+    // stored bit pattern.
+    EXPECT_EQ(std::strtod(
+                  samples.find("rid_classify_seconds")->second.value.c_str(),
+                  nullptr),
+              0.12345678901234567);
+
+    // Histogram: cumulative buckets in bound order, then +Inf, _sum,
+    // _count.
+    auto range = samples.equal_range("rid_latency_seconds_bucket");
+    std::vector<PromSample> buckets;
+    for (auto it = range.first; it != range.second; ++it)
+        buckets.push_back(it->second);
+    ASSERT_EQ(buckets.size(), 4u);
+    auto le = [](const PromSample &s) {
+        EXPECT_EQ(s.labels.rfind("le=\"", 0), 0u) << s.labels;
+        return s.labels.substr(4, s.labels.size() - 5);
+    };
+    EXPECT_EQ(std::strtod(le(buckets[0]).c_str(), nullptr), 0.001);
+    EXPECT_EQ(std::strtod(le(buckets[1]).c_str(), nullptr), 0.1);
+    EXPECT_EQ(std::strtod(le(buckets[2]).c_str(), nullptr), 1.0);
+    EXPECT_EQ(le(buckets[3]), "+Inf");
+    EXPECT_EQ(buckets[0].value, "1");  // 0.0005
+    EXPECT_EQ(buckets[1].value, "3");  // + two 0.05 observations
+    EXPECT_EQ(buckets[2].value, "3");  // nothing in (0.1, 1.0]
+    EXPECT_EQ(buckets[3].value, "4");  // + 5.0
+
+    ASSERT_EQ(samples.count("rid_latency_seconds_sum"), 1u);
+    EXPECT_EQ(
+        std::strtod(
+            samples.find("rid_latency_seconds_sum")->second.value.c_str(),
+            nullptr),
+        0.0005 + 0.05 + 0.05 + 5.0);
+    ASSERT_EQ(samples.count("rid_latency_seconds_count"), 1u);
+    EXPECT_EQ(samples.find("rid_latency_seconds_count")->second.value, "4");
+}
+
+TEST(MetricsRegistry, JsonExportParses)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("rid_a_total").inc(3);
+    reg.gauge("rid_b_seconds").set(2.5);
+    reg.histogram("rid_c_seconds", "", {1.0}).observe(0.5);
+
+    testutil::JsonValue doc;
+    ASSERT_TRUE(testutil::parseJson(reg.json(), doc)) << reg.json();
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_EQ(doc.members.size(), 3u);
+
+    const auto *a = doc.find("rid_a_total");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->find("type")->string, "counter");
+    EXPECT_EQ(a->find("value")->number, 3.0);
+
+    const auto *b = doc.find("rid_b_seconds");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->find("type")->string, "gauge");
+    EXPECT_EQ(b->find("value")->number, 2.5);
+
+    const auto *c = doc.find("rid_c_seconds");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->find("type")->string, "histogram");
+    const auto *buckets = c->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_EQ(buckets->array.size(), 2u);
+    EXPECT_EQ(buckets->array[0].find("le")->number, 1.0);
+    EXPECT_EQ(buckets->array[0].find("count")->number, 1.0);
+    EXPECT_EQ(buckets->array[1].find("le")->string, "+Inf");
+    EXPECT_EQ(c->find("count")->number, 1.0);
+}
+
+TEST(JsonWriter, ByteStableNestedDocument)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("a").value(1);
+    w.key("b").beginArray();
+    w.value(1).value(2);
+    w.beginObject();
+    w.key("c").value("x");
+    w.endObject();
+    w.endArray();
+    w.key("d").value(true);
+    w.key("e").value(-2.5);
+    w.key("f").raw("[null]");
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"a\":1,\"b\":[1,2,{\"c\":\"x\"}],\"d\":true,"
+              "\"e\":-2.5,\"f\":[null]}");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("quote\"key").value("line\nbreak\tand \\ backslash");
+    w.endObject();
+    EXPECT_EQ(w.str(),
+              "{\"quote\\\"key\":\"line\\nbreak\\tand \\\\ backslash\"}");
+
+    testutil::JsonValue doc;
+    ASSERT_TRUE(testutil::parseJson(w.str(), doc));
+    ASSERT_EQ(doc.members.size(), 1u);
+    EXPECT_EQ(doc.members[0].first, "quote\"key");
+    EXPECT_EQ(doc.members[0].second.string,
+              "line\nbreak\tand \\ backslash");
+}
+
+TEST(JsonWriter, ControlBytesUseUnicodeEscapes)
+{
+    std::string s = "a";
+    s += '\x01';
+    s += "b";
+    EXPECT_EQ(obs::jsonEscape(s), "a\\u0001b");
+    obs::JsonWriter w;
+    w.value(s);
+    testutil::JsonValue doc;
+    ASSERT_TRUE(testutil::parseJson(w.str(), doc));
+    EXPECT_EQ(doc.string, s);
+}
+
+} // anonymous namespace
+} // namespace rid
