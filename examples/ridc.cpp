@@ -15,6 +15,12 @@
  *   --max-paths N      path cap per function (default 100)
  *   --max-subcases N   subcase cap per path (default 10)
  *   --threads N        analyze SCC levels with N workers
+ *   --deadline S       wall-clock budget for the whole run (seconds;
+ *                      functions reached after expiry are defaulted)
+ *   --fn-deadline S    per-function wall-clock budget (seconds)
+ *   --solver-fuel N    per-function solver query budget
+ *   --failpoints SPEC  arm fault injection (site[@fn]=mode,...)
+ *   --keep-going       parse errors skip the file instead of aborting
  *   --no-classify      analyze every function (skip Section 5.2 tiers)
  *   --model-bits       Section 5.4 extension: model `x & CONST` bit tests
  *   --model-stores     Section 5.4 extension: track caller-visible stores
@@ -64,6 +70,9 @@ usage()
                  "[--max-paths N]\n"
                  "            [--max-subcases N] [--threads N] "
                  "[--no-classify]\n"
+                 "            [--deadline S] [--fn-deadline S] "
+                 "[--solver-fuel N]\n"
+                 "            [--failpoints SPEC] [--keep-going]\n"
                  "            [--dump-ir] [--summaries] file.c ...\n");
     std::exit(2);
 }
@@ -82,6 +91,7 @@ main(int argc, char **argv)
     bool dot_callgraph = false;
     std::string dot_cfg;
     bool builtin_dpm = false, builtin_pyc = false;
+    bool keep_going = false;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -108,6 +118,17 @@ main(int argc, char **argv)
             opts.threads = std::atoi(next().c_str());
         else if (arg == "--no-classify")
             opts.classify = false;
+        else if (arg == "--deadline")
+            opts.run_deadline_seconds = std::atof(next().c_str());
+        else if (arg == "--fn-deadline")
+            opts.function_deadline_seconds = std::atof(next().c_str());
+        else if (arg == "--solver-fuel")
+            opts.function_solver_fuel =
+                std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--failpoints")
+            opts.failpoints = next();
+        else if (arg == "--keep-going")
+            keep_going = true;
         else if (arg == "--model-bits")
             lower_opts.model_bit_tests = true;
         else if (arg == "--model-stores")
@@ -147,8 +168,17 @@ main(int argc, char **argv)
             tool.loadSpecFile(path);
         for (const auto &path : imports)
             tool.importSummaries(readFile(path));
-        for (const auto &path : sources)
-            tool.addSource(readFile(path));
+        for (const auto &path : sources) {
+            if (keep_going) {
+                if (!tool.addSourceTolerant(path, readFile(path)))
+                    std::fprintf(stderr, "ridc: skipping %s: %s\n",
+                                 path.c_str(),
+                                 tool.fileDiagnostics().back().reason
+                                     .c_str());
+            } else {
+                tool.addSource(readFile(path));
+            }
+        }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "ridc: %s\n", e.what());
         return 2;

@@ -7,10 +7,12 @@
 # compares threads {1,4} x query-cache {on,off} x tracing {off,on});
 # running the binary twice catches run-to-run nondeterminism that a single
 # in-process comparison cannot (e.g. ASLR-dependent container ordering).
-# It then refreshes BENCH_performance.json at the repo root (the
-# microbenchmarks themselves are skipped via a non-matching filter — only
-# the trajectory-record workload runs) and exercises the tracing path end
-# to end on a small DPM corpus.
+# It then runs the robustness chaos suite (fault injection + budgets),
+# once normally and once under ASan+UBSan (the `asan` preset's build
+# tree, building only the chaos test), refreshes BENCH_performance.json
+# at the repo root (the microbenchmarks themselves are skipped via a
+# non-matching filter — only the trajectory-record workload runs) and
+# exercises the tracing path end to end on a small DPM corpus.
 #
 # Usage: scripts/check.sh        (from anywhere inside the repo)
 # CMake equivalent: cmake --build build --target check
@@ -26,6 +28,14 @@ echo "== determinism suite, run 1/2 =="
 ./build/tests/test_analyzer_determinism
 echo "== determinism suite, run 2/2 =="
 ./build/tests/test_analyzer_determinism
+
+echo "== robustness chaos suite =="
+./build/tests/test_robustness_chaos
+
+echo "== sanitizer smoke (ASan+UBSan chaos run) =="
+cmake -B build-asan -S . -DRID_SANITIZE=ON
+cmake --build build-asan -j --target test_robustness_chaos
+./build-asan/tests/test_robustness_chaos
 
 echo "== performance trajectory record =="
 RID_BENCH_JSON="$PWD/BENCH_performance.json" \

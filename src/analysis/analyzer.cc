@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <future>
 #include <mutex>
 #include <thread>
 
 #include "analysis/callgraph.h"
 #include "analysis/paths.h"
+#include "obs/failpoint.h"
 
 namespace rid::analysis {
 
@@ -23,6 +25,19 @@ secondsSince(std::chrono::steady_clock::time_point start)
 }
 
 } // anonymous namespace
+
+const char *
+fnStatusName(FnStatus s)
+{
+    switch (s) {
+      case FnStatus::Ok: return "ok";
+      case FnStatus::Truncated: return "truncated";
+      case FnStatus::Timeout: return "timeout";
+      case FnStatus::Degraded: return "degraded";
+      case FnStatus::Error: return "error";
+    }
+    return "?";
+}
 
 Analyzer::Analyzer(const ir::Module &mod, summary::SummaryDb &db,
                    AnalyzerOptions opts)
@@ -48,6 +63,19 @@ Analyzer::Analyzer(const ir::Module &mod, summary::SummaryDb &db,
     ins_.functions_truncated =
         &m.counter("rid_functions_truncated_total",
                    "Functions whose path/subcase caps truncated analysis.");
+    ins_.functions_timeout =
+        &m.counter("rid_functions_timeout_total",
+                   "Functions degraded to the default summary by budget "
+                   "expiry.");
+    ins_.functions_degraded =
+        &m.counter("rid_functions_degraded_total",
+                   "Functions whose analysis fault was isolated.");
+    ins_.functions_error =
+        &m.counter("rid_functions_error_total",
+                   "Functions that faulted outside the guarded analysis.");
+    ins_.solver_budget_stops =
+        &m.counter("rid_solver_budget_stops_total",
+                   "Solver queries answered Unknown by budget expiry.");
     ins_.paths_enumerated = &m.counter("rid_paths_enumerated_total",
                                        "Entry-to-exit paths enumerated.");
     ins_.entries_computed =
@@ -84,16 +112,29 @@ Analyzer::Analyzer(const ir::Module &mod, summary::SummaryDb &db,
         "rid_ipp_seconds", "Per-function IPP check-and-merge wall time.");
     ins_.solver_query_seconds = &m.histogram(
         "rid_solver_query_seconds", "Solver query latency (seconds).");
+
+    // Arm the process-wide fault-injection registry when asked to, either
+    // programmatically or via the environment. An empty spec leaves any
+    // existing arming alone (tests drive the registry directly).
+    std::string fp_spec = opts_.failpoints;
+    if (fp_spec.empty()) {
+        if (const char *env = std::getenv("RID_FAILPOINTS"))
+            fp_spec = env;
+    }
+    if (!fp_spec.empty())
+        obs::FailpointRegistry::instance().configure(fp_spec,
+                                                     opts_.failpoint_seed);
 }
 
 smt::Solver
-Analyzer::makeSolver() const
+Analyzer::makeSolver(const obs::Budget *budget) const
 {
     smt::Solver::Options sopts;
     sopts.trace_queries = opts_.trace_solver_queries;
     smt::Solver solver(sopts);
     solver.attachCache(query_cache_);
     solver.attachLatencyHistogram(ins_.solver_query_seconds);
+    solver.attachBudget(budget);
     return solver;
 }
 
@@ -107,6 +148,7 @@ Analyzer::addSolverStats(const smt::Solver::Stats &s)
     ins_.solver_cache_hits->inc(s.cache_hits);
     ins_.solver_cache_misses->inc(s.cache_misses);
     ins_.solver_solve_ns->inc(s.solve_ns);
+    ins_.solver_budget_stops->inc(s.budget_stops);
 }
 
 void
@@ -115,6 +157,9 @@ Analyzer::refreshStatsFromRegistry()
     stats_.functions_analyzed = ins_.functions_analyzed->value();
     stats_.functions_defaulted = ins_.functions_defaulted->value();
     stats_.functions_truncated = ins_.functions_truncated->value();
+    stats_.functions_timeout = ins_.functions_timeout->value();
+    stats_.functions_degraded = ins_.functions_degraded->value();
+    stats_.functions_error = ins_.functions_error->value();
     stats_.paths_enumerated = ins_.paths_enumerated->value();
     stats_.entries_computed = ins_.entries_computed->value();
     stats_.symexec_seconds = ins_.symexec_seconds->sum();
@@ -126,6 +171,7 @@ Analyzer::refreshStatsFromRegistry()
     stats_.solver.cache_hits = ins_.solver_cache_hits->value();
     stats_.solver.cache_misses = ins_.solver_cache_misses->value();
     stats_.solver.solve_ns = ins_.solver_solve_ns->value();
+    stats_.solver.budget_stops = ins_.solver_budget_stops->value();
 }
 
 std::vector<obs::FunctionCost>
@@ -139,22 +185,101 @@ Analyzer::functionCosts() const
     return costs;
 }
 
+std::vector<FunctionDiagnostic>
+Analyzer::diagnostics() const
+{
+    std::vector<FunctionDiagnostic> out = diagnostics_;
+    std::sort(out.begin(), out.end(),
+              [](const FunctionDiagnostic &a, const FunctionDiagnostic &b) {
+                  if (a.function != b.function)
+                      return a.function < b.function;
+                  return a.status < b.status;
+              });
+    return out;
+}
+
+void
+Analyzer::recordDiagnostic(FunctionDiagnostic d)
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    diagnostics_.push_back(std::move(d));
+}
+
+void
+Analyzer::storeDefaultSummary(const ir::Function &fn)
+{
+    // Recovery must not be re-injected: building the default entry interns
+    // expressions, which is itself a failpoint site.
+    obs::FailpointSuppressScope suppress;
+    db_.addComputed(summary::FunctionSummary::defaultFor(
+        fn.name(), fn.returnsValue()));
+}
+
 std::vector<BugReport>
 Analyzer::analyzeFunction(const ir::Function &fn)
 {
     obs::Span fn_span("function", "analyze-function");
     fn_span.arg("fn", fn.name());
+    obs::FailpointScope fp_scope(fn.name());
 
-    smt::Solver solver = makeSolver();
+    // Child of the run budget: expires at the earlier of its own
+    // deadline/fuel and the run's. A generous budget that never fires
+    // leaves results byte-identical to an unbudgeted run.
+    obs::Budget fn_budget(run_budget_.get(), opts_.function_deadline_seconds,
+                          opts_.function_solver_fuel);
+    try {
+        return analyzeFunctionGuarded(fn, fn_budget);
+    } catch (const std::exception &e) {
+        // Fault isolation: whatever went wrong while analyzing this
+        // function (an injected fault, an IR invariant violation, a spec
+        // problem) is confined to it. The function is degraded to the
+        // conservative default summary — the same weakening the paper
+        // applies to truncated functions — and the run continues.
+        storeDefaultSummary(fn);
+        ins_.functions_degraded->inc();
+        recordDiagnostic({fn.name(), FnStatus::Degraded, e.what()});
+        return {};
+    }
+}
 
-    auto paths = enumeratePaths(fn, opts_.max_paths);
+std::vector<BugReport>
+Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
+                                 const obs::Budget &fn_budget)
+{
+    const obs::Budget *budget = fn_budget.unlimited() ? nullptr : &fn_budget;
+    smt::Solver solver = makeSolver(budget);
+    smt::Solver::Stats fn_solver_stats;
+
+    // Degradation ladder, final rung: budget expiry anywhere in this
+    // function discards all partial (timing-dependent) results and stores
+    // the default summary, so budgeted runs stay deterministic for every
+    // function whose budget did not fire.
+    auto timedOut = [&]() { return budget && budget->expiredNow(); };
+    auto degradeToTimeout = [&]() -> std::vector<BugReport> {
+        // Results are discarded, but solver counters (budget_stops in
+        // particular) are observability and must survive the discard.
+        fn_solver_stats += solver.stats();
+        addSolverStats(fn_solver_stats);
+        storeDefaultSummary(fn);
+        ins_.functions_timeout->inc();
+        recordDiagnostic({fn.name(), FnStatus::Timeout,
+                          std::string("budget: ") +
+                              obs::budgetStopName(fn_budget.stopReason())});
+        return {};
+    };
+
+    auto paths = enumeratePaths(fn, opts_.max_paths, 2, budget);
+    if (paths.deadline_hit || timedOut())
+        return degradeToTimeout();
+
     ExecOptions exec_opts;
     exec_opts.max_subcases = opts_.max_subcases;
     exec_opts.prune_infeasible = opts_.prune_infeasible;
+    exec_opts.budget = budget;
 
     std::vector<summary::SummaryEntry> path_entries;
     bool truncated = paths.truncated;
-    smt::Solver::Stats fn_solver_stats;
+    bool deadline_hit = false;
     auto symexec_t0 = std::chrono::steady_clock::now();
     {
         obs::Span symexec_span("phase", "symexec");
@@ -167,6 +292,7 @@ Analyzer::analyzeFunction(const ir::Function &fn)
             std::vector<ExecResult> results(paths.paths.size());
             std::atomic<size_t> cursor{0};
             std::mutex merge_mutex;
+            std::exception_ptr worker_fault;
             int workers =
                 std::min<int>(opts_.path_threads,
                               static_cast<int>(paths.paths.size()));
@@ -174,14 +300,24 @@ Analyzer::analyzeFunction(const ir::Function &fn)
             for (int w = 0; w < workers; w++) {
                 futures.push_back(std::async(std::launch::async, [&]() {
                     obs::ScopedTracer scoped(tracer_.get());
-                    smt::Solver local_solver = makeSolver();
-                    while (true) {
-                        size_t i = cursor.fetch_add(1);
-                        if (i >= paths.paths.size())
-                            break;
-                        results[i] = executePath(fn, paths.paths[i],
-                                                 static_cast<int>(i), db_,
-                                                 local_solver, exec_opts);
+                    // Thread-local failpoint context does not inherit
+                    // across threads; re-establish it per worker.
+                    obs::FailpointScope worker_scope(fn.name());
+                    smt::Solver local_solver = makeSolver(budget);
+                    try {
+                        while (true) {
+                            size_t i = cursor.fetch_add(1);
+                            if (i >= paths.paths.size())
+                                break;
+                            results[i] =
+                                executePath(fn, paths.paths[i],
+                                            static_cast<int>(i), db_,
+                                            local_solver, exec_opts);
+                        }
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(merge_mutex);
+                        if (!worker_fault)
+                            worker_fault = std::current_exception();
                     }
                     std::lock_guard<std::mutex> lock(merge_mutex);
                     fn_solver_stats += local_solver.stats();
@@ -189,8 +325,11 @@ Analyzer::analyzeFunction(const ir::Function &fn)
             }
             for (auto &f : futures)
                 f.get();
+            if (worker_fault)
+                std::rethrow_exception(worker_fault);
             for (auto &exec : results) {
                 truncated = truncated || exec.truncated;
+                deadline_hit = deadline_hit || exec.deadline_hit;
                 for (auto &e : exec.entries)
                     path_entries.push_back(std::move(e));
             }
@@ -200,12 +339,17 @@ Analyzer::analyzeFunction(const ir::Function &fn)
                                         static_cast<int>(i), db_, solver,
                                         exec_opts);
                 truncated = truncated || exec.truncated;
+                deadline_hit = deadline_hit || exec.deadline_hit;
                 for (auto &e : exec.entries)
                     path_entries.push_back(std::move(e));
+                if (exec.deadline_hit)
+                    break;
             }
         }
     }
     double symexec_seconds = secondsSince(symexec_t0);
+    if (deadline_hit || timedOut())
+        return degradeToTimeout();
 
     IppOptions ipp_opts;
     ipp_opts.drop_seed = opts_.drop_seed;
@@ -214,6 +358,10 @@ Analyzer::analyzeFunction(const ir::Function &fn)
     auto ipp = checkAndMerge(fn.name(), std::move(path_entries), solver,
                              ipp_opts);
     double ipp_seconds = secondsSince(ipp_t0);
+    // The budget can also fire inside IPP (solver fuel / deadline); the
+    // merged entries and reports are then partial and must go too.
+    if (timedOut())
+        return degradeToTimeout();
 
     summary::FunctionSummary summary;
     summary.function = fn.name();
@@ -241,8 +389,11 @@ Analyzer::analyzeFunction(const ir::Function &fn)
     ins_.functions_analyzed->inc();
     ins_.paths_enumerated->inc(paths.paths.size());
     ins_.entries_computed->inc(num_entries);
-    if (truncated)
+    if (truncated) {
         ins_.functions_truncated->inc();
+        recordDiagnostic({fn.name(), FnStatus::Truncated,
+                          "path/subcase cap truncated analysis"});
+    }
     ins_.paths_per_function->observe(
         static_cast<double>(paths.paths.size()));
     ins_.symexec_seconds->observe(symexec_seconds);
@@ -270,6 +421,11 @@ Analyzer::run()
 {
     obs::ScopedTracer scoped(tracer_.get());
     obs::Span run_span("pipeline", "run");
+
+    // Root of the budget hierarchy; unlimited (constant-false checks)
+    // when no run deadline is configured.
+    run_budget_ = std::make_unique<obs::Budget>(
+        nullptr, opts_.run_deadline_seconds, 0);
 
     auto t0 = std::chrono::steady_clock::now();
 
@@ -315,15 +471,39 @@ Analyzer::run()
         const ir::Function *fn = mod_.find(cg.nameOf(node));
         if (!fn)
             return {};
-        if (!shouldAnalyze(*fn)) {
-            if (!fn->isDeclaration() && !db_.hasPredefined(fn->name())) {
-                db_.addComputed(summary::FunctionSummary::defaultFor(
-                    fn->name(), fn->returnsValue()));
-                ins_.functions_defaulted->inc();
+        try {
+            obs::FailpointScope fp_scope(fn->name());
+            if (!shouldAnalyze(*fn)) {
+                if (!fn->isDeclaration() &&
+                    !db_.hasPredefined(fn->name())) {
+                    storeDefaultSummary(*fn);
+                    ins_.functions_defaulted->inc();
+                }
+                return {};
             }
+            // Graceful run-level degradation: once the run budget is
+            // gone, remaining functions get the default summary instead
+            // of being analyzed, and the run still finishes with a
+            // complete report.
+            if (run_budget_->expiredNow()) {
+                storeDefaultSummary(*fn);
+                ins_.functions_timeout->inc();
+                recordDiagnostic(
+                    {fn->name(), FnStatus::Timeout,
+                     std::string("run budget: ") +
+                         obs::budgetStopName(run_budget_->stopReason())});
+                return {};
+            }
+            return analyzeFunction(*fn);
+        } catch (const std::exception &e) {
+            // Last-resort isolation for faults outside the guarded
+            // analysis path (classification, summary storage, ...).
+            if (!fn->isDeclaration() && !db_.hasPredefined(fn->name()))
+                storeDefaultSummary(*fn);
+            ins_.functions_error->inc();
+            recordDiagnostic({fn->name(), FnStatus::Error, e.what()});
             return {};
         }
-        return analyzeFunction(*fn);
     };
 
     if (opts_.threads <= 1) {

@@ -25,6 +25,7 @@
 #include "analysis/summary_check.h"
 #include "analysis/symexec.h"
 #include "ir/function.h"
+#include "obs/budget.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -32,6 +33,35 @@
 #include "summary/db.h"
 
 namespace rid::analysis {
+
+/**
+ * How one function's analysis ended. Worse statuses shadow better ones:
+ * Error > Degraded > Timeout > Truncated > Ok.
+ */
+enum class FnStatus : uint8_t {
+    Ok = 0,     ///< fully analyzed
+    Truncated,  ///< structural caps (max_paths/max_subcases) cut paths;
+                ///< result is deterministic and still merged
+    Timeout,    ///< budget expired; partial results discarded, default
+                ///< summary stored
+    Degraded,   ///< a fault during analysis was isolated to this function;
+                ///< default summary stored
+    Error,      ///< a fault outside the guarded analysis path; default
+                ///< summary stored where possible
+};
+
+const char *fnStatusName(FnStatus s);
+
+/** Structured outcome record for one function whose analysis did not end
+ *  plainly Ok; carried through RunResult and statsJson(). */
+struct FunctionDiagnostic
+{
+    std::string function;
+    FnStatus status = FnStatus::Ok;
+    /** Human-readable cause: exception message, budget stop reason or cap
+     *  description. */
+    std::string reason;
+};
 
 struct AnalyzerOptions
 {
@@ -82,6 +112,25 @@ struct AnalyzerOptions
      *  Counters are cumulative, so share one registry per run if the
      *  derived AnalyzerStats should describe a single run. */
     std::shared_ptr<obs::MetricsRegistry> metrics;
+    /** Wall-clock allowance for the whole run (0 = unlimited). Functions
+     *  reached after expiry get the default summary and a Timeout
+     *  diagnostic; the run itself always completes. */
+    double run_deadline_seconds = 0;
+    /** Wall-clock allowance per function (0 = unlimited). On expiry the
+     *  function's partial, timing-dependent results are discarded and it
+     *  is degraded to the default summary (status Timeout). */
+    double function_deadline_seconds = 0;
+    /** Solver fuel per function: max non-trivial solver queries
+     *  (0 = unlimited). Exhaustion degrades like a deadline. */
+    uint64_t function_solver_fuel = 0;
+    /** Fault-injection spec (obs/failpoint.h grammar, e.g.
+     *  "smt.intern@foo=always,frontend.parse=prob@0.1"). Non-empty arms
+     *  the process-wide registry in the constructor; empty leaves the
+     *  registry untouched (the RID_FAILPOINTS env var is consulted as a
+     *  fallback). */
+    std::string failpoints;
+    /** Seed for prob@P failpoint decisions (deterministic per seed). */
+    uint64_t failpoint_seed = 0;
 };
 
 struct AnalyzerStats
@@ -92,6 +141,12 @@ struct AnalyzerStats
     size_t paths_enumerated = 0;
     size_t entries_computed = 0;
     size_t functions_truncated = 0;
+    /** Functions degraded to the default summary by budget expiry. */
+    size_t functions_timeout = 0;
+    /** Functions whose analysis fault was isolated (default summary). */
+    size_t functions_degraded = 0;
+    /** Functions that faulted outside the guarded analysis path. */
+    size_t functions_error = 0;
     double classify_seconds = 0;
     double analyze_seconds = 0;
     /** Wall time of the symbolic-execution phase, summed per function
@@ -147,6 +202,14 @@ class Analyzer
      *  Deterministically ordered by function name. */
     std::vector<obs::FunctionCost> functionCosts() const;
 
+    /** Diagnostics for every function whose status is not Ok,
+     *  deterministically ordered by function name. */
+    std::vector<FunctionDiagnostic> diagnostics() const;
+
+    /** The run-level budget (valid during and after run(); null before).
+     *  Exposed so embedders can cancel() a run cooperatively. */
+    const obs::Budget *runBudget() const { return run_budget_.get(); }
+
   private:
     /** Registry-backed instruments, resolved once in the constructor so
      *  hot paths skip the registry's name lookup. */
@@ -155,6 +218,10 @@ class Analyzer
         obs::Counter *functions_analyzed;
         obs::Counter *functions_defaulted;
         obs::Counter *functions_truncated;
+        obs::Counter *functions_timeout;
+        obs::Counter *functions_degraded;
+        obs::Counter *functions_error;
+        obs::Counter *solver_budget_stops;
         obs::Counter *paths_enumerated;
         obs::Counter *entries_computed;
         obs::Counter *solver_queries;
@@ -172,12 +239,24 @@ class Analyzer
         obs::Histogram *solver_query_seconds;
     };
 
-    /** Analyze one function and store its summary; returns its reports. */
+    /** Analyze one function and store its summary; returns its reports.
+     *  Never throws: faults and budget expiry degrade the function to the
+     *  default summary and a diagnostic. */
     std::vector<BugReport> analyzeFunction(const ir::Function &fn);
 
-    /** A solver wired to the run's cache, latency histogram and query
-     *  tracing option. */
-    smt::Solver makeSolver() const;
+    /** The fault-susceptible body of analyzeFunction. */
+    std::vector<BugReport> analyzeFunctionGuarded(const ir::Function &fn,
+                                                  const obs::Budget &budget);
+
+    /** Store the conservative default summary for @p fn, bypassing any
+     *  armed failpoints (recovery must not be re-injected). */
+    void storeDefaultSummary(const ir::Function &fn);
+
+    void recordDiagnostic(FunctionDiagnostic d);
+
+    /** A solver wired to the run's cache, latency histogram, query
+     *  tracing option and (optionally) a budget. */
+    smt::Solver makeSolver(const obs::Budget *budget = nullptr) const;
 
     /** Add one (sub)run's solver counters to the registry. */
     void addSolverStats(const smt::Solver::Stats &s);
@@ -196,6 +275,8 @@ class Analyzer
     std::shared_ptr<obs::MetricsRegistry> metrics_;
     Instruments ins_;
     std::vector<obs::FunctionCost> function_costs_;
+    std::vector<FunctionDiagnostic> diagnostics_;
+    std::unique_ptr<obs::Budget> run_budget_;
     std::mutex stats_mutex_;
 };
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <utility>
 
 #include "frontend/parser.h"
+#include "obs/failpoint.h"
 
 namespace rid::analysis {
 
@@ -155,6 +157,21 @@ scanFileSymbols(const std::string &name, const std::string &source)
         });
     }
     return out;
+}
+
+FileScanResult
+scanFiles(const std::vector<std::pair<std::string, std::string>> &sources)
+{
+    FileScanResult result;
+    for (const auto &[name, source] : sources) {
+        obs::FailpointScope fp_scope(name);
+        try {
+            result.files.push_back(scanFileSymbols(name, source));
+        } catch (const std::exception &e) {
+            result.errors.push_back(FileScanError{name, e.what()});
+        }
+    }
+    return result;
 }
 
 } // namespace rid::analysis

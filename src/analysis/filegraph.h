@@ -21,6 +21,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rid::analysis {
@@ -83,6 +84,30 @@ class FileGraph
  */
 FileSymbols scanFileSymbols(const std::string &name,
                             const std::string &source);
+
+/** A file rejected during a tolerant multi-file scan. */
+struct FileScanError
+{
+    std::string file;
+    std::string reason;
+};
+
+/** Outcome of scanFiles(): the interfaces of every scannable file plus a
+ *  record per rejected file. */
+struct FileScanResult
+{
+    std::vector<FileSymbols> files;
+    std::vector<FileScanError> errors;
+};
+
+/**
+ * Fault-isolating multi-file scan: extract the symbol interface of every
+ * (name, source) pair, skipping — not aborting on — files whose parse
+ * fails. The schedule built from the surviving files is still valid; the
+ * rejected files' functions simply don't take part in the run.
+ */
+FileScanResult scanFiles(
+    const std::vector<std::pair<std::string, std::string>> &sources);
 
 } // namespace rid::analysis
 

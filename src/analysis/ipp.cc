@@ -4,6 +4,7 @@
 #include <random>
 #include <sstream>
 
+#include "obs/failpoint.h"
 #include "obs/trace.h"
 
 namespace rid::analysis {
@@ -37,6 +38,7 @@ checkAndMerge(const std::string &function,
               std::vector<summary::SummaryEntry> entries,
               smt::Solver &solver, const IppOptions &opts)
 {
+    obs::failpoint("analysis.ipp.check");
     obs::Span span("phase", "ipp-check");
     span.arg("fn", function);
     span.arg("entries", std::to_string(entries.size()));

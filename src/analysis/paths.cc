@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "frontend/lower.h"
+#include "obs/budget.h"
+#include "obs/failpoint.h"
 #include "obs/trace.h"
 
 namespace rid::analysis {
@@ -26,6 +28,7 @@ struct Enumerator
     const ir::Function &fn;
     int max_paths;
     int max_visits;
+    const obs::Budget *budget;
     PathEnumResult result;
     std::vector<ir::BlockId> current;
     std::vector<int> visits;
@@ -33,6 +36,10 @@ struct Enumerator
     bool
     dfs(ir::BlockId b)
     {
+        if (budget && budget->expired()) {
+            result.deadline_hit = true;
+            return false;
+        }
         if (static_cast<int>(result.paths.size()) >= max_paths) {
             result.truncated = true;
             return false;
@@ -62,12 +69,14 @@ struct Enumerator
 } // anonymous namespace
 
 PathEnumResult
-enumeratePaths(const ir::Function &fn, int max_paths, int max_visits)
+enumeratePaths(const ir::Function &fn, int max_paths, int max_visits,
+               const obs::Budget *budget)
 {
     assert(!fn.isDeclaration());
+    obs::failpoint("analysis.paths.enumerate");
     obs::Span span("phase", "enumerate-paths");
     span.arg("fn", fn.name());
-    Enumerator e{fn, max_paths, max_visits, {}, {}, {}};
+    Enumerator e{fn, max_paths, max_visits, budget, {}, {}, {}};
     e.visits.assign(fn.numBlocks(), 0);
     e.dfs(0);
     if (static_cast<int>(e.result.paths.size()) >= max_paths)

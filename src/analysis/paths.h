@@ -16,6 +16,10 @@
 
 #include "ir/function.h"
 
+namespace rid::obs {
+class Budget;
+}
+
 namespace rid::analysis {
 
 /** One enumerated path: the block sequence from entry to a Return. */
@@ -30,6 +34,11 @@ struct PathEnumResult
     /** True if the path cap stopped enumeration early (the function must
      *  then get a default summary entry — Section 5.2). */
     bool truncated = false;
+    /** True if the budget expired during enumeration. Unlike `truncated`
+     *  (a deterministic structural cap), this is timing-dependent: the
+     *  caller must discard the partial result and degrade the whole
+     *  function, not merge it. */
+    bool deadline_hit = false;
 };
 
 /**
@@ -38,9 +47,13 @@ struct PathEnumResult
  * @param max_paths   cap on the number of returned paths
  * @param max_visits  how many times one block may appear on a path
  *                    (2 = the paper's unroll-loops-once rule)
+ * @param budget      optional cooperative budget checked once per visited
+ *                    block; expiry stops enumeration and sets
+ *                    PathEnumResult::deadline_hit
  */
 PathEnumResult enumeratePaths(const ir::Function &fn, int max_paths,
-                              int max_visits = 2);
+                              int max_visits = 2,
+                              const obs::Budget *budget = nullptr);
 
 } // namespace rid::analysis
 

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "frontend/lower.h"
+#include "obs/budget.h"
+#include "obs/failpoint.h"
 #include "obs/trace.h"
 #include "summary/summary.h"
 
@@ -234,6 +236,7 @@ executePath(const ir::Function &fn, const Path &path, int path_index,
             const summary::SummaryDb &db, smt::Solver &solver,
             const ExecOptions &opts)
 {
+    obs::failpoint("analysis.symexec.path");
     obs::Span span("phase", "symexec-path");
     span.arg("fn", fn.name());
     span.arg("path", std::to_string(path_index));
@@ -251,6 +254,10 @@ executePath(const ir::Function &fn, const Path &path, int path_index,
     };
 
     for (size_t step = 0; step < path.blocks.size(); step++) {
+        if (opts.budget && opts.budget->expired()) {
+            result.deadline_hit = true;
+            return result;
+        }
         ir::BlockId b = path.blocks[step];
         const auto &bb = fn.block(b);
         for (size_t idx = 0; idx < bb.instrs.size(); idx++) {

@@ -32,6 +32,10 @@ struct ExecOptions
     /** Discard states whose constraint is unsatisfiable as soon as the
      *  branch/entry constraint is added. */
     bool prune_infeasible = true;
+    /** Optional cooperative budget checked once per executed block;
+     *  expiry stops execution and sets ExecResult::deadline_hit. Not
+     *  owned; must outlive the call. */
+    const obs::Budget *budget = nullptr;
 };
 
 struct ExecResult
@@ -39,6 +43,10 @@ struct ExecResult
     std::vector<summary::SummaryEntry> entries;
     /** True if max_subcases truncated the expansion. */
     bool truncated = false;
+    /** True if the budget expired mid-path. The partial entries are
+     *  timing-dependent; the caller must discard them and degrade the
+     *  function rather than merge them into its summary. */
+    bool deadline_hit = false;
 };
 
 /**

@@ -1,10 +1,13 @@
 #include "baseline/cpychecker.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
 
 #include "analysis/paths.h"
+#include "obs/budget.h"
+#include "obs/failpoint.h"
 
 namespace rid::baseline {
 
@@ -277,6 +280,15 @@ struct PathWalker
 std::vector<BaselineReport>
 Cpychecker::checkFunction(const ir::Function &fn) const
 {
+    bool truncated = false, deadline_hit = false;
+    return checkFunctionInner(fn, nullptr, truncated, deadline_hit);
+}
+
+std::vector<BaselineReport>
+Cpychecker::checkFunctionInner(const ir::Function &fn,
+                               const obs::Budget *budget, bool &truncated,
+                               bool &deadline_hit) const
+{
     std::vector<BaselineReport> out;
     if (fn.isDeclaration())
         return out;
@@ -288,11 +300,19 @@ Cpychecker::checkFunction(const ir::Function &fn) const
         bindings.untrackable.clear();
     }
 
-    auto paths = analysis::enumeratePaths(fn, opts_.max_paths);
+    auto paths = analysis::enumeratePaths(fn, opts_.max_paths, 2, budget);
+    truncated = truncated || paths.truncated;
+    deadline_hit = deadline_hit || paths.deadline_hit;
+    if (paths.deadline_hit)
+        return out;
     std::set<std::pair<std::string, std::string>> seen;
 
     auto runWalker = [&](bool with_args) {
         for (const auto &path : paths.paths) {
+            if (budget && budget->expired()) {
+                deadline_hit = true;
+                return;
+            }
             PathWalker walker{fn, attrs_, opts_, bindings,
                               {}, {}, {}, 0, {}};
             if (with_args) {
@@ -327,6 +347,58 @@ Cpychecker::checkModule(const ir::Module &mod) const
         for (auto &r : reports)
             out.push_back(std::move(r));
     }
+    return out;
+}
+
+BaselineRunResult
+Cpychecker::run(const ir::Module &mod, const obs::Budget *budget) const
+{
+    using analysis::FnStatus;
+    BaselineRunResult out;
+    for (const auto &fn : mod.functions()) {
+        if (fn->isDeclaration())
+            continue;
+        obs::FailpointScope fp_scope(fn->name());
+        if (budget && budget->expiredNow()) {
+            // Graceful run-level degradation: remaining functions are
+            // skipped with a diagnostic, never silently.
+            out.diagnostics.push_back(
+                {fn->name(), FnStatus::Timeout,
+                 std::string("budget: ") +
+                     obs::budgetStopName(budget->stopReason())});
+            continue;
+        }
+        try {
+            bool truncated = false, deadline_hit = false;
+            auto reports =
+                checkFunctionInner(*fn, budget, truncated, deadline_hit);
+            if (deadline_hit || (budget && budget->expiredNow())) {
+                // Partial reports are timing-dependent; drop them.
+                out.diagnostics.push_back(
+                    {fn->name(), FnStatus::Timeout,
+                     std::string("budget: ") +
+                         obs::budgetStopName(budget->stopReason())});
+                continue;
+            }
+            if (truncated) {
+                // checkModule() hits the same cap silently; here it is
+                // first-class: the reports stand but are marked partial.
+                out.diagnostics.push_back(
+                    {fn->name(), FnStatus::Truncated,
+                     "max_paths cap truncated enumeration"});
+            }
+            for (auto &r : reports)
+                out.reports.push_back(std::move(r));
+        } catch (const std::exception &e) {
+            out.diagnostics.push_back(
+                {fn->name(), FnStatus::Degraded, e.what()});
+        }
+    }
+    std::sort(out.diagnostics.begin(), out.diagnostics.end(),
+              [](const analysis::FunctionDiagnostic &a,
+                 const analysis::FunctionDiagnostic &b) {
+                  return a.function < b.function;
+              });
     return out;
 }
 

@@ -32,8 +32,13 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "ir/function.h"
 #include "pyc/pyc_specs.h"
+
+namespace rid::obs {
+class Budget;
+}
 
 namespace rid::baseline {
 
@@ -59,6 +64,17 @@ struct CpycheckerOptions
     int max_paths = 256;
 };
 
+/** Outcome of a budgeted, fault-isolated baseline run (same diagnostic
+ *  vocabulary as the main analyzer). */
+struct BaselineRunResult
+{
+    std::vector<BaselineReport> reports;
+    /** One record per function whose check did not end plainly Ok
+     *  (truncated by max_paths, degraded by an isolated fault, or timed
+     *  out on the budget), name-sorted. */
+    std::vector<analysis::FunctionDiagnostic> diagnostics;
+};
+
 class Cpychecker
 {
   public:
@@ -72,7 +88,21 @@ class Cpychecker
     std::vector<BaselineReport>
     checkFunction(const ir::Function &fn) const;
 
+    /**
+     * Budget-governed, fault-isolated variant of checkModule(): each
+     * function's faults are confined to it (status Degraded), budget
+     * expiry drops that function's partial reports (status Timeout) and
+     * a max_paths truncation — previously silent — is reported as a
+     * Truncated diagnostic. The run always completes.
+     */
+    BaselineRunResult run(const ir::Module &mod,
+                          const obs::Budget *budget = nullptr) const;
+
   private:
+    std::vector<BaselineReport>
+    checkFunctionInner(const ir::Function &fn, const obs::Budget *budget,
+                       bool &truncated, bool &deadline_hit) const;
+
     const std::map<std::string, pyc::ApiAttr> &attrs_;
     CpycheckerOptions opts_;
 };

@@ -81,6 +81,24 @@ toJson(const RunResult &result)
     w.key("classify_seconds").value(result.stats.classify_seconds);
     w.key("analyze_seconds").value(result.stats.analyze_seconds);
     w.endObject();
+    // Additive key: degradation records (empty arrays in a clean run).
+    w.key("diagnostics").beginArray();
+    for (const auto &d : result.diagnostics) {
+        w.beginObject();
+        w.key("function").value(d.function);
+        w.key("status").value(analysis::fnStatusName(d.status));
+        w.key("reason").value(d.reason);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("file_errors").beginArray();
+    for (const auto &f : result.file_errors) {
+        w.beginObject();
+        w.key("file").value(f.file);
+        w.key("reason").value(f.reason);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
     return w.str();
 }
@@ -120,6 +138,16 @@ groupedText(const RunResult &result)
        << " affecting, " << result.stats.categories.other << " others; "
        << result.stats.functions_analyzed << " analyzed, "
        << result.stats.paths_enumerated << " paths\n";
+    size_t degraded = result.stats.functions_timeout +
+                      result.stats.functions_degraded +
+                      result.stats.functions_error;
+    if (degraded + result.file_errors.size() > 0) {
+        os << "degraded: " << result.stats.functions_timeout
+           << " timeout, " << result.stats.functions_degraded
+           << " fault-isolated, " << result.stats.functions_error
+           << " error, " << result.file_errors.size()
+           << " file(s) rejected\n";
+    }
     return os.str();
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "frontend/lower.h"
+#include "obs/failpoint.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -39,6 +40,24 @@ RunResult::str() const
     os << "phases: classify " << stats.classify_seconds << "s, analyze "
        << stats.analyze_seconds << "s (symexec " << stats.symexec_seconds
        << "s, ipp " << stats.ipp_seconds << "s)\n";
+    if (stats.functions_timeout + stats.functions_degraded +
+            stats.functions_error + file_errors.size() >
+        0) {
+        os << "degraded: " << stats.functions_timeout << " timeout, "
+           << stats.functions_degraded << " fault-isolated, "
+           << stats.functions_error << " error, " << file_errors.size()
+           << " file(s) rejected\n";
+        for (const auto &d : diagnostics) {
+            if (d.status != analysis::FnStatus::Ok &&
+                d.status != analysis::FnStatus::Truncated) {
+                os << "  " << d.function << ": "
+                   << analysis::fnStatusName(d.status) << " (" << d.reason
+                   << ")\n";
+            }
+        }
+        for (const auto &f : file_errors)
+            os << "  " << f.file << ": rejected (" << f.reason << ")\n";
+    }
     return os.str();
 }
 
@@ -88,6 +107,40 @@ RunResult::statsJson() const
     w.key("hit_rate").value(qc.hitRate());
     w.endObject();
     w.key("profile").raw(profile.json());
+    // Robustness accounting (additive key): how every function's analysis
+    // ended plus per-function/per-file degradation records.
+    w.key("diagnostics").beginObject();
+    w.key("counts").beginObject();
+    uint64_t not_ok = s.functions_truncated + s.functions_timeout +
+                      s.functions_degraded + s.functions_error;
+    uint64_t ok = s.functions_analyzed >= s.functions_truncated
+                      ? s.functions_analyzed - s.functions_truncated
+                      : 0;
+    w.key("ok").value(ok);
+    w.key("truncated").value(uint64_t{s.functions_truncated});
+    w.key("timeout").value(uint64_t{s.functions_timeout});
+    w.key("degraded").value(uint64_t{s.functions_degraded});
+    w.key("error").value(uint64_t{s.functions_error});
+    w.key("not_ok").value(not_ok);
+    w.endObject();
+    w.key("functions").beginArray();
+    for (const auto &d : diagnostics) {
+        w.beginObject();
+        w.key("function").value(d.function);
+        w.key("status").value(analysis::fnStatusName(d.status));
+        w.key("reason").value(d.reason);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("files").beginArray();
+    for (const auto &f : file_errors) {
+        w.beginObject();
+        w.key("file").value(f.file);
+        w.key("reason").value(f.reason);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
     w.endObject();
     return w.str();
 }
@@ -117,6 +170,24 @@ void
 Rid::addSource(const std::string &kernel_c_source)
 {
     module_.absorb(frontend::compile(kernel_c_source, lower_opts_));
+}
+
+bool
+Rid::addSourceTolerant(const std::string &name,
+                       const std::string &kernel_c_source)
+{
+    // File-level fault isolation: one unparseable unit (or one whose
+    // lowering produced invalid IR, or an injected frontend fault) must
+    // not take down a multi-file scan. The file's functions simply don't
+    // take part in the run; callers see why via fileDiagnostics().
+    obs::FailpointScope fp_scope(name);
+    try {
+        addSource(kernel_c_source);
+        return true;
+    } catch (const std::exception &e) {
+        file_errors_.push_back(FileDiagnostic{name, e.what()});
+        return false;
+    }
 }
 
 void
@@ -161,6 +232,8 @@ Rid::run()
     RunResult result;
     result.reports = analyzer.reports();
     result.stats = analyzer.stats();
+    result.diagnostics = analyzer.diagnostics();
+    result.file_errors = file_errors_;
     result.profile =
         obs::buildProfile(analyzer.functionCosts(),
                           opts_.profile_top_n > 0

@@ -30,6 +30,15 @@
 
 namespace rid {
 
+/** A translation unit rejected during tolerant loading: its file-level
+ *  fault (syntax error, IR verification failure) was isolated so the
+ *  remaining files could still be analyzed. */
+struct FileDiagnostic
+{
+    std::string file;
+    std::string reason;
+};
+
 /** Result of one analysis run. */
 struct RunResult
 {
@@ -39,6 +48,11 @@ struct RunResult
      *  by per-phase wall time, solver time and path count (empty when
      *  AnalyzerOptions::profile_top_n == 0). */
     obs::AnalysisProfile profile;
+    /** Per-function degradation records (name-sorted; empty in a fully
+     *  clean run). Functions not listed ended plainly Ok. */
+    std::vector<analysis::FunctionDiagnostic> diagnostics;
+    /** Files rejected by addSourceTolerant() before this run. */
+    std::vector<FileDiagnostic> file_errors;
 
     /** Human-readable multi-line report. */
     std::string str() const;
@@ -73,6 +87,21 @@ class Rid
      *  @throws frontend::ParseError on syntax errors. */
     void addSource(const std::string &kernel_c_source);
 
+    /**
+     * Fault-isolating variant of addSource(): a file that fails to parse
+     * or lower is skipped and recorded as a FileDiagnostic on the next
+     * run()'s RunResult instead of aborting the whole scan.
+     * @return true if the unit was added, false if it was rejected
+     */
+    bool addSourceTolerant(const std::string &name,
+                           const std::string &kernel_c_source);
+
+    /** Files rejected by addSourceTolerant() so far. */
+    const std::vector<FileDiagnostic> &fileDiagnostics() const
+    {
+        return file_errors_;
+    }
+
     /** Add an already-lowered IR module. */
     void addModule(ir::Module mod);
 
@@ -102,6 +131,7 @@ class Rid
     frontend::LowerOptions lower_opts_;
     ir::Module module_;
     summary::SummaryDb db_;
+    std::vector<FileDiagnostic> file_errors_;
 };
 
 } // namespace rid

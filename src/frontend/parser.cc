@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/failpoint.h"
+
 namespace rid::frontend {
 
 namespace {
@@ -733,6 +735,7 @@ class Parser
 AstUnit
 parseUnit(const std::string &source)
 {
+    obs::failpoint("frontend.parse");
     Parser p(tokenize(source));
     return p.parse();
 }

@@ -14,12 +14,36 @@
 
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "ir/instruction.h"
 
 namespace rid::ir {
+
+/**
+ * Structural IR invariant violation, carrying the offending function and
+ * block so a driver can isolate the failure to one function instead of
+ * dying (the verifier used to abort the process).
+ */
+class IrError : public std::runtime_error
+{
+  public:
+    IrError(std::string function, BlockId block, const std::string &msg)
+        : std::runtime_error("IR verification failed in " + function +
+                             " (bb" + std::to_string(block) + "): " + msg),
+          function_(std::move(function)),
+          block_(block)
+    {}
+
+    const std::string &function() const { return function_; }
+    BlockId block() const { return block_; }
+
+  private:
+    std::string function_;
+    BlockId block_;
+};
 
 /** A straight-line sequence of instructions ending in a terminator. */
 struct BasicBlock
@@ -76,8 +100,10 @@ class Function
 
     /**
      * Validate structural invariants (every block terminated, branch
-     * targets in range); aborts with a message on violation. Intended for
-     * use after construction / lowering.
+     * targets in range).
+     * @throws IrError (with function/block context) on violation, so a
+     *         driver can skip just this function. Intended for use after
+     *         construction / lowering.
      */
     void verify() const;
 

@@ -1,10 +1,10 @@
 #include "ir/function.h"
 
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
 #include <set>
 #include <sstream>
+
+#include "obs/failpoint.h"
 
 namespace rid::ir {
 
@@ -268,24 +268,22 @@ Function::isParam(const std::string &name) const
 void
 Function::verify() const
 {
-    auto fail = [this](const std::string &msg) {
-        std::fprintf(stderr, "IR verification failed in %s: %s\n%s\n",
-                     name_.c_str(), msg.c_str(), str().c_str());
-        std::abort();
+    obs::failpoint("ir.verify");
+    auto fail = [this](size_t block, const std::string &msg) {
+        throw IrError(name_, static_cast<BlockId>(block), msg);
     };
     for (size_t b = 0; b < blocks_.size(); b++) {
         const auto &bb = blocks_[b];
         if (!bb.hasTerminator())
-            fail("block bb" + std::to_string(b) + " lacks a terminator");
+            fail(b, "block lacks a terminator");
         for (size_t i = 0; i < bb.instrs.size(); i++) {
             const auto &in = bb.instrs[i];
             if (in.isTerminator() && i + 1 != bb.instrs.size())
-                fail("terminator not last in bb" + std::to_string(b));
+                fail(b, "terminator not last in block");
             if (in.op == Opcode::Branch || in.op == Opcode::CondBranch) {
                 auto check = [&](BlockId t) {
                     if (t < 0 || static_cast<size_t>(t) >= blocks_.size())
-                        fail("branch target out of range in bb" +
-                             std::to_string(b));
+                        fail(b, "branch target out of range");
                 };
                 check(in.target);
                 if (in.op == Opcode::CondBranch)
@@ -293,7 +291,7 @@ Function::verify() const
             }
             if (in.op == Opcode::Return) {
                 if (returnsValue_ && in.a.isNone())
-                    fail("missing return value");
+                    fail(b, "missing return value");
             }
         }
     }

@@ -1,0 +1,219 @@
+#include "obs/failpoint.h"
+
+namespace rid::obs {
+
+namespace {
+
+thread_local std::string t_context;
+thread_local bool t_suppressed = false;
+
+/** splitmix64 finalizer: stable across runs and platforms (the obs layer
+ *  cannot use smt/intern.h's copy without inverting the layering). */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic per-hit coin: mix (seed, site, hit index) into [0,1). */
+double
+hitCoin(uint64_t seed, const std::string &site, uint64_t index)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : site) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    h = mix64(mix64(seed) ^ h ^ (index * 0x2545f4914f6cdd1dULL));
+    // 53 mantissa bits -> uniform double in [0,1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // anonymous namespace
+
+FailpointRegistry &
+FailpointRegistry::instance()
+{
+    static FailpointRegistry reg;
+    return reg;
+}
+
+void
+FailpointRegistry::configure(const std::string &spec, uint64_t seed)
+{
+    std::vector<Rule> rules;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        // Trim surrounding whitespace.
+        size_t b = entry.find_first_not_of(" \t\n");
+        size_t e = entry.find_last_not_of(" \t\n");
+        if (b == std::string::npos)
+            continue;
+        entry = entry.substr(b, e - b + 1);
+
+        size_t eq = entry.find('=');
+        if (eq == std::string::npos || eq == 0)
+            throw std::invalid_argument("failpoint spec entry '" + entry +
+                                        "': expected site[@ctx]=mode");
+        Rule rule;
+        std::string target = entry.substr(0, eq);
+        std::string mode = entry.substr(eq + 1);
+        size_t at = target.find('@');
+        if (at != std::string::npos) {
+            rule.site = target.substr(0, at);
+            rule.context = target.substr(at + 1);
+        } else {
+            rule.site = target;
+        }
+        if (rule.site.empty())
+            throw std::invalid_argument("failpoint spec entry '" + entry +
+                                        "': empty site");
+        auto operand = [&](const char *prefix) -> std::string {
+            std::string p = prefix;
+            if (mode.compare(0, p.size(), p) != 0)
+                return "";
+            return mode.substr(p.size());
+        };
+        if (mode == "always") {
+            rule.mode = Mode::Always;
+        } else if (std::string op = operand("once@"); !op.empty()) {
+            rule.mode = Mode::Once;
+            rule.n = std::stoull(op);
+            if (rule.n == 0)
+                throw std::invalid_argument("once@N is 1-based: " + entry);
+        } else if (std::string op = operand("every@"); !op.empty()) {
+            rule.mode = Mode::Every;
+            rule.n = std::stoull(op);
+            if (rule.n == 0)
+                throw std::invalid_argument("every@0 in: " + entry);
+        } else if (std::string op = operand("prob@"); !op.empty()) {
+            rule.mode = Mode::Prob;
+            rule.p = std::stod(op);
+            if (rule.p < 0 || rule.p > 1)
+                throw std::invalid_argument("prob@P needs P in [0,1]: " +
+                                            entry);
+        } else {
+            throw std::invalid_argument("failpoint mode '" + mode +
+                                        "' in '" + entry + "'");
+        }
+        rules.push_back(std::move(rule));
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    seed_ = seed;
+    rules_ = std::move(rules);
+    hits_.clear();
+    fired_.clear();
+    armed_.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+void
+FailpointRegistry::disarm()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    armed_.store(false, std::memory_order_relaxed);
+    rules_.clear();
+    hits_.clear();
+    fired_.clear();
+}
+
+void
+FailpointRegistry::hit(const char *site)
+{
+    const std::string &context = FailpointScope::current();
+    std::string fired_site;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!armed_.load(std::memory_order_relaxed))
+            return;
+        hits_[site]++;
+        for (auto &rule : rules_) {
+            if (rule.site != site)
+                continue;
+            if (!rule.context.empty() && rule.context != context)
+                continue;
+            uint64_t match = ++rule.matches;
+            bool fire = false;
+            switch (rule.mode) {
+              case Mode::Always:
+                fire = true;
+                break;
+              case Mode::Once:
+                fire = (match == rule.n);
+                break;
+              case Mode::Every:
+                fire = (match % rule.n == 0);
+                break;
+              case Mode::Prob:
+                fire = hitCoin(seed_, rule.site + "@" + rule.context,
+                               match) < rule.p;
+                break;
+            }
+            if (fire) {
+                fired_.push_back(Fired{site, context});
+                fired_site = site;
+                break;
+            }
+        }
+    }
+    if (!fired_site.empty())
+        throw InjectedFault(fired_site, context);
+}
+
+uint64_t
+FailpointRegistry::hitCount(const std::string &site) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = hits_.find(site);
+    return it == hits_.end() ? 0 : it->second;
+}
+
+std::vector<FailpointRegistry::Fired>
+FailpointRegistry::fired() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fired_;
+}
+
+FailpointScope::FailpointScope(std::string context)
+    : previous_(std::move(t_context))
+{
+    t_context = std::move(context);
+}
+
+FailpointScope::~FailpointScope()
+{
+    t_context = std::move(previous_);
+}
+
+const std::string &
+FailpointScope::current()
+{
+    return t_context;
+}
+
+FailpointSuppressScope::FailpointSuppressScope() : previous_(t_suppressed)
+{
+    t_suppressed = true;
+}
+
+FailpointSuppressScope::~FailpointSuppressScope()
+{
+    t_suppressed = previous_;
+}
+
+bool
+FailpointSuppressScope::active()
+{
+    return t_suppressed;
+}
+
+} // namespace rid::obs

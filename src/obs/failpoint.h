@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Deterministic, seedable fault-injection harness ("failpoints").
+ *
+ * A failpoint is a named site in the code — `obs::failpoint("smt.intern")`
+ * — that normally costs one relaxed atomic load. When the process-wide
+ * registry is armed with a spec, a site whose rule fires throws
+ * InjectedFault, which the fault-isolation layer (analysis/analyzer.cc,
+ * core/rid.cc) converts into a per-function or per-file diagnostic. The
+ * chaos suite (tests/test_robustness_chaos.cc) uses this to prove the
+ * pipeline degrades instead of dying.
+ *
+ * Spec grammar (comma-separated entries):
+ *
+ *     site[@context]=mode
+ *     mode := always | once@N | every@N | prob@P
+ *
+ *  - `always`   fire on every hit
+ *  - `once@N`   fire exactly on the Nth matching hit (1-based)
+ *  - `every@N`  fire on every Nth matching hit
+ *  - `prob@P`   fire with probability P in [0,1], decided by a hash of
+ *               (seed, site, hit index) — deterministic for a fixed seed
+ *               and hit order, no global RNG state
+ *
+ * `@context` restricts a rule to hits whose thread-local FailpointScope
+ * matches (the analyzer scopes each function's analysis by its name, the
+ * frontend driver scopes parsing by file name), so a test can inject
+ * faults into exactly one function and assert every other function is
+ * byte-identical to a clean run.
+ *
+ * Registered site names are the stable catalog documented in DESIGN.md
+ * ("Robustness & resource governance"); every firing is recorded so tests
+ * can assert which (site, context) pairs actually fired.
+ *
+ * Recovery code runs under FailpointSuppressScope so that the handler of
+ * one injected fault cannot itself be re-injected (which would defeat the
+ * isolation it implements).
+ */
+
+#ifndef RID_OBS_FAILPOINT_H
+#define RID_OBS_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rid::obs {
+
+/** The exception an armed failpoint throws. */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    InjectedFault(std::string site, std::string context)
+        : std::runtime_error("injected fault at " + site +
+                             (context.empty() ? "" : "@" + context)),
+          site_(std::move(site)),
+          context_(std::move(context))
+    {}
+
+    const std::string &site() const { return site_; }
+    const std::string &context() const { return context_; }
+
+  private:
+    std::string site_;
+    std::string context_;
+};
+
+class FailpointRegistry
+{
+  public:
+    /** One firing, for post-run assertions. */
+    struct Fired
+    {
+        std::string site;
+        std::string context;
+    };
+
+    static FailpointRegistry &instance();
+
+    /**
+     * Arm the registry with @p spec (grammar above), replacing any
+     * previous configuration and clearing counters/history.
+     * @throws std::invalid_argument on a malformed spec.
+     */
+    void configure(const std::string &spec, uint64_t seed = 0);
+
+    /** Disarm and clear all rules, counters and firing history. */
+    void disarm();
+
+    /** Fast check used by the failpoint() fast path. */
+    bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+    /** Slow path of failpoint(): count the hit, evaluate rules, throw
+     *  InjectedFault when one fires. */
+    void hit(const char *site);
+
+    /** Hits observed per site since configure() (armed periods only). */
+    uint64_t hitCount(const std::string &site) const;
+
+    /** Every firing since configure(), in firing order. */
+    std::vector<Fired> fired() const;
+
+  private:
+    enum class Mode : uint8_t { Always, Once, Every, Prob };
+
+    struct Rule
+    {
+        std::string site;
+        std::string context;  ///< empty = any context
+        Mode mode = Mode::Always;
+        uint64_t n = 1;       ///< once@N / every@N operand
+        double p = 0;         ///< prob@P operand
+        uint64_t matches = 0; ///< hits that matched this rule so far
+    };
+
+    FailpointRegistry() = default;
+
+    std::atomic<bool> armed_{false};
+    mutable std::mutex mutex_;
+    uint64_t seed_ = 0;
+    std::vector<Rule> rules_;
+    std::map<std::string, uint64_t> hits_;
+    std::vector<Fired> fired_;
+};
+
+/** RAII thread-local context label matched by `site@context` rules. */
+class FailpointScope
+{
+  public:
+    explicit FailpointScope(std::string context);
+    ~FailpointScope();
+    FailpointScope(const FailpointScope &) = delete;
+    FailpointScope &operator=(const FailpointScope &) = delete;
+
+    /** The innermost context on this thread ("" when none). */
+    static const std::string &current();
+
+  private:
+    std::string previous_;
+};
+
+/** RAII suppression for recovery paths: while alive on this thread,
+ *  failpoint() is a no-op even when the registry is armed. */
+class FailpointSuppressScope
+{
+  public:
+    FailpointSuppressScope();
+    ~FailpointSuppressScope();
+    FailpointSuppressScope(const FailpointSuppressScope &) = delete;
+    FailpointSuppressScope &operator=(const FailpointSuppressScope &) =
+        delete;
+
+    static bool active();
+
+  private:
+    bool previous_;
+};
+
+/** The site macro-equivalent: one relaxed load when disarmed. */
+inline void
+failpoint(const char *site)
+{
+    auto &reg = FailpointRegistry::instance();
+    if (reg.armed() && !FailpointSuppressScope::active())
+        reg.hit(site);
+}
+
+} // namespace rid::obs
+
+#endif // RID_OBS_FAILPOINT_H

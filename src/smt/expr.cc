@@ -3,6 +3,7 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/failpoint.h"
 #include "smt/intern.h"
 
 namespace rid::smt {
@@ -129,6 +130,7 @@ makeNode(ExprKind kind, int64_t value, std::string name, Pred pred,
     n->a = std::move(a);
     n->b = std::move(b);
     n->finalize();
+    obs::failpoint("smt.intern");
     uint64_t fp = n->fingerprint;
     return exprInterner().intern(fp, std::move(n), shallowEquals);
 }

@@ -1,5 +1,7 @@
 #include "smt/query_cache.h"
 
+#include "obs/failpoint.h"
+
 #include "smt/solver.h"
 
 namespace rid::smt {
@@ -37,6 +39,7 @@ QueryCache::lookup(const Formula &f)
 void
 QueryCache::insert(const Formula &f, SatResult result)
 {
+    obs::failpoint("smt.query_cache.insert");
     uint64_t fp = f.fingerprint();
     Shard &shard = shards_[shardOf(fp)];
     std::lock_guard<std::mutex> lock(shard.mutex);

@@ -5,6 +5,8 @@
 #include <chrono>
 #include <numeric>
 
+#include "obs/budget.h"
+#include "obs/failpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "smt/query_cache.h"
@@ -115,6 +117,16 @@ Solver::check(const Formula &f)
         return SatResult::Sat;
     if (f.isFalse())
         return SatResult::Unsat;
+    obs::failpoint("smt.solver.check");
+    // Budget gate before any real work *and* before the cache: a
+    // budget-stopped Unknown is a property of this run's resource limits,
+    // not of the formula, so it must never be inserted into (or satisfied
+    // from counts of) the shared verdict cache.
+    if (budget_ && (!budget_->consumeFuel() || budget_->expiredNow())) {
+        stats_.budget_stops++;
+        stats_.unknowns++;
+        return SatResult::Unknown;
+    }
     obs::Span span(opts_.trace_queries ? obs::currentTracer() : nullptr,
                    "smt", "solver-query");
     auto t0 = std::chrono::steady_clock::now();

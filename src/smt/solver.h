@@ -32,6 +32,7 @@
 #include "smt/linear.h"
 
 namespace rid::obs {
+class Budget;
 class Histogram;
 }
 
@@ -80,6 +81,9 @@ class Solver
          *  lookups included) — the per-function solver-cost signal the
          *  analysis profile attributes. */
         uint64_t solve_ns = 0;
+        /** Queries answered Unknown because the attached Budget was
+         *  exhausted (deadline passed or fuel ran out). */
+        uint64_t budget_stops = 0;
 
         double solveSeconds() const { return solve_ns * 1e-9; }
 
@@ -93,6 +97,7 @@ class Solver
             cache_hits += o.cache_hits;
             cache_misses += o.cache_misses;
             solve_ns += o.solve_ns;
+            budget_stops += o.budget_stops;
             return *this;
         }
     };
@@ -124,6 +129,19 @@ class Solver
         latency_hist_ = hist;
     }
 
+    /**
+     * Attach a cooperative resource budget (obs/budget.h). Every
+     * non-trivial check() first consumes one unit of solver fuel and
+     * tests the deadline; an exhausted budget makes check() answer
+     * Unknown immediately (counted in Stats::budget_stops) without
+     * touching the shared cache, so budgeted runs never pollute verdicts
+     * other functions may reuse. The budget must outlive the solver.
+     * Null detaches.
+     */
+    void attachBudget(const obs::Budget *budget) { budget_ = budget; }
+
+    const obs::Budget *budget() const { return budget_; }
+
     /** Decide satisfiability of @p f. */
     SatResult check(const Formula &f);
 
@@ -149,6 +167,7 @@ class Solver
     Stats stats_;
     std::shared_ptr<QueryCache> cache_;
     obs::Histogram *latency_hist_ = nullptr;
+    const obs::Budget *budget_ = nullptr;
 };
 
 } // namespace rid::smt

@@ -206,5 +206,25 @@ int probe_hw(struct device *dev);
     EXPECT_EQ(separate_reports, whole_reports);
 }
 
+TEST(FileGraph, ScanFilesIsolatesSyntaxErrors)
+{
+    FileScanResult result = scanFiles({
+        {"good1.c", "int f(struct device *d) { return 0; }\n"},
+        {"broken.c", "int oops( { this is not Kernel-C %%\n"},
+        {"good2.c", "int g(struct device *d) { return f(d); }\n"},
+    });
+    ASSERT_EQ(result.files.size(), 2u);
+    EXPECT_EQ(result.files[0].name, "good1.c");
+    EXPECT_EQ(result.files[1].name, "good2.c");
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_EQ(result.errors[0].file, "broken.c");
+    EXPECT_FALSE(result.errors[0].reason.empty());
+
+    // The schedule built from the survivors is still valid.
+    FileGraph graph(std::move(result.files));
+    FileSchedule schedule = graph.schedule();
+    EXPECT_LT(levelOf(schedule, "good1.c"), levelOf(schedule, "good2.c"));
+}
+
 } // anonymous namespace
 } // namespace rid::analysis

@@ -61,12 +61,16 @@ void usb_autopm_put_interface(struct usb_interface *i);
  */
 std::string
 runDigest(const kernel::Corpus &corpus, int threads, int path_threads,
-          bool cache, bool trace = false)
+          bool cache, bool trace = false, double run_deadline = 0,
+          double fn_deadline = 0, uint64_t solver_fuel = 0)
 {
     analysis::AnalyzerOptions opts;
     opts.threads = threads;
     opts.path_threads = path_threads;
     opts.use_query_cache = cache;
+    opts.run_deadline_seconds = run_deadline;
+    opts.function_deadline_seconds = fn_deadline;
+    opts.function_solver_fuel = solver_fuel;
     if (trace) {
         opts.tracer = std::make_shared<obs::Tracer>();
         opts.trace_solver_queries = true;
@@ -138,6 +142,24 @@ TEST_F(AnalyzerDeterminismTest, RepeatedRunsAreByteIdentical)
     // nondeterminism (iteration over pointer-keyed containers, races on
     // the shared cache, ...).
     EXPECT_EQ(runDigest(corpus_, 4, 4, true), runDigest(corpus_, 4, 4, true));
+}
+
+TEST_F(AnalyzerDeterminismTest, GenerousBudgetIsByteIdenticalToNoBudget)
+{
+    // The degradation ladder promises: a budget that never fires leaves
+    // the run byte-identical to an unbudgeted one — attaching budgets to
+    // the solver, path enumerator and symexec must be purely
+    // observational until expiry. An hour-scale deadline and huge fuel
+    // allowance cannot plausibly fire on this corpus.
+    std::string baseline = runDigest(corpus_, 1, 1, true);
+    for (int threads : {1, 4}) {
+        EXPECT_EQ(runDigest(corpus_, threads, threads, true, false,
+                            /*run_deadline=*/3600,
+                            /*fn_deadline=*/3600,
+                            /*solver_fuel=*/1ull << 60),
+                  baseline)
+            << "threads=" << threads << " with generous budget";
+    }
 }
 
 TEST_F(AnalyzerDeterminismTest, CacheDoesNotChangeReportCount)

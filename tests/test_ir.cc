@@ -85,6 +85,29 @@ TEST(BasicBlock, Successors)
     EXPECT_TRUE(fn.block(b2).successors().empty());
 }
 
+TEST(Function, VerifyThrowsIrErrorOnBadIr)
+{
+    // A fault-isolated pipeline needs verification failures to be
+    // catchable: verify() throws IrError instead of aborting.
+    Function fn("bad_fn", {}, false);
+    BlockId b0 = fn.addBlock();
+    fn.block(b0).instrs.push_back(Instruction::branch(99));
+    try {
+        fn.verify();
+        FAIL() << "expected IrError";
+    } catch (const IrError &e) {
+        EXPECT_EQ(e.function(), "bad_fn");
+        EXPECT_EQ(e.block(), b0);
+        EXPECT_NE(std::string(e.what()).find("branch target out of range"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    Function unterminated("open_fn", {}, false);
+    unterminated.addBlock();
+    EXPECT_THROW(unterminated.verify(), IrError);
+}
+
 TEST(Function, DeclarationHasNoBlocks)
 {
     Function fn("f", {"a"}, true);

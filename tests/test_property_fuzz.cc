@@ -150,7 +150,8 @@ TEST_P(PipelineFuzzTest, RandomProgramsAnalyzeCleanly)
     for (int i = 0; i < 20; i++)
         source += gen.function(i);
 
-    // Lowering must produce verifiable IR (verify() aborts on bad IR).
+    // Lowering must produce verifiable IR (verify() throws IrError on
+    // bad IR, which fails the test).
     ir::Module module = frontend::compile(source);
     for (const auto &fn : module.functions()) {
         if (fn->isDeclaration())

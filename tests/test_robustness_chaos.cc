@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Robustness suite: chaos (fault-injection) runs, budget-driven graceful
+ * degradation and multi-file fault isolation, end to end through the Rid
+ * façade.
+ *
+ * The contract under test is the degradation ladder of DESIGN.md: no
+ * injected fault or exhausted budget may crash the run or lose the
+ * report; affected functions degrade to the conservative default summary
+ * with a structured diagnostic, and *unaffected* functions produce
+ * byte-identical results to a clean run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/rid.h"
+#include "kernel/dpm_specs.h"
+#include "kernel/generator.h"
+#include "obs/failpoint.h"
+#include "summary/spec.h"
+
+namespace rid {
+namespace {
+
+using analysis::FnStatus;
+using analysis::FunctionDiagnostic;
+using obs::FailpointRegistry;
+
+/** Figure 9 of the paper: a wrapper plus a caller with a real bug. */
+const char *kFigure9Source = R"(
+int usb_autopm_get_interface(struct usb_interface *intf) {
+    int status;
+    status = pm_runtime_get_sync(&intf->dev);
+    if (status < 0)
+        pm_runtime_put_sync(&intf->dev);
+    if (status > 0)
+        status = 0;
+    return status;
+}
+int idmouse_open(struct usb_interface *interface) {
+    int result;
+    result = usb_autopm_get_interface(interface);
+    if (result)
+        goto error;
+    result = idmouse_create_image(interface);
+    if (result)
+        goto error;
+    usb_autopm_put_interface(interface);
+error:
+    return result;
+}
+int idmouse_create_image(struct usb_interface *i);
+void usb_autopm_put_interface(struct usb_interface *i);
+)";
+
+/** Serialized computed summary of every defined function of the run. */
+std::map<std::string, std::string>
+summariesByFunction(const Rid &tool)
+{
+    std::map<std::string, std::string> out;
+    for (const auto &fn : tool.module().functions()) {
+        if (fn->isDeclaration())
+            continue;
+        if (const summary::FunctionSummary *s =
+                tool.summaries().find(fn->name()))
+            out[fn->name()] = summary::serializeSummary(*s);
+    }
+    return out;
+}
+
+const FunctionDiagnostic *
+diagnosticFor(const RunResult &result, const std::string &fn)
+{
+    for (const auto &d : result.diagnostics)
+        if (d.function == fn)
+            return &d;
+    return nullptr;
+}
+
+class RobustnessChaosTest : public ::testing::Test
+{
+  protected:
+    static kernel::Corpus corpus_;
+
+    static void
+    SetUpTestSuite()
+    {
+        corpus_ = kernel::generateCorpus(
+            kernel::CorpusMix::paperCalibrated(0.001));
+    }
+
+    /** The registry is process-wide; never leak rules into other tests. */
+    void TearDown() override { FailpointRegistry::instance().disarm(); }
+};
+
+kernel::Corpus RobustnessChaosTest::corpus_;
+
+/**
+ * Chaos sweep: probabilistic faults at every failpoint site at once,
+ * over the examples corpus. The run must complete with a full report;
+ * every fault is converted into a per-function (or per-file) diagnostic.
+ */
+TEST_F(RobustnessChaosTest, ChaosSweepCompletesWithFullReport)
+{
+    static const char *kSites[] = {
+        "frontend.parse",       "ir.verify",
+        "smt.intern",           "smt.query_cache.insert",
+        "smt.solver.check",     "analysis.paths.enumerate",
+        "analysis.symexec.path", "analysis.ipp.check",
+    };
+
+    Rid tool;
+    tool.loadSpecText(kernel::dpmSpecText());
+
+    // Arm after spec loading: the spec text is configuration, not an
+    // analysis input, so faults there are not part of the contract.
+    // Site probabilities are scaled to hit frequency (interning runs
+    // orders of magnitude more often than path enumeration) so that a
+    // useful fraction of functions survives to the later stages.
+    FailpointRegistry::instance().configure(
+        "frontend.parse=prob@0.05,"
+        "ir.verify=prob@0.01,"
+        "smt.intern=prob@0.0005,"
+        "smt.query_cache.insert=prob@0.002,"
+        "smt.solver.check=prob@0.003,"
+        "analysis.paths.enumerate=prob@0.05,"
+        "analysis.symexec.path=prob@0.02,"
+        "analysis.ipp.check=prob@0.05",
+        /*seed=*/20260805);
+
+    tool.addSourceTolerant("figure9.c", kFigure9Source);
+    for (const auto &file : corpus_.files)
+        tool.addSourceTolerant(file.name, file.text);
+
+    // Reaching the end of run() at all is the headline assertion: no
+    // injected fault may escape as a crash or lost run.
+    RunResult result = tool.run();
+
+    EXPECT_GT(result.stats.functions_analyzed, 0u);
+    EXPECT_FALSE(result.str().empty());
+    std::string json = result.statsJson();
+    EXPECT_NE(json.find("\"diagnostics\""), std::string::npos);
+
+    // Every site was exercised, and at least one fault actually fired.
+    auto &registry = FailpointRegistry::instance();
+    for (const char *site : kSites)
+        EXPECT_GT(registry.hitCount(site), 0u) << site;
+    EXPECT_FALSE(registry.fired().empty());
+
+    // Injected faults surface only as non-Ok diagnostics, never as Ok.
+    for (const auto &d : result.diagnostics) {
+        EXPECT_NE(d.status, FnStatus::Ok) << d.function;
+        EXPECT_FALSE(d.reason.empty()) << d.function;
+    }
+}
+
+/**
+ * Targeted injection: a deterministic fault in one function degrades
+ * exactly that function; every other function's computed summary is
+ * byte-identical to a clean run's.
+ */
+TEST_F(RobustnessChaosTest, TargetedFaultDegradesOnlyTheVictim)
+{
+    // The victim is the top-level caller: no other function's summary
+    // depends on it, so the rest of the run must be unperturbed.
+    const std::string victim = "idmouse_open";
+
+    auto makeRun = [&](const std::string &failpoints) {
+        analysis::AnalyzerOptions opts;
+        opts.failpoints = failpoints;
+        auto tool = std::make_unique<Rid>(opts);
+        tool->loadSpecText(kernel::dpmSpecText());
+        tool->addSource(kFigure9Source);
+        for (const auto &file : corpus_.files)
+            tool->addSource(file.text);
+        return tool;
+    };
+
+    auto clean = makeRun("");
+    RunResult clean_result = clean->run();
+    std::map<std::string, std::string> clean_summaries =
+        summariesByFunction(*clean);
+    FailpointRegistry::instance().disarm();
+
+    auto chaos = makeRun("analysis.symexec.path@" + victim + "=always");
+    RunResult chaos_result = chaos->run();
+    std::map<std::string, std::string> chaos_summaries =
+        summariesByFunction(*chaos);
+
+    const FunctionDiagnostic *d = diagnosticFor(chaos_result, victim);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->status, FnStatus::Degraded);
+    EXPECT_NE(d->reason.find("injected fault at analysis.symexec.path"),
+              std::string::npos)
+        << d->reason;
+
+    // Same function set; every non-victim summary byte-identical.
+    ASSERT_EQ(clean_summaries.size(), chaos_summaries.size());
+    for (const auto &[fn, text] : clean_summaries) {
+        ASSERT_TRUE(chaos_summaries.count(fn)) << fn;
+        if (fn == victim)
+            continue;
+        EXPECT_EQ(chaos_summaries[fn], text) << fn;
+        const FunctionDiagnostic *cd = diagnosticFor(chaos_result, fn);
+        const FunctionDiagnostic *kd = diagnosticFor(clean_result, fn);
+        EXPECT_EQ(cd != nullptr, kd != nullptr)
+            << fn << " gained or lost a diagnostic";
+        if (cd && kd) {
+            EXPECT_EQ(cd->status, kd->status) << fn;
+        }
+    }
+
+    // The victim's bug report (Figure 9) is the acceptable casualty.
+    bool clean_has_victim_report = false;
+    for (const auto &r : clean_result.reports)
+        clean_has_victim_report |=
+            r.str().find(victim) != std::string::npos;
+    EXPECT_TRUE(clean_has_victim_report);
+    for (const auto &r : chaos_result.reports)
+        EXPECT_EQ(r.str().find(victim), std::string::npos) << r.str();
+}
+
+/** A path-explosion function whose full analysis takes far longer than
+ *  the per-function deadline used by the timeout test below. */
+std::string
+pathologicalSource(int branches)
+{
+    std::string s = "int patho_explosion(struct device *dev) {\n";
+    for (int i = 0; i < branches; i++) {
+        s += "    if (dev_flag" + std::to_string(i) + "(dev)) {\n"
+             "        pm_runtime_get_sync(dev);\n"
+             "        pm_runtime_put(dev);\n"
+             "    }\n";
+    }
+    s += "    return 0;\n}\n";
+    for (int i = 0; i < branches; i++)
+        s += "int dev_flag" + std::to_string(i) + "(struct device *d);\n";
+    return s;
+}
+
+/**
+ * Acceptance scenario from the issue: a pathological function under a
+ * 50 ms per-function deadline is reported `timeout`, while every other
+ * function in the same run produces results identical to an unbudgeted
+ * run.
+ */
+TEST_F(RobustnessChaosTest, PerFunctionDeadlineIsolatesPathExplosion)
+{
+    const std::string patho = "patho_explosion";
+    std::string patho_source = pathologicalSource(12);
+
+    auto makeRun = [&](double fn_deadline) {
+        analysis::AnalyzerOptions opts;
+        // Lift the structural path cap so the pathological function's
+        // cost is genuinely wall-clock-bound, not cap-bound.
+        opts.max_paths = 1 << 20;
+        opts.function_deadline_seconds = fn_deadline;
+        auto tool = std::make_unique<Rid>(opts);
+        tool->loadSpecText(kernel::dpmSpecText());
+        tool->addSource(kFigure9Source);
+        tool->addSource(patho_source);
+        return tool;
+    };
+
+    auto unbudgeted = makeRun(0);
+    RunResult unbudgeted_result = unbudgeted->run();
+    EXPECT_EQ(diagnosticFor(unbudgeted_result, patho), nullptr);
+
+    auto budgeted = makeRun(0.05);
+    RunResult budgeted_result = budgeted->run();
+
+    const FunctionDiagnostic *d = diagnosticFor(budgeted_result, patho);
+    ASSERT_NE(d, nullptr) << "pathological function did not time out";
+    EXPECT_EQ(d->status, FnStatus::Timeout);
+    EXPECT_NE(d->reason.find("budget"), std::string::npos) << d->reason;
+
+    // All other functions: summaries byte-identical to the unbudgeted
+    // run, and the same reports (none mention the pathological leaf).
+    std::map<std::string, std::string> unbudgeted_summaries =
+        summariesByFunction(*unbudgeted);
+    std::map<std::string, std::string> budgeted_summaries =
+        summariesByFunction(*budgeted);
+    for (const auto &[fn, text] : unbudgeted_summaries) {
+        if (fn == patho)
+            continue;
+        ASSERT_TRUE(budgeted_summaries.count(fn)) << fn;
+        EXPECT_EQ(budgeted_summaries[fn], text) << fn;
+    }
+    auto reportLines = [&](const RunResult &r) {
+        std::multiset<std::string> lines;
+        for (const auto &report : r.reports)
+            if (report.str().find(patho) == std::string::npos)
+                lines.insert(report.str());
+        return lines;
+    };
+    EXPECT_EQ(reportLines(unbudgeted_result), reportLines(budgeted_result));
+}
+
+/**
+ * A whole-run deadline that is already spent: every defined function is
+ * degraded to the default summary with a Timeout diagnostic, and the run
+ * still completes with a full report.
+ */
+TEST_F(RobustnessChaosTest, ExpiredRunDeadlineDegradesEverythingGracefully)
+{
+    analysis::AnalyzerOptions opts;
+    opts.run_deadline_seconds = 1e-9;
+    Rid tool(opts);
+    tool.loadSpecText(kernel::dpmSpecText());
+    tool.addSource(kFigure9Source);
+    RunResult result = tool.run();
+
+    for (const char *fn : {"usb_autopm_get_interface", "idmouse_open"}) {
+        const FunctionDiagnostic *d = diagnosticFor(result, fn);
+        ASSERT_NE(d, nullptr) << fn;
+        EXPECT_EQ(d->status, FnStatus::Timeout) << fn;
+        EXPECT_NE(d->reason.find("run budget"), std::string::npos)
+            << d->reason;
+    }
+    EXPECT_GT(result.stats.functions_timeout, 0u);
+    // Degraded, not absent: both functions still have (default) summaries.
+    EXPECT_NE(tool.summaries().find("usb_autopm_get_interface"), nullptr);
+    EXPECT_NE(tool.summaries().find("idmouse_open"), nullptr);
+    EXPECT_NE(result.statsJson().find("\"timeout\""), std::string::npos);
+}
+
+/** Solver fuel exhaustion rides the same ladder as a deadline. */
+TEST_F(RobustnessChaosTest, SolverFuelExhaustionDegradesToTimeout)
+{
+    analysis::AnalyzerOptions opts;
+    opts.function_solver_fuel = 1;
+    Rid tool(opts);
+    tool.loadSpecText(kernel::dpmSpecText());
+    tool.addSource(kFigure9Source);
+    RunResult result = tool.run();
+
+    const FunctionDiagnostic *d =
+        diagnosticFor(result, "usb_autopm_get_interface");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->status, FnStatus::Timeout);
+    EXPECT_NE(d->reason.find("fuel"), std::string::npos) << d->reason;
+    EXPECT_GT(result.stats.solver.budget_stops, 0u);
+}
+
+/**
+ * Satellite: a multi-file scan with one syntax-error file analyzes the
+ * remaining files and reports exactly one file-level diagnostic.
+ */
+TEST_F(RobustnessChaosTest, SyntaxErrorFileIsIsolatedFromTheScan)
+{
+    Rid tool;
+    tool.loadSpecText(kernel::dpmSpecText());
+    EXPECT_TRUE(tool.addSourceTolerant("figure9.c", kFigure9Source));
+    EXPECT_FALSE(tool.addSourceTolerant("broken.c",
+                                        "int oops( { not kernel C %%"));
+    EXPECT_TRUE(tool.addSourceTolerant(
+        "other.c", "int other_fn(struct device *d) {\n"
+                   "    return pm_runtime_get_sync(d);\n}\n"));
+
+    RunResult result = tool.run();
+    ASSERT_EQ(result.file_errors.size(), 1u);
+    EXPECT_EQ(result.file_errors[0].file, "broken.c");
+    EXPECT_FALSE(result.file_errors[0].reason.empty());
+
+    // Both surviving files were analyzed: the Figure 9 bug is still
+    // reported and other.c's function got a summary.
+    bool figure9_bug = false;
+    for (const auto &r : result.reports)
+        figure9_bug |= r.str().find("idmouse_open") != std::string::npos;
+    EXPECT_TRUE(figure9_bug);
+    EXPECT_NE(tool.summaries().find("other_fn"), nullptr);
+    EXPECT_NE(result.statsJson().find("broken.c"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace rid
