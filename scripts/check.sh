@@ -7,11 +7,18 @@
 # compares threads {1,4} x query-cache {on,off} x tracing {off,on});
 # running the binary twice catches run-to-run nondeterminism that a single
 # in-process comparison cannot (e.g. ASLR-dependent container ordering).
+# The determinism suite also carries the engine differential: the
+# prefix-sharing tree executor vs the enumerate-then-replay reference,
+# byte-identical over the corpus, under budgets and under faults.
 # It then runs the robustness chaos suite (fault injection + budgets),
 # once normally and once under ASan+UBSan (the `asan` preset's build
-# tree, building only the chaos test), refreshes BENCH_performance.json
+# tree, building only the chaos test), runs the engine differential and
+# the tree-executor unit suite under the same sanitizers (the COW store
+# and persistent condition chain are exactly the kind of shared-
+# ownership code ASan exists for), refreshes BENCH_performance.json
 # at the repo root (the microbenchmarks themselves are skipped via a
-# non-matching filter — only the trajectory-record workload runs) and
+# non-matching filter — only the trajectory-record workload runs,
+# including the prefix_off/prefix_on engine comparison) and
 # exercises the tracing path end to end on a small DPM corpus.
 #
 # Usage: scripts/check.sh        (from anywhere inside the repo)
@@ -36,6 +43,13 @@ echo "== sanitizer smoke (ASan+UBSan chaos run) =="
 cmake -B build-asan -S . -DRID_SANITIZE=ON
 cmake --build build-asan -j --target test_robustness_chaos
 ./build-asan/tests/test_robustness_chaos
+
+echo "== sanitizer smoke (ASan+UBSan prefix-sharing engine) =="
+cmake --build build-asan -j --target test_analysis_tree_exec \
+    --target test_analyzer_determinism
+./build-asan/tests/test_analysis_tree_exec
+./build-asan/tests/test_analyzer_determinism \
+    --gtest_filter='AnalyzerDeterminismTest.PrefixSharing*'
 
 echo "== performance trajectory record =="
 RID_BENCH_JSON="$PWD/BENCH_performance.json" \

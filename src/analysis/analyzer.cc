@@ -81,6 +81,17 @@ Analyzer::Analyzer(const ir::Module &mod, summary::SummaryDb &db,
     ins_.entries_computed =
         &m.counter("rid_entries_computed_total",
                    "Path summary entries computed before IPP merging.");
+    ins_.blocks_executed =
+        &m.counter("rid_blocks_executed_total",
+                   "Basic blocks stepped during symbolic execution.");
+    ins_.state_forks =
+        &m.counter("rid_state_forks_total",
+                   "State-set forks at conditional branches "
+                   "(prefix-sharing engine).");
+    ins_.subtrees_pruned =
+        &m.counter("rid_subtrees_pruned_total",
+                   "CFG subtrees skipped on an unsatisfiable path "
+                   "condition (prefix-sharing engine).");
     ins_.solver_queries =
         &m.counter("rid_solver_queries_total", "Solver check() calls.");
     ins_.solver_theory_checks = &m.counter(
@@ -162,6 +173,9 @@ Analyzer::refreshStatsFromRegistry()
     stats_.functions_error = ins_.functions_error->value();
     stats_.paths_enumerated = ins_.paths_enumerated->value();
     stats_.entries_computed = ins_.entries_computed->value();
+    stats_.blocks_executed = ins_.blocks_executed->value();
+    stats_.state_forks = ins_.state_forks->value();
+    stats_.subtrees_pruned = ins_.subtrees_pruned->value();
     stats_.symexec_seconds = ins_.symexec_seconds->sum();
     stats_.ipp_seconds = ins_.ipp_seconds->sum();
     stats_.solver.queries = ins_.solver_queries->value();
@@ -268,6 +282,57 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
         return {};
     };
 
+    std::vector<summary::SummaryEntry> path_entries;
+    bool truncated = false;
+    bool deadline_hit = false;
+    bool path_cap_hit = false;
+    size_t num_paths = 0;
+    uint64_t blocks_executed = 0;
+    uint64_t state_forks = 0;
+    uint64_t subtrees_pruned = 0;
+    double symexec_seconds = 0;
+
+    if (opts_.prefix_sharing) {
+        // Prefix-sharing engine: one depth-first CFG-tree walk replaces
+        // enumerate-then-replay; each tree edge executes once and
+        // infeasible subtrees are skipped as soon as the path condition
+        // becomes unsatisfiable. Output-identical to the replay engine
+        // below (see DESIGN.md, "Prefix-sharing symbolic execution").
+        auto symexec_t0 = std::chrono::steady_clock::now();
+        TreeExecResult tree;
+        {
+            obs::Span symexec_span("phase", "symexec");
+            symexec_span.arg("fn", fn.name());
+            TreeExecOptions tree_opts;
+            tree_opts.max_subcases = opts_.max_subcases;
+            tree_opts.prune_infeasible = opts_.prune_infeasible;
+            tree_opts.budget = budget;
+            tree_opts.max_paths = opts_.max_paths;
+            tree_opts.max_visits = 2;
+            tree_opts.path_threads = opts_.path_threads;
+            tree_opts.tracer = tracer_.get();
+            if (opts_.path_threads > 1)
+                tree_opts.make_solver = [this, budget]() {
+                    return makeSolver(budget);
+                };
+            tree = executeFunctionTree(fn, db_, solver, tree_opts);
+        }
+        symexec_seconds = secondsSince(symexec_t0);
+        fn_solver_stats += tree.worker_solver_stats;
+        truncated = tree.truncated;
+        deadline_hit = tree.deadline_hit;
+        path_cap_hit = tree.path_cap_hit;
+        num_paths = tree.completed.size();
+        blocks_executed = tree.blocks_executed;
+        state_forks = tree.forks;
+        subtrees_pruned = tree.subtrees_pruned;
+        for (auto &outcome : tree.completed)
+            for (auto &e : outcome.entries)
+                path_entries.push_back(std::move(e));
+        if (deadline_hit || timedOut())
+            return degradeToTimeout();
+    } else {
+
     auto paths = enumeratePaths(fn, opts_.max_paths, 2, budget);
     if (paths.deadline_hit || timedOut())
         return degradeToTimeout();
@@ -277,9 +342,8 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
     exec_opts.prune_infeasible = opts_.prune_infeasible;
     exec_opts.budget = budget;
 
-    std::vector<summary::SummaryEntry> path_entries;
-    bool truncated = paths.truncated;
-    bool deadline_hit = false;
+    truncated = paths.truncated;
+    num_paths = paths.paths.size();
     auto symexec_t0 = std::chrono::steady_clock::now();
     {
         obs::Span symexec_span("phase", "symexec");
@@ -330,6 +394,7 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
             for (auto &exec : results) {
                 truncated = truncated || exec.truncated;
                 deadline_hit = deadline_hit || exec.deadline_hit;
+                blocks_executed += exec.blocks_executed;
                 for (auto &e : exec.entries)
                     path_entries.push_back(std::move(e));
             }
@@ -340,6 +405,7 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
                                         exec_opts);
                 truncated = truncated || exec.truncated;
                 deadline_hit = deadline_hit || exec.deadline_hit;
+                blocks_executed += exec.blocks_executed;
                 for (auto &e : exec.entries)
                     path_entries.push_back(std::move(e));
                 if (exec.deadline_hit)
@@ -347,9 +413,11 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
             }
         }
     }
-    double symexec_seconds = secondsSince(symexec_t0);
+    symexec_seconds = secondsSince(symexec_t0);
     if (deadline_hit || timedOut())
         return degradeToTimeout();
+
+    } // engine dispatch
 
     IppOptions ipp_opts;
     ipp_opts.drop_seed = opts_.drop_seed;
@@ -387,15 +455,25 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
 
     fn_solver_stats += solver.stats();
     ins_.functions_analyzed->inc();
-    ins_.paths_enumerated->inc(paths.paths.size());
+    ins_.paths_enumerated->inc(num_paths);
     ins_.entries_computed->inc(num_entries);
+    ins_.blocks_executed->inc(blocks_executed);
+    ins_.state_forks->inc(state_forks);
+    ins_.subtrees_pruned->inc(subtrees_pruned);
     if (truncated) {
         ins_.functions_truncated->inc();
-        recordDiagnostic({fn.name(), FnStatus::Truncated,
-                          "path/subcase cap truncated analysis"});
+        // With pruning the path cap counts feasible completed paths
+        // only; say how many infeasible subtrees were skipped before it
+        // filled, so a "cap hit" on a heavily-pruned function reads
+        // differently from a plain structural explosion.
+        std::string reason = "path/subcase cap truncated analysis";
+        if (path_cap_hit && subtrees_pruned > 0)
+            reason += " after pruning " + std::to_string(subtrees_pruned) +
+                      " infeasible subtrees";
+        recordDiagnostic(
+            {fn.name(), FnStatus::Truncated, std::move(reason)});
     }
-    ins_.paths_per_function->observe(
-        static_cast<double>(paths.paths.size()));
+    ins_.paths_per_function->observe(static_cast<double>(num_paths));
     ins_.symexec_seconds->observe(symexec_seconds);
     ins_.ipp_seconds->observe(ipp_seconds);
     addSolverStats(fn_solver_stats);
@@ -403,13 +481,16 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
     if (opts_.profile_top_n > 0) {
         obs::FunctionCost cost;
         cost.name = fn.name();
-        cost.paths = paths.paths.size();
+        cost.paths = num_paths;
         cost.entries = num_entries;
         cost.truncated = truncated;
         cost.symexec_seconds = symexec_seconds;
         cost.ipp_seconds = ipp_seconds;
         cost.solver_seconds = fn_solver_stats.solveSeconds();
         cost.solver_queries = fn_solver_stats.queries;
+        cost.blocks_executed = blocks_executed;
+        cost.forks = state_forks;
+        cost.subtrees_pruned = subtrees_pruned;
         std::lock_guard<std::mutex> lock(stats_mutex_);
         function_costs_.push_back(std::move(cost));
     }

@@ -73,6 +73,12 @@ struct AnalyzerOptions
     int max_cat2_branches = 3;
     /** Prune infeasible states during symbolic execution. */
     bool prune_infeasible = true;
+    /** Execute each function as one prefix-sharing CFG-tree walk
+     *  (analysis/symexec.h, executeFunctionTree) instead of enumerating
+     *  paths and replaying each from the entry block. Output-identical
+     *  to the replay pipeline — kept as a toggle for differential
+     *  testing and as the reference semantics. */
+    bool prefix_sharing = true;
     /** Classify first and skip category-3 functions (Section 5.2).
      *  Disabled: every defined function is fully analyzed. */
     bool classify = true;
@@ -140,6 +146,15 @@ struct AnalyzerStats
     size_t functions_defaulted = 0;
     size_t paths_enumerated = 0;
     size_t entries_computed = 0;
+    /** Basic blocks stepped during symbolic execution. Under prefix
+     *  sharing each CFG-tree edge counts once; under replay a shared
+     *  prefix counts once per path replaying it. */
+    size_t blocks_executed = 0;
+    /** State-set forks at conditional branches (prefix sharing only). */
+    size_t state_forks = 0;
+    /** CFG subtrees skipped because their path condition was
+     *  unsatisfiable (prefix sharing with pruning enabled only). */
+    size_t subtrees_pruned = 0;
     size_t functions_truncated = 0;
     /** Functions degraded to the default summary by budget expiry. */
     size_t functions_timeout = 0;
@@ -224,6 +239,9 @@ class Analyzer
         obs::Counter *solver_budget_stops;
         obs::Counter *paths_enumerated;
         obs::Counter *entries_computed;
+        obs::Counter *blocks_executed;
+        obs::Counter *state_forks;
+        obs::Counter *subtrees_pruned;
         obs::Counter *solver_queries;
         obs::Counter *solver_theory_checks;
         obs::Counter *solver_branches;

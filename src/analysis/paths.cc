@@ -9,8 +9,6 @@
 
 namespace rid::analysis {
 
-namespace {
-
 bool
 blockCallsAssertFail(const ir::BasicBlock &bb)
 {
@@ -22,6 +20,8 @@ blockCallsAssertFail(const ir::BasicBlock &bb)
     }
     return false;
 }
+
+namespace {
 
 struct Enumerator
 {

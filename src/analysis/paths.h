@@ -55,6 +55,12 @@ PathEnumResult enumeratePaths(const ir::Function &fn, int max_paths,
                               int max_visits = 2,
                               const obs::Budget *budget = nullptr);
 
+/** True if @p bb contains an __assert_fail call — such blocks model
+ *  assertion-failure exits and are never part of an enumerated path.
+ *  Shared between the enumerator and the prefix-sharing executor so
+ *  both skip exactly the same blocks. */
+bool blockCallsAssertFail(const ir::BasicBlock &bb);
+
 } // namespace rid::analysis
 
 #endif // RID_ANALYSIS_PATHS_H

@@ -1,12 +1,18 @@
 #include "analysis/symexec.h"
 
+#include <atomic>
 #include <cassert>
+#include <future>
 #include <map>
+#include <mutex>
+#include <utility>
 
+#include "analysis/cow.h"
 #include "frontend/lower.h"
 #include "obs/budget.h"
 #include "obs/failpoint.h"
 #include "obs/trace.h"
+#include "smt/cond_chain.h"
 #include "summary/summary.h"
 
 namespace rid::analysis {
@@ -48,16 +54,29 @@ struct State
     }
 };
 
-/** Evaluate an operand under a state's vmap. */
+const Expr *
+vmapFind(const std::map<std::string, Expr> &vmap, const std::string &name)
+{
+    auto it = vmap.find(name);
+    return it == vmap.end() ? nullptr : &it->second;
+}
+
+const Expr *
+vmapFind(const CowMap<std::string, Expr> &vmap, const std::string &name)
+{
+    return vmap.lookup(name);
+}
+
+/** Evaluate an operand under a state's vmap (plain map for the replay
+ *  engine, copy-on-write map for the prefix-sharing engine). */
+template <class VMap>
 Expr
-valueOf(const ir::Value &v, const ir::Function &fn,
-        const std::map<std::string, Expr> &vmap)
+valueOf(const ir::Value &v, const ir::Function &fn, const VMap &vmap)
 {
     switch (v.kind()) {
       case ir::ValueKind::Var: {
-        auto it = vmap.find(v.varName());
-        if (it != vmap.end())
-            return it->second;
+        if (const Expr *bound = vmapFind(vmap, v.varName()))
+            return *bound;
         // Default valuation: formal arguments are argument atoms, other
         // names are unconstrained locals.
         if (fn.isParam(v.varName()))
@@ -220,6 +239,51 @@ projectEntryLocals(SummaryEntry &entry)
     entry.normalizeChanges();
 }
 
+/**
+ * Finish one state that reached a Return: append the return-value
+ * constraint to @p parts, project locals out and stamp provenance.
+ * Shared by both engines so the emitted entries are identical.
+ */
+SummaryEntry
+finishReturnState(const Expr &retval, std::vector<Formula> parts,
+                  summary::ChangeMap changes, summary::StoreSet stores,
+                  std::vector<int> change_lines, int return_line,
+                  int path_index)
+{
+    SummaryEntry entry;
+    entry.changes = std::move(changes);
+    entry.stores = std::move(stores);
+    if (retval) {
+        if (retval.isConst()) {
+            entry.ret = retval;
+            parts.push_back(Formula::lit(
+                Expr::cmp(smt::Pred::Eq, Expr::ret(), retval)));
+        } else if (retval.isBoolean()) {
+            // Returning a comparison: [0] is its 0/1 encoding.
+            entry.ret = Expr::ret();
+            Formula as_one = Formula::conj(
+                {Formula::lit(retval),
+                 Formula::lit(Expr::cmp(smt::Pred::Eq, Expr::ret(),
+                                        Expr::intConst(1)))});
+            Formula as_zero = Formula::conj(
+                {Formula::lit(retval.negated()),
+                 Formula::lit(Expr::cmp(smt::Pred::Eq, Expr::ret(),
+                                        Expr::intConst(0)))});
+            parts.push_back(Formula::disj({as_one, as_zero}));
+        } else {
+            entry.ret = Expr::ret();
+            parts.push_back(Formula::lit(
+                Expr::cmp(smt::Pred::Eq, Expr::ret(), retval)));
+        }
+    }
+    entry.cons = Formula::conj(std::move(parts));
+    projectEntryLocals(entry);
+    entry.origin.change_lines = std::move(change_lines);
+    entry.origin.return_line = return_line;
+    entry.origin.path_index = path_index;
+    return entry;
+}
+
 } // anonymous namespace
 
 smt::Formula
@@ -260,6 +324,7 @@ executePath(const ir::Function &fn, const Path &path, int path_index,
         }
         ir::BlockId b = path.blocks[step];
         const auto &bb = fn.block(b);
+        result.blocks_executed++;
         for (size_t idx = 0; idx < bb.instrs.size(); idx++) {
             const ir::Instruction &in = bb.instrs[idx];
             switch (in.op) {
@@ -413,48 +478,16 @@ executePath(const ir::Function &fn, const Path &path, int path_index,
               }
               case ir::Opcode::Return: {
                 for (auto &s : states) {
-                    SummaryEntry entry;
-                    entry.changes = s.changes;
-                    entry.stores = s.stores;
                     Expr retval = valueOf(in.a, fn, s.vmap);
                     std::vector<Formula> parts;
+                    parts.reserve(s.cons_parts.size());
                     for (auto &p : s.cons_parts)
                         parts.push_back(p.formula);
-                    if (retval) {
-                        if (retval.isConst()) {
-                            entry.ret = retval;
-                            parts.push_back(Formula::lit(Expr::cmp(
-                                smt::Pred::Eq, Expr::ret(), retval)));
-                        } else if (retval.isBoolean()) {
-                            // Returning a comparison: [0] is its 0/1
-                            // encoding.
-                            entry.ret = Expr::ret();
-                            Formula as_one = Formula::conj(
-                                {Formula::lit(retval),
-                                 Formula::lit(Expr::cmp(
-                                     smt::Pred::Eq, Expr::ret(),
-                                     Expr::intConst(1)))});
-                            Formula as_zero = Formula::conj(
-                                {Formula::lit(retval.negated()),
-                                 Formula::lit(Expr::cmp(
-                                     smt::Pred::Eq, Expr::ret(),
-                                     Expr::intConst(0)))});
-                            parts.push_back(
-                                Formula::disj({as_one, as_zero}));
-                        } else {
-                            entry.ret = Expr::ret();
-                            parts.push_back(Formula::lit(Expr::cmp(
-                                smt::Pred::Eq, Expr::ret(), retval)));
-                        }
-                    }
-                    entry.cons = Formula::conj(std::move(parts));
-                    projectEntryLocals(entry);
-                    entry.origin.change_lines = s.change_lines;
-                    entry.origin.return_line = in.line;
-                    entry.origin.path_index = path_index;
                     if (static_cast<int>(result.entries.size()) <
                         opts.max_subcases) {
-                        result.entries.push_back(std::move(entry));
+                        result.entries.push_back(finishReturnState(
+                            retval, std::move(parts), s.changes, s.stores,
+                            s.change_lines, in.line, path_index));
                     } else {
                         result.truncated = true;
                     }
@@ -473,6 +506,594 @@ executePath(const ir::Function &fn, const Path &path, int path_index,
     // A path must end in a Return (verified IR guarantees a terminator on
     // every block; enumeration stops at Return blocks).
     return result;
+}
+
+namespace {
+
+/** One prefix-sharing execution state. The path condition is a
+ *  persistent chain and the value map a copy-on-write overlay, so a
+ *  fork at a branch is O(1) instead of O(path so far). */
+struct TreeState
+{
+    smt::CondChain cons;
+    summary::ChangeMap changes;
+    summary::StoreSet stores;
+    CowMap<std::string, Expr> vmap;
+    std::vector<int> change_lines;
+    /** Per-call-site execution counts, for deterministic temp naming. */
+    std::map<const ir::Instruction *, int> call_occurrence;
+};
+
+/**
+ * Prefix-sharing depth-first executor. Walks the CFG tree the path
+ * enumerator would unfold (same loop-unroll bound, same assert-fail
+ * skipping, same child order), executing every tree edge exactly once
+ * and forking the state set at conditional branches. Completed paths
+ * surface in enumeration order with the exact entries replay would
+ * produce, so the two engines are output-identical; see DESIGN.md.
+ */
+class TreeExecutor
+{
+  public:
+    TreeExecutor(const ir::Function &fn, const summary::SummaryDb &db,
+                 const TreeExecOptions &opts)
+        : fn_(fn), db_(db), opts_(opts)
+    {}
+
+    TreeExecResult
+    run(smt::Solver &solver)
+    {
+        TreeExecResult res = opts_.path_threads > 1 && opts_.make_solver
+                                 ? runParallel(solver)
+                                 : runSequential(solver);
+        finalize(res);
+        return res;
+    }
+
+  private:
+    /** Mutable context of one tree walk (sequential or one worker). */
+    struct RunCtx
+    {
+        smt::Solver *solver;
+        std::vector<int> *visits;
+        TreeExecResult *res;
+        int path_cap;
+        bool stop = false;
+    };
+
+    /** How one block's instruction list left the state set. */
+    struct BlockStep
+    {
+        enum Kind { Returned, Continue, Dead };
+        Kind kind = Dead;
+        /** Returned: the completed path's entries. */
+        PathOutcome outcome;
+        /** Continue: viable children in DFS order, branch literal
+         *  applied and infeasible states already pruned. */
+        std::vector<std::pair<ir::BlockId, std::vector<TreeState>>>
+            children;
+    };
+
+    /** One node of the phase-A frontier: either a completed path (its
+     *  outcome is final) or a pending subtree root. */
+    struct WorkUnit
+    {
+        bool completed = false;
+        PathOutcome outcome;
+        ir::BlockId block = 0;
+        std::vector<TreeState> states;
+        std::vector<int> visits;
+    };
+
+    /** Mirror of the path enumerator's per-child entry checks. */
+    bool
+    enterable(const RunCtx &ctx, ir::BlockId b) const
+    {
+        return (*ctx.visits)[b] < opts_.max_visits &&
+               !blockCallsAssertFail(fn_.block(b));
+    }
+
+    bool
+    pruneState(RunCtx &ctx, const TreeState &s) const
+    {
+        return opts_.prune_infeasible && !ctx.solver->isSatChain(s.cons);
+    }
+
+    std::vector<TreeState>
+    initialStates() const
+    {
+        TreeState initial;
+        for (const auto &p : fn_.params())
+            initial.vmap.set(p, Expr::arg(p));
+        std::vector<TreeState> states;
+        states.push_back(std::move(initial));
+        return states;
+    }
+
+    /** Stamp the structural truncation flags and globally consistent
+     *  path indices once the completed list is final. */
+    void
+    finalize(TreeExecResult &res) const
+    {
+        if (static_cast<int>(res.completed.size()) >= opts_.max_paths) {
+            res.truncated = true;
+            res.path_cap_hit = true;
+        }
+        for (size_t i = 0; i < res.completed.size(); i++)
+            for (auto &e : res.completed[i].entries)
+                e.origin.path_index = static_cast<int>(i);
+    }
+
+    BlockStep stepBlock(RunCtx &ctx, ir::BlockId b,
+                        std::vector<TreeState> states);
+    void dfs(RunCtx &ctx, ir::BlockId b, std::vector<TreeState> states);
+    TreeExecResult runSequential(smt::Solver &solver);
+    TreeExecResult runParallel(smt::Solver &solver);
+
+    const ir::Function &fn_;
+    const summary::SummaryDb &db_;
+    const TreeExecOptions &opts_;
+};
+
+TreeExecutor::BlockStep
+TreeExecutor::stepBlock(RunCtx &ctx, ir::BlockId b,
+                        std::vector<TreeState> states)
+{
+    const auto &bb = fn_.block(b);
+    ctx.res->blocks_executed++;
+    BlockStep step;
+    for (size_t idx = 0; idx < bb.instrs.size(); idx++) {
+        const ir::Instruction &in = bb.instrs[idx];
+        switch (in.op) {
+          case ir::Opcode::Assign:
+            for (auto &s : states)
+                s.vmap.set(in.dst, valueOf(in.a, fn_, s.vmap));
+            break;
+          case ir::Opcode::FieldLoad:
+            for (auto &s : states) {
+                Expr base = valueOf(in.a, fn_, s.vmap);
+                if (base.isConst() || base.isBoolean()) {
+                    // Field of a constant: unconstrained.
+                    s.vmap.set(in.dst,
+                               Expr::temp("f" + std::to_string(b) + "_" +
+                                          std::to_string(idx)));
+                } else {
+                    s.vmap.set(in.dst, Expr::field(base, in.field));
+                }
+            }
+            break;
+          case ir::Opcode::FieldStore:
+            // Extension (Section 5.4): a store to a caller-visible
+            // structure is an observable path effect. Stores to local
+            // objects are invisible outside and are dropped.
+            for (auto &s : states) {
+                Expr base = valueOf(in.a, fn_, s.vmap);
+                if (base && !base.isConst() && !base.isBoolean() &&
+                    !base.mentionsLocalState()) {
+                    s.stores.insert(Expr::field(base, in.field));
+                }
+            }
+            break;
+          case ir::Opcode::Random:
+            for (auto &s : states) {
+                int occ = s.call_occurrence[&in]++;
+                s.vmap.set(in.dst,
+                           Expr::temp("r" + std::to_string(b) + "_" +
+                                      std::to_string(idx) + "_" +
+                                      std::to_string(occ)));
+            }
+            break;
+          case ir::Opcode::Cmp:
+            for (auto &s : states) {
+                Expr l = valueOf(in.a, fn_, s.vmap);
+                Expr r = valueOf(in.b, fn_, s.vmap);
+                Expr c = makeCmp(in.pred, l, r);
+                if (c)
+                    s.vmap.set(in.dst, c);
+                else
+                    s.vmap.set(in.dst,
+                               Expr::temp("b" + std::to_string(b) + "_" +
+                                          std::to_string(idx)));
+            }
+            break;
+          case ir::Opcode::Branch:
+            // Terminator: one unconditional successor.
+            if (enterable(ctx, in.target))
+                step.children.emplace_back(in.target, std::move(states));
+            step.kind = step.children.empty() ? BlockStep::Dead
+                                              : BlockStep::Continue;
+            return step;
+          case ir::Opcode::CondBranch: {
+            // Terminator: fork the state set per viable side. The side
+            // order matches the enumerator's successor order, and the
+            // condition literal replaces any literal this instruction
+            // asserted on an earlier (unrolled) execution, exactly as
+            // replay does with its tagged part vector (Figure 6).
+            std::vector<ir::BlockId> sides;
+            for (ir::BlockId sb : {in.target, in.target_else})
+                if (enterable(ctx, sb))
+                    sides.push_back(sb);
+            if (sides.size() > 1)
+                for (auto &s : states)
+                    s.vmap.freeze();  // forks share, not copy, the env
+            for (size_t k = 0; k < sides.size(); k++) {
+                if (k > 0)
+                    ctx.res->forks++;
+                std::vector<TreeState> side_states =
+                    k + 1 < sides.size() ? states : std::move(states);
+                bool taken = sides[k] == in.target;
+                std::vector<TreeState> kept;
+                for (auto &s : side_states) {
+                    Expr cond;
+                    if (in.a.isVar())
+                        cond = valueOf(in.a, fn_, s.vmap);
+                    Formula lit = branchCondition(cond, taken);
+                    s.cons = s.cons.withoutSource(&in).extended(&in, lit);
+                    if (!pruneState(ctx, s))
+                        kept.push_back(std::move(s));
+                }
+                if (kept.empty()) {
+                    // Infeasible side: the whole subtree below it is
+                    // skipped. Replay enumerates and re-executes every
+                    // path through it just to watch each die here.
+                    ctx.res->subtrees_pruned++;
+                    continue;
+                }
+                step.children.emplace_back(sides[k], std::move(kept));
+            }
+            step.kind = step.children.empty() ? BlockStep::Dead
+                                              : BlockStep::Continue;
+            return step;
+          }
+          case ir::Opcode::Call: {
+            if (in.callee == frontend::kAssertFailFn) {
+                states.clear();
+                break;
+            }
+            const summary::FunctionSummary *callee = db_.find(in.callee);
+            std::vector<TreeState> next;
+            for (auto &s : states) {
+                std::vector<Expr> actuals;
+                actuals.reserve(in.args.size());
+                for (const auto &a : in.args)
+                    actuals.push_back(valueOf(a, fn_, s.vmap));
+                int occ = s.call_occurrence[&in]++;
+                std::string temp_name = "c" + std::to_string(b) + "_" +
+                                        std::to_string(idx) + "_" +
+                                        std::to_string(occ);
+
+                if (!callee) {
+                    // No summary at all: default behaviour inline.
+                    if (!in.dst.empty())
+                        s.vmap.set(in.dst, Expr::temp(temp_name));
+                    next.push_back(std::move(s));
+                    continue;
+                }
+                if (callee->entries.size() > 1)
+                    s.vmap.freeze();  // entry forks share the env
+                for (const auto &entry : callee->entries) {
+                    if (static_cast<int>(next.size()) >=
+                        opts_.max_subcases) {
+                        ctx.res->truncated = true;
+                        break;
+                    }
+                    // Instantiate formals first, then decide how the
+                    // return value is represented (Algorithm 1).
+                    SummaryEntry inst = summary::instantiate(
+                        entry, callee->params, actuals, Expr());
+                    Expr res;
+                    if (inst.ret) {
+                        bool opaque =
+                            inst.ret.containsIf([](const Expr &e) {
+                                return e.kind() == ExprKind::Ret;
+                            }) ||
+                            inst.ret.mentionsLocalState();
+                        res = opaque ? Expr::temp(temp_name) : inst.ret;
+                    } else if (!in.dst.empty()) {
+                        res = Expr::temp(temp_name);
+                    }
+                    if (res) {
+                        inst.cons = inst.cons.substitute(Expr::ret(), res);
+                        summary::ChangeMap keyed;
+                        for (const auto &[rc, d] : inst.changes)
+                            keyed[rc.substitute(Expr::ret(), res)] += d;
+                        inst.changes = std::move(keyed);
+                    }
+
+                    TreeState forked = s;
+                    forked.cons = s.cons.extended(nullptr, inst.cons);
+                    for (const auto &[rc, delta] : inst.changes) {
+                        forked.changes[rc] += delta;
+                        forked.change_lines.push_back(in.line);
+                    }
+                    for (const auto &store : inst.stores) {
+                        if (!store.mentionsLocalState())
+                            forked.stores.insert(store);
+                    }
+                    if (!in.dst.empty())
+                        forked.vmap.set(in.dst,
+                                        res ? res : Expr::temp(temp_name));
+                    if (!pruneState(ctx, forked))
+                        next.push_back(std::move(forked));
+                }
+            }
+            states = std::move(next);
+            break;
+          }
+          case ir::Opcode::Return: {
+            // One feasible path completed (replay fires this site once
+            // per executed path).
+            obs::failpoint("analysis.symexec.path");
+            for (auto &s : states) {
+                Expr retval = valueOf(in.a, fn_, s.vmap);
+                if (static_cast<int>(step.outcome.entries.size()) <
+                    opts_.max_subcases) {
+                    step.outcome.entries.push_back(finishReturnState(
+                        retval, s.cons.parts(), s.changes, s.stores,
+                        s.change_lines, in.line, 0));
+                } else {
+                    ctx.res->truncated = true;
+                }
+            }
+            step.kind = BlockStep::Returned;
+            return step;
+          }
+        }
+        if (states.empty()) {
+            // Every state died mid-block (an unsatisfiable call entry
+            // constraint): the continuation below is unreachable.
+            ctx.res->subtrees_pruned++;
+            step.kind = BlockStep::Dead;
+            return step;
+        }
+        if (static_cast<int>(states.size()) > opts_.max_subcases) {
+            states.resize(opts_.max_subcases);
+            ctx.res->truncated = true;
+        }
+    }
+    // Verified IR guarantees a terminator ended the block above.
+    assert(false && "block without terminator");
+    step.kind = BlockStep::Dead;
+    return step;
+}
+
+void
+TreeExecutor::dfs(RunCtx &ctx, ir::BlockId b, std::vector<TreeState> states)
+{
+    if (ctx.stop)
+        return;
+    if (opts_.budget && opts_.budget->expired()) {
+        ctx.res->deadline_hit = true;
+        ctx.stop = true;
+        return;
+    }
+    if (static_cast<int>(ctx.res->completed.size()) >= ctx.path_cap) {
+        ctx.res->truncated = true;
+        ctx.res->path_cap_hit = true;
+        ctx.stop = true;
+        return;
+    }
+    (*ctx.visits)[b]++;
+    BlockStep step = stepBlock(ctx, b, std::move(states));
+    switch (step.kind) {
+      case BlockStep::Returned:
+        ctx.res->completed.push_back(std::move(step.outcome));
+        break;
+      case BlockStep::Continue:
+        for (auto &[child, child_states] : step.children) {
+            if (ctx.stop)
+                break;
+            dfs(ctx, child, std::move(child_states));
+        }
+        break;
+      case BlockStep::Dead:
+        break;
+    }
+    (*ctx.visits)[b]--;
+}
+
+TreeExecResult
+TreeExecutor::runSequential(smt::Solver &solver)
+{
+    TreeExecResult res;
+    std::vector<int> visits(fn_.numBlocks(), 0);
+    RunCtx ctx{&solver, &visits, &res, opts_.max_paths};
+    if (enterable(ctx, 0))
+        dfs(ctx, 0, initialStates());
+    return res;
+}
+
+TreeExecResult
+TreeExecutor::runParallel(smt::Solver &solver)
+{
+    TreeExecResult res;  // phase-A flags and counters accumulate here
+    std::vector<WorkUnit> units;
+    std::vector<int> root_visits(fn_.numBlocks(), 0);
+    {
+        RunCtx probe{&solver, &root_visits, &res, opts_.max_paths};
+        if (enterable(probe, 0)) {
+            WorkUnit root;
+            root.block = 0;
+            root.states = initialStates();
+            root.visits = root_visits;
+            units.push_back(std::move(root));
+        }
+    }
+
+    // Phase A (sequential): repeatedly expand the leftmost pending unit
+    // — exactly the block the sequential walk would execute next — until
+    // enough independent sibling subtrees are exposed to feed the
+    // workers. The unit list is always completed-outcomes first, pending
+    // subtrees after, in DFS order, which makes the phase-C merge a
+    // plain in-order concatenation.
+    size_t first_pending = 0;
+    size_t completed_count = 0;
+    const size_t target = static_cast<size_t>(opts_.path_threads) * 4;
+    while (true) {
+        while (first_pending < units.size() &&
+               units[first_pending].completed)
+            first_pending++;
+        if (first_pending >= units.size())
+            break;  // tree fully executed during expansion
+        if (units.size() - first_pending >= target)
+            break;  // enough parallel work exposed
+        if (opts_.budget && opts_.budget->expired()) {
+            res.deadline_hit = true;
+            break;
+        }
+        if (completed_count >= static_cast<size_t>(opts_.max_paths)) {
+            // Path cap consumed while expanding: the sequential walk
+            // stops here; pending subtrees stay unexplored.
+            res.truncated = true;
+            res.path_cap_hit = true;
+            units.resize(first_pending);
+            break;
+        }
+        WorkUnit unit = std::move(units[first_pending]);
+        RunCtx ctx{&solver, &unit.visits, &res, opts_.max_paths};
+        unit.visits[unit.block]++;
+        BlockStep step = stepBlock(ctx, unit.block, std::move(unit.states));
+        switch (step.kind) {
+          case BlockStep::Returned: {
+            WorkUnit done;
+            done.completed = true;
+            done.outcome = std::move(step.outcome);
+            units[first_pending] = std::move(done);
+            completed_count++;
+            break;
+          }
+          case BlockStep::Continue: {
+            std::vector<WorkUnit> children;
+            children.reserve(step.children.size());
+            for (auto &[child, child_states] : step.children) {
+                WorkUnit cu;
+                cu.block = child;
+                cu.states = std::move(child_states);
+                cu.visits = unit.visits;
+                children.push_back(std::move(cu));
+            }
+            units.erase(units.begin() +
+                        static_cast<ptrdiff_t>(first_pending));
+            units.insert(units.begin() +
+                             static_cast<ptrdiff_t>(first_pending),
+                         std::make_move_iterator(children.begin()),
+                         std::make_move_iterator(children.end()));
+            break;
+          }
+          case BlockStep::Dead:
+            units.erase(units.begin() +
+                        static_cast<ptrdiff_t>(first_pending));
+            break;
+        }
+    }
+
+    // Phase B (parallel): each pending subtree runs a full local walk on
+    // its own solver; results are kept per unit index so phase C can
+    // merge them back in deterministic DFS order.
+    size_t n_pending = units.size() - first_pending;
+    std::vector<TreeExecResult> worker_res(n_pending);
+    if (n_pending > 0 && !res.deadline_hit) {
+        std::atomic<size_t> cursor{0};
+        std::mutex merge_mutex;
+        std::exception_ptr worker_fault;
+        smt::Solver::Stats wstats;
+        int workers = std::min<int>(opts_.path_threads,
+                                    static_cast<int>(n_pending));
+        std::vector<std::future<void>> futures;
+        futures.reserve(static_cast<size_t>(workers));
+        for (int w = 0; w < workers; w++) {
+            futures.push_back(std::async(std::launch::async, [&]() {
+                obs::ScopedTracer scoped(opts_.tracer);
+                // Thread-local failpoint context does not inherit
+                // across threads; re-establish it per worker.
+                obs::FailpointScope worker_scope(fn_.name());
+                smt::Solver local_solver = opts_.make_solver();
+                try {
+                    while (true) {
+                        size_t i = cursor.fetch_add(1);
+                        if (i >= n_pending)
+                            break;
+                        WorkUnit &u = units[first_pending + i];
+                        RunCtx wctx{&local_solver, &u.visits,
+                                    &worker_res[i], opts_.max_paths};
+                        dfs(wctx, u.block, std::move(u.states));
+                        if (static_cast<int>(
+                                worker_res[i].completed.size()) >=
+                            opts_.max_paths) {
+                            worker_res[i].truncated = true;
+                            worker_res[i].path_cap_hit = true;
+                        }
+                    }
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(merge_mutex);
+                    if (!worker_fault)
+                        worker_fault = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(merge_mutex);
+                wstats += local_solver.stats();
+            }));
+        }
+        for (auto &f : futures)
+            f.get();
+        if (worker_fault)
+            std::rethrow_exception(worker_fault);
+        res.worker_solver_stats = wstats;
+    }
+
+    // Phase C: in-order merge under the global path cap. Everything
+    // before first_pending is a completed path in DFS order.
+    for (size_t i = 0; i < first_pending; i++)
+        res.completed.push_back(std::move(units[i].outcome));
+    for (auto &wr : worker_res) {
+        int remaining = opts_.max_paths -
+                        static_cast<int>(res.completed.size());
+        if (remaining <= 0) {
+            // The cap landed on an earlier subtree; this one's results
+            // are speculative work the sequential walk never does.
+            res.truncated = true;
+            res.path_cap_hit = true;
+            break;
+        }
+        bool within_cap =
+            static_cast<int>(wr.completed.size()) <= remaining &&
+            !wr.path_cap_hit;
+        int take = std::min<int>(remaining,
+                                 static_cast<int>(wr.completed.size()));
+        for (int k = 0; k < take; k++)
+            res.completed.push_back(std::move(wr.completed[k]));
+        if (within_cap) {
+            res.truncated = res.truncated || wr.truncated;
+        } else {
+            // The global cap lands inside this subtree: the sequential
+            // walk stops exactly at the cap, and anything the worker
+            // saw beyond it is masked by the cap's own truncation.
+            res.truncated = true;
+            res.path_cap_hit = true;
+        }
+        res.deadline_hit = res.deadline_hit || wr.deadline_hit;
+        res.blocks_executed += wr.blocks_executed;
+        res.forks += wr.forks;
+        res.subtrees_pruned += wr.subtrees_pruned;
+    }
+    return res;
+}
+
+} // anonymous namespace
+
+TreeExecResult
+executeFunctionTree(const ir::Function &fn, const summary::SummaryDb &db,
+                    smt::Solver &solver, const TreeExecOptions &opts)
+{
+    assert(!fn.isDeclaration());
+    // The tree walk subsumes path discovery, so it owns the enumeration
+    // failpoint as well as the per-path one.
+    obs::failpoint("analysis.paths.enumerate");
+    obs::Span span("phase", "symexec-tree");
+    span.arg("fn", fn.name());
+    TreeExecutor exec(fn, db, opts);
+    TreeExecResult res = exec.run(solver);
+    span.arg("paths", std::to_string(res.completed.size()));
+    return res;
 }
 
 } // namespace rid::analysis

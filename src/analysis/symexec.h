@@ -14,6 +14,8 @@
 #ifndef RID_ANALYSIS_SYMEXEC_H
 #define RID_ANALYSIS_SYMEXEC_H
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,10 @@
 #include "ir/function.h"
 #include "smt/solver.h"
 #include "summary/db.h"
+
+namespace rid::obs {
+class Tracer;
+}
 
 namespace rid::analysis {
 
@@ -47,6 +53,10 @@ struct ExecResult
      *  timing-dependent; the caller must discard them and degrade the
      *  function rather than merge them into its summary. */
     bool deadline_hit = false;
+    /** Basic blocks stepped while executing this path. Under replay a
+     *  shared prefix is re-stepped once per path; the prefix-sharing
+     *  engine's counter measures the redundancy it removes. */
+    uint64_t blocks_executed = 0;
 };
 
 /**
@@ -70,6 +80,78 @@ ExecResult executePath(const ir::Function &fn, const Path &path,
  * testing and used by executePath().
  */
 smt::Formula projectLocals(const smt::Formula &cons);
+
+/** Options of the prefix-sharing tree executor. */
+struct TreeExecOptions
+{
+    /** Cap on summary entries / live states per path (as ExecOptions). */
+    int max_subcases = 10;
+    /** Prune a state as soon as its condition becomes unsatisfiable;
+     *  with prefix sharing this also skips the whole CFG subtree below
+     *  an infeasible branch side. */
+    bool prune_infeasible = true;
+    /** Checked once per executed tree node (the replay pipeline checks
+     *  once per enumerated block and once per replayed block). */
+    const obs::Budget *budget = nullptr;
+    /** Cap on completed paths; with pruning enabled only feasible
+     *  completed paths count against it. */
+    int max_paths = 100;
+    /** Loop unrolling: max times one block may appear on a path. */
+    int max_visits = 2;
+    /** Worker threads for subtree-level parallelism (<=1: sequential). */
+    int path_threads = 1;
+    /** Per-worker solver factory; required when path_threads > 1 (the
+     *  shared caller solver is not thread-safe). */
+    std::function<smt::Solver()> make_solver;
+    /** Tracer re-established inside each worker thread; may be null. */
+    obs::Tracer *tracer = nullptr;
+};
+
+/** The summary entries of one completed feasible path, in the order the
+ *  replay engine would emit them. */
+struct PathOutcome
+{
+    std::vector<summary::SummaryEntry> entries;
+};
+
+struct TreeExecResult
+{
+    /** Completed paths in DFS order — outcome i holds exactly the
+     *  entries executePath would produce for the i-th feasible path. */
+    std::vector<PathOutcome> completed;
+    /** A deterministic cap (max_paths or max_subcases) cut the tree. */
+    bool truncated = false;
+    /** Specifically the feasible-path cap was consumed (drives the
+     *  enriched truncation diagnostic). */
+    bool path_cap_hit = false;
+    /** Budget expired mid-tree; results are partial and timing-dependent
+     *  and must be discarded by the caller. */
+    bool deadline_hit = false;
+    /** Basic blocks stepped (each CFG-tree edge once). */
+    uint64_t blocks_executed = 0;
+    /** State-set forks performed at conditional branches. */
+    uint64_t forks = 0;
+    /** Branch sides (and mid-block state-set deaths) skipped because the
+     *  path condition became unsatisfiable. */
+    uint64_t subtrees_pruned = 0;
+    /** Aggregated stats of per-worker solvers (path_threads > 1); the
+     *  caller's own solver accumulates sequential work as usual. */
+    smt::Solver::Stats worker_solver_stats;
+};
+
+/**
+ * Execute every path of @p fn in one depth-first walk of the CFG tree,
+ * forking state at conditional branches instead of replaying shared
+ * prefixes per path. Equivalent to enumeratePaths + executePath per
+ * path: completed outcomes appear in enumeration order and concatenate
+ * to the same entry list (infeasible paths contribute no entries under
+ * either engine). With path_threads > 1, independent subtrees execute
+ * on worker threads and are merged back in deterministic DFS order.
+ */
+TreeExecResult executeFunctionTree(const ir::Function &fn,
+                                   const summary::SummaryDb &db,
+                                   smt::Solver &solver,
+                                   const TreeExecOptions &opts);
 
 } // namespace rid::analysis
 

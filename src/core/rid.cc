@@ -82,6 +82,9 @@ RunResult::statsJson() const
     w.endObject();
     w.key("paths_enumerated").value(uint64_t{s.paths_enumerated});
     w.key("entries_computed").value(uint64_t{s.entries_computed});
+    w.key("blocks_executed").value(uint64_t{s.blocks_executed});
+    w.key("state_forks").value(uint64_t{s.state_forks});
+    w.key("subtrees_pruned").value(uint64_t{s.subtrees_pruned});
     w.key("phases").beginObject();
     w.key("classify_seconds").value(s.classify_seconds);
     w.key("analyze_seconds").value(s.analyze_seconds);

@@ -51,12 +51,15 @@ AnalysisProfile::str() const
         std::snprintf(
             line, sizeof(line),
             "  #%-2zu %-40s %9.6fs (symexec %.6fs, ipp %.6fs, solver "
-            "%.6fs/%llu queries) %llu paths, %llu entries%s\n",
+            "%.6fs/%llu queries) %llu paths, %llu entries, %llu blocks, "
+            "%llu pruned%s\n",
             i + 1, f.name.c_str(), f.totalSeconds(), f.symexec_seconds,
             f.ipp_seconds, f.solver_seconds,
             static_cast<unsigned long long>(f.solver_queries),
             static_cast<unsigned long long>(f.paths),
             static_cast<unsigned long long>(f.entries),
+            static_cast<unsigned long long>(f.blocks_executed),
+            static_cast<unsigned long long>(f.subtrees_pruned),
             f.truncated ? " [truncated]" : "");
         out += line;
     }
@@ -83,6 +86,9 @@ AnalysisProfile::json() const
         w.key("solver_queries").value(f.solver_queries);
         w.key("paths").value(f.paths);
         w.key("entries").value(f.entries);
+        w.key("blocks_executed").value(f.blocks_executed);
+        w.key("forks").value(f.forks);
+        w.key("subtrees_pruned").value(f.subtrees_pruned);
         w.key("truncated").value(f.truncated);
         w.endObject();
     }

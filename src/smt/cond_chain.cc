@@ -1,0 +1,210 @@
+#include "smt/cond_chain.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rid::smt {
+
+/**
+ * One retained conjunct. Cumulative data (the conj formula, the
+ * VarSpace after this node's literals, child/flag totals) is computed
+ * once at extension time; the per-node deltas (new_children/new_lits/
+ * new_pendings) let materialize() rebuild the solver's collection
+ * order with pointer walks only.
+ */
+struct CondChain::Node
+{
+    std::shared_ptr<const Node> parent;
+    const void *source = nullptr;
+    Formula part;
+
+    /** Flattened children this part added (post-dedup vs ancestors). */
+    std::vector<Formula> new_children;
+    /** Normalized literals among new_children, in child order. */
+    std::vector<LinLit> new_lits;
+    /** Non-literal (Or) children among new_children, in child order. */
+    std::vector<Formula> new_pendings;
+
+    /** Cumulative VarSpace after normalizing every literal up to and
+     *  including this node's. */
+    VarSpace space;
+    /** Cumulative Formula::conj of all raw parts. */
+    Formula conj;
+
+    bool has_false = false;
+    bool complex = false;
+    int depth = 0;
+};
+
+namespace {
+
+/** The flattened conjunct children @p part contributes — one splice
+ *  level, like Formula::conj (And children are never themselves And
+ *  by the factory invariant). */
+std::vector<Formula>
+flattenPart(const Formula &part)
+{
+    if (part.kind() == FormulaKind::And)
+        return part.children();
+    return {part};
+}
+
+} // anonymous namespace
+
+bool
+CondChain::containsChild(const Node *tip, const Formula &child,
+                         const std::vector<Formula> &pending_new)
+{
+    for (const auto &c : pending_new)
+        if (c.equals(child))
+            return true;
+    for (const auto *n = tip; n; n = n->parent.get())
+        for (const auto &c : n->new_children)
+            if (c.equals(child))
+                return true;
+    return false;
+}
+
+CondChain
+CondChain::extended(const void *source, Formula part) const
+{
+    // Formula::conj drops True parts; dropping them here keeps the
+    // conjunction identical and makes withoutSource on a True part a
+    // no-op removal, which is equivalent.
+    if (part.isTrue())
+        return *this;
+
+    auto node = std::make_shared<Node>();
+    node->parent = tip_;
+    node->source = source;
+    node->part = part;
+    node->depth = depth() + 1;
+    node->has_false = tip_ && tip_->has_false;
+    node->complex = tip_ && tip_->complex;
+    node->space = tip_ ? tip_->space : VarSpace();
+
+    if (part.isFalse() || node->has_false) {
+        node->has_false = true;
+        node->conj = Formula::bottom();
+        return CondChain(std::move(node));
+    }
+
+    for (auto &child : flattenPart(part)) {
+        if (containsChild(tip_.get(), child, node->new_children))
+            continue;  // structural dedup, first occurrence wins
+        switch (child.kind()) {
+          case FormulaKind::Lit: {
+            // Mirrors the solver's And-case collection: literals the
+            // LIA layer cannot normalize stay in the formula (and in
+            // the dedup set) but contribute no constraint.
+            if (auto lit = normalizeCmp(child.literal(), node->space))
+                node->new_lits.push_back(*lit);
+            break;
+          }
+          case FormulaKind::Or:
+            node->new_pendings.push_back(child);
+            break;
+          default:
+            // Not (or a nested And, impossible by the factory
+            // invariant): outside the incremental fast path.
+            node->complex = true;
+            break;
+        }
+        node->new_children.push_back(std::move(child));
+    }
+
+    // Cumulative conjunction. The children are already flattened and
+    // deduped, so Formula::conj re-derives exactly the same node (and
+    // the same fingerprint) Formula::conj(parts()) would.
+    std::vector<Formula> children;
+    for (const auto *n = node.get(); n; n = n->parent.get())
+        for (auto it = n->new_children.rbegin();
+             it != n->new_children.rend(); ++it)
+            children.push_back(*it);
+    std::reverse(children.begin(), children.end());
+    node->conj = Formula::conj(std::move(children));
+
+    return CondChain(std::move(node));
+}
+
+CondChain
+CondChain::withoutSource(const void *source) const
+{
+    bool present = false;
+    for (const auto *n = tip_.get(); n; n = n->parent.get()) {
+        if (n->source == source) {
+            present = true;
+            break;
+        }
+    }
+    if (!present)
+        return *this;
+
+    std::vector<const Node *> keep;
+    for (const auto *n = tip_.get(); n; n = n->parent.get())
+        if (n->source != source)
+            keep.push_back(n);
+    CondChain rebuilt;
+    for (auto it = keep.rbegin(); it != keep.rend(); ++it)
+        rebuilt = rebuilt.extended((*it)->source, (*it)->part);
+    return rebuilt;
+}
+
+Formula
+CondChain::formula() const
+{
+    return tip_ ? tip_->conj : Formula::top();
+}
+
+std::vector<Formula>
+CondChain::parts() const
+{
+    std::vector<Formula> out;
+    for (const auto *n = tip_.get(); n; n = n->parent.get())
+        out.push_back(n->part);
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+int
+CondChain::depth() const
+{
+    return tip_ ? tip_->depth : 0;
+}
+
+bool
+CondChain::isFalse() const
+{
+    return tip_ && tip_->has_false;
+}
+
+bool
+CondChain::complex() const
+{
+    return tip_ && tip_->complex;
+}
+
+void
+CondChain::materialize(std::vector<LinLit> &lits,
+                       std::vector<Formula> &pendings,
+                       VarSpace &space) const
+{
+    lits.clear();
+    pendings.clear();
+    if (!tip_) {
+        space = VarSpace();
+        return;
+    }
+    space = tip_->space;
+    std::vector<const Node *> nodes;
+    for (const auto *n = tip_.get(); n; n = n->parent.get())
+        nodes.push_back(n);
+    for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+        for (const auto &l : (*it)->new_lits)
+            lits.push_back(l);
+        for (const auto &p : (*it)->new_pendings)
+            pendings.push_back(p);
+    }
+}
+
+} // namespace rid::smt

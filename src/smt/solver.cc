@@ -169,6 +169,83 @@ Solver::isSat(const Formula &f)
     return check(f) != SatResult::Unsat;
 }
 
+SatResult
+Solver::checkChain(const CondChain &chain)
+{
+    if (chain.complex()) {
+        // A part outside NNF {Lit, And, Or}: the incremental literal
+        // snapshot would not match the batch collection order. Never
+        // produced by the executors; decided by the batch path.
+        return check(chain.formula());
+    }
+    stats_.queries++;
+    Formula f = chain.formula();
+    if (f.isTrue())
+        return SatResult::Sat;
+    if (f.isFalse())
+        return SatResult::Unsat;
+    obs::failpoint("smt.solver.check");
+    // Same budget gate as check(): fuel before the cache, Unknown
+    // without polluting shared verdicts.
+    if (budget_ && (!budget_->consumeFuel() || budget_->expiredNow())) {
+        stats_.budget_stops++;
+        stats_.unknowns++;
+        return SatResult::Unknown;
+    }
+    obs::Span span(opts_.trace_queries ? obs::currentTracer() : nullptr,
+                   "smt", "solver-query");
+    auto t0 = std::chrono::steady_clock::now();
+    SatResult r;
+    bool cached_hit = false;
+    if (cache_) {
+        if (auto cached = cache_->lookup(f)) {
+            stats_.cache_hits++;
+            cached_hit = true;
+            r = *cached;
+        } else {
+            stats_.cache_misses++;
+        }
+    }
+    if (!cached_hit) {
+        // The chain already holds the literals check() would collect
+        // from nnf(f)'s top level, in the same order and against the
+        // same VarSpace id assignment; only pending disjunctions are
+        // left for the branch enumerator.
+        std::vector<LinLit> acc;
+        std::vector<Formula> pendings;
+        VarSpace space;
+        chain.materialize(acc, pendings, space);
+        int budget = opts_.max_branches;
+        if (pendings.empty()) {
+            r = theoryCheck(acc);
+        } else {
+            // conj of the pending Ors reproduces the single-pending
+            // recursion / first-Or distribution of the And case.
+            r = enumerate(Formula::conj(std::move(pendings)), acc, space,
+                          budget);
+        }
+        if (cache_)
+            cache_->insert(f, r);
+    }
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    stats_.solve_ns += ns;
+    if (latency_hist_)
+        latency_hist_->observe(ns * 1e-9);
+    span.arg("result", satResultName(r));
+    if (cached_hit)
+        span.arg("cache", "hit");
+    return r;
+}
+
+bool
+Solver::isSatChain(const CondChain &chain)
+{
+    return checkChain(chain) != SatResult::Unsat;
+}
+
 /**
  * Depth-first enumeration of the NNF formula tree. `acc` holds the
  * literals of the current branch; disjunctions try each child in turn.

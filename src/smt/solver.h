@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "smt/cond_chain.h"
 #include "smt/formula.h"
 #include "smt/linear.h"
 
@@ -147,6 +148,18 @@ class Solver
 
     /** check() with Unknown treated as satisfiable. */
     bool isSat(const Formula &f);
+
+    /**
+     * Decide satisfiability of an incrementally-built conjunction
+     * without re-normalizing its prefix (smt/cond_chain.h). Verdict,
+     * statistics, budget accounting and cache key are identical to
+     * check(chain.formula()) — the chain only skips the per-query NNF
+     * walk and literal normalization of the shared prefix.
+     */
+    SatResult checkChain(const CondChain &chain);
+
+    /** checkChain() with Unknown treated as satisfiable. */
+    bool isSatChain(const CondChain &chain);
 
     /**
      * Decide satisfiability of a conjunction of normalized literals.

@@ -20,6 +20,7 @@
 #include "core/rid.h"
 #include "kernel/dpm_specs.h"
 #include "kernel/generator.h"
+#include "obs/failpoint.h"
 
 namespace rid {
 namespace {
@@ -53,16 +54,18 @@ void usb_autopm_put_interface(struct usb_interface *i);
 )";
 
 /**
- * One full analysis run; the digest is the sorted report multiset plus
- * the (name-ordered) computed-summary export, so any divergence in
- * reports, report contents, or summaries shows up byte-for-byte.
+ * One full analysis run; the digest is the sorted report multiset, the
+ * (name-ordered) computed-summary export and the (name-ordered)
+ * function diagnostics, so any divergence in reports, report contents,
+ * summaries or degradation outcomes shows up byte-for-byte.
  * With @p trace the run records spans (including per-solver-query
  * spans), which must not perturb any result.
  */
 std::string
 runDigest(const kernel::Corpus &corpus, int threads, int path_threads,
           bool cache, bool trace = false, double run_deadline = 0,
-          double fn_deadline = 0, uint64_t solver_fuel = 0)
+          double fn_deadline = 0, uint64_t solver_fuel = 0,
+          bool prefix_sharing = true, const std::string &failpoints = "")
 {
     analysis::AnalyzerOptions opts;
     opts.threads = threads;
@@ -71,6 +74,8 @@ runDigest(const kernel::Corpus &corpus, int threads, int path_threads,
     opts.run_deadline_seconds = run_deadline;
     opts.function_deadline_seconds = fn_deadline;
     opts.function_solver_fuel = solver_fuel;
+    opts.prefix_sharing = prefix_sharing;
+    opts.failpoints = failpoints;
     if (trace) {
         opts.tracer = std::make_shared<obs::Tracer>();
         opts.trace_solver_queries = true;
@@ -81,6 +86,8 @@ runDigest(const kernel::Corpus &corpus, int threads, int path_threads,
     for (const auto &file : corpus.files)
         tool.addSource(file.text);
     RunResult result = tool.run();
+    if (!failpoints.empty())
+        obs::FailpointRegistry::instance().disarm();
 
     std::multiset<std::string> reports;
     for (const auto &report : result.reports)
@@ -90,6 +97,10 @@ runDigest(const kernel::Corpus &corpus, int threads, int path_threads,
         digest += line + "\n";
     digest += "--- summaries ---\n";
     digest += tool.exportSummaries();
+    digest += "--- diagnostics ---\n";
+    for (const auto &d : result.diagnostics)
+        digest += d.function + " " + analysis::fnStatusName(d.status) +
+                  " " + d.reason + "\n";
     return digest;
 }
 
@@ -159,6 +170,84 @@ TEST_F(AnalyzerDeterminismTest, GenerousBudgetIsByteIdenticalToNoBudget)
                             /*solver_fuel=*/1ull << 60),
                   baseline)
             << "threads=" << threads << " with generous budget";
+    }
+}
+
+TEST_F(AnalyzerDeterminismTest, PrefixSharingMatchesReplayEngine)
+{
+    // The tentpole differential: the prefix-sharing tree executor and
+    // the enumerate-then-replay pipeline must produce byte-identical
+    // reports, summaries AND diagnostics over the full corpus, at every
+    // thread count and cache setting. The replay engine is the
+    // reference semantics; any divergence is a bug in the tree walk.
+    std::string replay = runDigest(corpus_, 1, 1, false, false, 0, 0, 0,
+                                   /*prefix_sharing=*/false);
+    ASSERT_FALSE(replay.empty());
+    for (int threads : {1, 4}) {
+        for (bool cache : {false, true}) {
+            EXPECT_EQ(runDigest(corpus_, threads, threads, cache, false,
+                                0, 0, 0, /*prefix_sharing=*/true),
+                      replay)
+                << "prefix_sharing=on threads=" << threads
+                << " cache=" << cache;
+            EXPECT_EQ(runDigest(corpus_, threads, threads, cache, false,
+                                0, 0, 0, /*prefix_sharing=*/false),
+                      replay)
+                << "prefix_sharing=off threads=" << threads
+                << " cache=" << cache;
+        }
+    }
+}
+
+TEST_F(AnalyzerDeterminismTest, PrefixSharingMatchesReplayUnderBudgets)
+{
+    // Generous budgets (which never fire) must leave both engines
+    // byte-identical to each other: budget plumbing — per-node checks in
+    // the tree walk, per-block checks under replay — is purely
+    // observational until expiry.
+    std::string replay =
+        runDigest(corpus_, 1, 1, true, false, /*run_deadline=*/3600,
+                  /*fn_deadline=*/3600, /*solver_fuel=*/1ull << 60,
+                  /*prefix_sharing=*/false);
+    EXPECT_EQ(runDigest(corpus_, 1, 1, true, false, 3600, 3600,
+                        1ull << 60, /*prefix_sharing=*/true),
+              replay);
+
+    // Solver fuel of 1: any function issuing at least one non-trivial
+    // query degrades to Timeout ("budget: fuel"). The engines issue
+    // different query COUNTS (that is the whole point of prefix
+    // sharing) but the set of functions making >= 1 query is the same,
+    // so fuel accounting degrades the same functions with the same
+    // diagnostics under both engines.
+    std::string replay_fuel =
+        runDigest(corpus_, 1, 1, false, false, 0, 0, /*solver_fuel=*/1,
+                  /*prefix_sharing=*/false);
+    EXPECT_EQ(runDigest(corpus_, 1, 1, false, false, 0, 0, 1,
+                        /*prefix_sharing=*/true),
+              replay_fuel);
+    EXPECT_NE(replay_fuel.find("budget: fuel"), std::string::npos);
+}
+
+TEST_F(AnalyzerDeterminismTest, PrefixSharingMatchesReplayUnderFaults)
+{
+    // Targeted always-faults fire on the first hit inside the victim
+    // function under either engine, so fault isolation (degrade the
+    // victim, keep every bystander byte-identical) must make whole-run
+    // digests engine-independent. Covers the shared per-path site, the
+    // path-discovery site the tree walk subsumes, and a solver fault.
+    for (const char *spec :
+         {"analysis.symexec.path@idmouse_open=always",
+          "analysis.paths.enumerate@usb_autopm_get_interface=always",
+          "smt.solver.check@idmouse_open=always"}) {
+        std::string replay = runDigest(corpus_, 1, 1, true, false, 0, 0,
+                                       0, /*prefix_sharing=*/false, spec);
+        EXPECT_EQ(runDigest(corpus_, 1, 1, true, false, 0, 0, 0,
+                            /*prefix_sharing=*/true, spec),
+                  replay)
+            << "failpoints=" << spec;
+        EXPECT_NE(replay.find("degraded"), std::string::npos)
+            << "fault did not fire under spec " << spec << ":\n"
+            << replay;
     }
 }
 
