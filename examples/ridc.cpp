@@ -12,6 +12,8 @@
  *   --builtin-pyc      load the bundled Python/C specs
  *   --import FILE      import previously computed summaries
  *   --export FILE      write computed summaries for later --import
+ *   --domains a,b      analyze only the listed effect domains
+ *   --list-domains     print the declared effect domains and exit
  *   --max-paths N      path cap per function (default 100)
  *   --max-subcases N   subcase cap per path (default 10)
  *   --threads N        analyze SCC levels with N workers
@@ -44,6 +46,7 @@
 #include "core/rid.h"
 #include "kernel/dpm_specs.h"
 #include "pyc/pyc_specs.h"
+#include "summary/domain.h"
 
 namespace {
 
@@ -73,6 +76,7 @@ usage()
                  "            [--deadline S] [--fn-deadline S] "
                  "[--solver-fuel N]\n"
                  "            [--failpoints SPEC] [--keep-going]\n"
+                 "            [--domains a,b] [--list-domains]\n"
                  "            [--dump-ir] [--summaries] file.c ...\n");
     std::exit(2);
 }
@@ -92,6 +96,16 @@ main(int argc, char **argv)
     std::string dot_cfg;
     bool builtin_dpm = false, builtin_pyc = false;
     bool keep_going = false;
+    bool list_domains = false;
+    std::vector<std::string> domain_filter;
+
+    auto split_domains = [&](const std::string &list) {
+        std::stringstream ss(list);
+        std::string name;
+        while (std::getline(ss, name, ','))
+            if (!name.empty())
+                domain_filter.push_back(name);
+    };
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -127,6 +141,12 @@ main(int argc, char **argv)
                 std::strtoull(next().c_str(), nullptr, 10);
         else if (arg == "--failpoints")
             opts.failpoints = next();
+        else if (arg == "--domains")
+            split_domains(next());
+        else if (arg.rfind("--domains=", 0) == 0)
+            split_domains(arg.substr(std::strlen("--domains=")));
+        else if (arg == "--list-domains")
+            list_domains = true;
         else if (arg == "--keep-going")
             keep_going = true;
         else if (arg == "--model-bits")
@@ -150,7 +170,7 @@ main(int argc, char **argv)
         else
             sources.push_back(arg);
     }
-    if (sources.empty())
+    if (sources.empty() && !list_domains)
         usage();
     if (spec_files.empty() && !builtin_dpm && !builtin_pyc) {
         std::fprintf(stderr, "ridc: no API specifications given; use "
@@ -183,6 +203,22 @@ main(int argc, char **argv)
         std::fprintf(stderr, "ridc: %s\n", e.what());
         return 2;
     }
+
+    rid::summary::DomainTable domains = tool.summaries().domains();
+    if (list_domains) {
+        std::printf("%s", rid::summary::listDomainsText(domains).c_str());
+        return 0;
+    }
+    for (const auto &name : domain_filter) {
+        if (!domains.contains(name)) {
+            std::fprintf(stderr,
+                         "ridc: unknown domain '%s' (--list-domains "
+                         "prints the declared domains)\n",
+                         name.c_str());
+            return 2;
+        }
+    }
+    tool.options().enabled_domains = domain_filter;
 
     if (dump_ir)
         std::printf("%s\n", tool.module().str().c_str());

@@ -31,6 +31,13 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+if command -v clang-tidy > /dev/null; then
+    echo "== clang-tidy (src/, .clang-tidy check set) =="
+    cmake --build build --target lint
+else
+    echo "== clang-tidy skipped (not installed) =="
+fi
+
 echo "== determinism suite, run 1/2 =="
 ./build/tests/test_analyzer_determinism
 echo "== determinism suite, run 2/2 =="
@@ -55,6 +62,17 @@ echo "== performance trajectory record =="
 RID_BENCH_JSON="$PWD/BENCH_performance.json" \
     ./build/bench/bench_performance --benchmark_filter='^$none'
 test -s BENCH_performance.json
+
+# Append a compacted snapshot of the (gitignored) BENCH_performance.json
+# to the committed trajectory log, so the perf history travels with the
+# repo even though the full records do not.
+if command -v python3 > /dev/null; then
+    echo "== bench snapshot -> docs/bench/trajectory.jsonl =="
+    python3 scripts/bench_snapshot.py BENCH_performance.json \
+        docs/bench/trajectory.jsonl
+else
+    echo "== bench snapshot skipped (no python3) =="
+fi
 
 echo "== observability smoke-check =="
 trace_json="$(mktemp)" metrics_prom="$(mktemp)"

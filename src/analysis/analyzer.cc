@@ -421,6 +421,9 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
 
     IppOptions ipp_opts;
     ipp_opts.drop_seed = opts_.drop_seed;
+    ipp_opts.domains = &domain_table_;
+    ipp_opts.enabled_domains =
+        opts_.enabled_domains.empty() ? nullptr : &opts_.enabled_domains;
     size_t num_entries = path_entries.size();
     auto ipp_t0 = std::chrono::steady_clock::now();
     auto ipp = checkAndMerge(fn.name(), std::move(path_entries), solver,
@@ -510,10 +513,15 @@ Analyzer::run()
 
     auto t0 = std::chrono::steady_clock::now();
 
-    // Seeds are every known summary that changes a refcount: the
-    // predefined APIs plus summaries imported from earlier separate-file
-    // passes (Section 5.3).
-    std::vector<std::string> seeds = db_.namesWithChanges();
+    // Snapshot the declared effect domains once per run; analysis workers
+    // read the copy without touching the db's lock.
+    domain_table_ = db_.domains();
+
+    // Seeds are every known summary that changes a counter in an enabled
+    // domain: the predefined APIs plus summaries imported from earlier
+    // separate-file passes (Section 5.3).
+    std::vector<std::string> seeds =
+        db_.namesWithChanges(opts_.enabled_domains);
 
     {
         obs::Span classify_span("pipeline", "classify");
@@ -547,6 +555,7 @@ Analyzer::run()
     auto t1 = std::chrono::steady_clock::now();
     obs::Span analyze_span("pipeline", "analyze");
     CallGraph cg(mod_);
+    size_t reports_before = reports_.size();
 
     auto processNode = [&](int node) -> std::vector<BugReport> {
         const ir::Function *fn = mod_.find(cg.nameOf(node));
@@ -628,6 +637,18 @@ Analyzer::run()
     stats_.analyze_seconds = secondsSince(t1);
     ins_.analyze_seconds->set(stats_.analyze_seconds);
     refreshStatsFromRegistry();
+    // Per-domain report accounting for this run (the registry's
+    // counter() is get-or-create, so dynamically named per-domain
+    // counters are safe to mint here).
+    stats_.reports_by_domain.clear();
+    for (size_t k = reports_before; k < reports_.size(); k++)
+        stats_.reports_by_domain[reports_[k].domain]++;
+    for (const auto &[dom, n] : stats_.reports_by_domain) {
+        metrics_
+            ->counter("rid_reports_" + dom + "_total",
+                      "Bug reports in effect domain '" + dom + "'.")
+            .inc(n);
+    }
     if (query_cache_) {
         stats_.query_cache = query_cache_->stats();
         const auto &qc = stats_.query_cache;

@@ -15,6 +15,7 @@
 #define RID_ANALYSIS_ANALYZER_H
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -90,6 +91,11 @@ struct AnalyzerOptions
     int path_threads = 1;
     /** Seed for the inconsistent-entry drop choice. */
     uint64_t drop_seed = 0x5eed;
+    /** Effect domains to check (summary/domain.h); empty = all declared
+     *  domains. Effects of unlisted domains are stripped from computed
+     *  summaries and their seed specs are ignored by the classifier, so
+     *  enabling only `ref` reproduces the pre-domain run exactly. */
+    std::vector<std::string> enabled_domains;
     /** Share one memoized solver-verdict cache (smt/query_cache.h)
      *  between every solver of the run — across SCC-level workers,
      *  path-level workers and the IPP phase. Results are identical with
@@ -173,6 +179,9 @@ struct AnalyzerStats
     smt::Solver::Stats solver;
     /** Shared query-cache counters (zero when the cache is off). */
     smt::QueryCache::Stats query_cache;
+    /** Reports per effect domain from the most recent run() (name-
+     *  ordered; domains with zero reports are omitted). */
+    std::map<std::string, size_t> reports_by_domain;
 };
 
 class Analyzer
@@ -285,6 +294,8 @@ class Analyzer
     const ir::Module &mod_;
     summary::SummaryDb &db_;
     AnalyzerOptions opts_;
+    /** Per-run snapshot of the db's declared effect domains. */
+    summary::DomainTable domain_table_;
     std::vector<BugReport> reports_;
     AnalyzerStats stats_;
     std::unique_ptr<FunctionClassifier> classifier_;

@@ -12,16 +12,27 @@ namespace rid::analysis {
 std::string
 BugReport::str() const
 {
+    // Ref-domain inconsistencies render exactly as before domains
+    // existed ("refcount ... changed inconsistently"); other domains use
+    // their name as the noun.
     std::ostringstream os;
-    os << function << ": refcount " << refcount
-       << " changed inconsistently: " << (delta_a >= 0 ? "+" : "")
-       << delta_a << " when (" << cons_a << ")";
+    os << function << ": "
+       << (domain == summary::kRefDomain ? "refcount" : domain) << " "
+       << refcount;
+    if (kind == BugKind::Unbalanced)
+        os << " unbalanced at return: ";
+    else
+        os << " changed inconsistently: ";
+    os << (delta_a >= 0 ? "+" : "") << delta_a << " when (" << cons_a
+       << ")";
     if (!lines_a.empty()) {
         os << " [lines";
         for (int l : lines_a)
             os << " " << l;
         os << "]";
     }
+    if (kind == BugKind::Unbalanced)
+        return os.str();
     os << " vs " << (delta_b >= 0 ? "+" : "") << delta_b << " when ("
        << cons_b << ")";
     if (!lines_b.empty()) {
@@ -32,6 +43,19 @@ BugReport::str() const
     }
     return os.str();
 }
+
+namespace {
+
+/** Root atom of a (possibly nested) field expression. */
+smt::ExprKind
+rootKindOf(smt::Expr e)
+{
+    while (e.kind() == smt::ExprKind::Field)
+        e = e.base();
+    return e.kind();
+}
+
+} // anonymous namespace
 
 IppResult
 checkAndMerge(const std::string &function,
@@ -46,6 +70,61 @@ checkAndMerge(const std::string &function,
     IppResult result;
     std::mt19937_64 rng(opts.drop_seed ^
                         std::hash<std::string>()(function));
+
+    auto policyOf = [&opts](const std::string &d) {
+        return opts.domains ? opts.domains->policyOf(d)
+                            : summary::DomainPolicy::Ipp;
+    };
+    auto enabled = [&opts](const std::string &d) {
+        if (!opts.enabled_domains || opts.enabled_domains->empty())
+            return true;
+        for (const auto &e : *opts.enabled_domains)
+            if (e == d)
+                return true;
+        return false;
+    };
+
+    // Per-domain policy pre-pass over each entry's effects: strip
+    // disabled domains, and under the `balanced` policy flag any path
+    // returning with a nonzero net change whose counter does not escape
+    // through the return value (Ret-rooted counters are handed to the
+    // caller — e.g. a correct allocator wrapper). The offending key is
+    // erased after reporting so callers of the buggy function are not
+    // flooded with cascading reports, mirroring the drop-one-of-the-pair
+    // choice below. The pass is skipped entirely on pre-domain (ref-only,
+    // unfiltered) runs, which must stay byte-identical.
+    const bool filter_active =
+        opts.enabled_domains && !opts.enabled_domains->empty();
+    if (filter_active || (opts.domains && opts.domains->anyNonIpp())) {
+        for (auto &entry : entries) {
+            for (auto it = entry.changes.begin();
+                 it != entry.changes.end();) {
+                const summary::EffectKey &rc = it->first;
+                if (!enabled(rc.domain)) {
+                    it = entry.changes.erase(it);
+                    continue;
+                }
+                if (policyOf(rc.domain) ==
+                        summary::DomainPolicy::Balanced &&
+                    it->second != 0 &&
+                    rootKindOf(rc.counter) != smt::ExprKind::Ret) {
+                    BugReport report;
+                    report.function = function;
+                    report.refcount = rc.counter.str();
+                    report.domain = rc.domain;
+                    report.kind = BugKind::Unbalanced;
+                    report.delta_a = it->second;
+                    report.cons_a = entry.cons.str();
+                    report.lines_a = entry.origin.change_lines;
+                    report.return_line_a = entry.origin.return_line;
+                    result.reports.push_back(std::move(report));
+                    it = entry.changes.erase(it);
+                    continue;
+                }
+                ++it;
+            }
+        }
+    }
 
     // Pairwise check. `entries` shrinks as inconsistent/merged entries
     // are removed, so indices restart after every mutation.
@@ -78,12 +157,28 @@ checkAndMerge(const std::string &function,
                     changed = true;
                     break;
                 }
-                // Inconsistent path pair: report each refcount that
+                // Only differences in ipp-policy domains form an IPP;
+                // balanced-policy keys surviving the pre-pass are
+                // legitimate (Ret-rooted, escaping to the caller).
+                decltype(diffs) ipp_diffs;
+                for (auto &d : diffs) {
+                    if (policyOf(d.first.domain) ==
+                        summary::DomainPolicy::Ipp)
+                        ipp_diffs.push_back(std::move(d));
+                }
+                if (ipp_diffs.empty()) {
+                    // Distinguished only by balanced-domain effects: not
+                    // a bug, but not mergeable either (like entries with
+                    // different store sets).
+                    continue;
+                }
+                // Inconsistent path pair: report each counter that
                 // differs, then drop one entry of the pair.
-                for (const auto &[rc, deltas] : diffs) {
+                for (const auto &[rc, deltas] : ipp_diffs) {
                     BugReport report;
                     report.function = function;
-                    report.refcount = rc.str();
+                    report.refcount = rc.counter.str();
+                    report.domain = rc.domain;
                     report.delta_a = deltas.first;
                     report.delta_b = deltas.second;
                     report.cons_a = entries[i].cons.str();

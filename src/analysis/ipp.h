@@ -27,19 +27,33 @@
 
 namespace rid::analysis {
 
-/** One reported inconsistency: a refcount changed differently by two
- *  outside-indistinguishable paths of the same function. */
+/** How a counter misbehaved; which checks run on a counter is selected
+ *  by its effect domain's policy (summary/domain.h). */
+enum class BugKind : uint8_t {
+    /** Two outside-indistinguishable paths changed it differently (the
+     *  paper's inconsistent-path-pair check; `ipp` policy). */
+    Inconsistent,
+    /** One path returns with a nonzero net change (`balanced` policy:
+     *  e.g. a lock still held, an allocation neither freed nor
+     *  returned). Only the _a fields are populated. */
+    Unbalanced,
+};
+
+/** One reported bug on a tracked counter. */
 struct BugReport
 {
     std::string function;
-    /** The refcount, rendered (e.g. "[dev].pm"). */
+    /** The counter, rendered (e.g. "[dev].pm"). */
     std::string refcount;
-    /** Net changes along the two paths. */
+    /** Effect domain of the counter ("ref" for refcounts). */
+    std::string domain = summary::kRefDomain;
+    BugKind kind = BugKind::Inconsistent;
+    /** Net changes along the two paths (Unbalanced: only delta_a). */
     int delta_a = 0;
     int delta_b = 0;
     /** Rendered constraints of the two entries. */
     std::string cons_a, cons_b;
-    /** Source lines of refcount-changing calls on each path. */
+    /** Source lines of counter-changing calls on each path. */
     std::vector<int> lines_a, lines_b;
     /** Return statement lines of the two paths. */
     int return_line_a = 0, return_line_b = 0;
@@ -51,6 +65,12 @@ struct IppOptions
 {
     /** Seed for the drop-one-of-the-pair choice. */
     uint64_t drop_seed = 0x5eed;
+    /** Declared effect domains; null means every domain is checked with
+     *  the default `ipp` policy (pre-domain behavior). */
+    const summary::DomainTable *domains = nullptr;
+    /** Domains to check; null or empty enables all. Effects of disabled
+     *  domains are stripped from the computed summary entries. */
+    const std::vector<std::string> *enabled_domains = nullptr;
 };
 
 struct IppResult

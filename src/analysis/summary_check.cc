@@ -25,7 +25,11 @@ escapeRuleViolations(const summary::FunctionSummary &summary,
 
     for (const auto &entry : summary.entries) {
         for (const auto &[rc, delta] : entry.changes) {
-            smt::Expr root = rootOf(rc);
+            // The escape rule is a refcount-protocol heuristic; effects
+            // in other domains have their own per-domain policy.
+            if (!rc.isRef())
+                continue;
+            smt::Expr root = rootOf(rc.counter);
             int expected;
             switch (root.kind()) {
               case smt::ExprKind::Ret:

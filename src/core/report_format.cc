@@ -41,6 +41,15 @@ writeReport(obs::JsonWriter &w, const analysis::BugReport &report)
     writeIntArray(w, report.lines_b);
     w.key("return_line_a").value(report.return_line_a);
     w.key("return_line_b").value(report.return_line_b);
+    // Additive keys, emitted only for non-default values so ref-domain
+    // inconsistency reports stay byte-identical to the pre-domain schema.
+    if (report.domain != summary::kRefDomain ||
+        report.kind != analysis::BugKind::Inconsistent) {
+        w.key("domain").value(report.domain);
+        w.key("kind").value(report.kind == analysis::BugKind::Unbalanced
+                                ? "unbalanced"
+                                : "inconsistent");
+    }
     w.endObject();
 }
 
@@ -125,7 +134,17 @@ groupedText(const RunResult &result)
     for (const auto &[fn, count] : order) {
         os << "\n" << fn << " (" << count << "):\n";
         for (const auto *report : by_function[fn]) {
-            os << "  refcount " << report->refcount << ": "
+            const char *noun = report->domain == summary::kRefDomain
+                                   ? "refcount"
+                                   : report->domain.c_str();
+            if (report->kind == analysis::BugKind::Unbalanced) {
+                os << "  " << noun << " " << report->refcount << ": "
+                   << (report->delta_a >= 0 ? "+" : "")
+                   << report->delta_a << " unbalanced at return\n";
+                os << "    when " << report->cons_a << "\n";
+                continue;
+            }
+            os << "  " << noun << " " << report->refcount << ": "
                << (report->delta_a >= 0 ? "+" : "") << report->delta_a
                << " vs " << (report->delta_b >= 0 ? "+" : "")
                << report->delta_b << "\n";

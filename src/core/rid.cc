@@ -19,6 +19,17 @@ RunResult::str() const
     os << reports.size() << " report(s)\n";
     for (const auto &r : reports)
         os << "  " << r.str() << "\n";
+    // Ref-only runs keep the pre-domain output byte for byte; the
+    // breakdown line appears only once another domain reports.
+    bool non_ref = false;
+    for (const auto &[dom, n] : stats.reports_by_domain)
+        non_ref = non_ref || dom != summary::kRefDomain;
+    if (non_ref) {
+        os << "reports by domain:";
+        for (const auto &[dom, n] : stats.reports_by_domain)
+            os << " " << dom << " " << n;
+        os << "\n";
+    }
     os << "functions: " << stats.categories.refcount_changing
        << " refcount-changing, " << stats.categories.affecting
        << " affecting, " << stats.categories.other << " others; "
@@ -110,6 +121,15 @@ RunResult::statsJson() const
     w.key("hit_rate").value(qc.hitRate());
     w.endObject();
     w.key("profile").raw(profile.json());
+    // Per-effect-domain report counts (additive key; name-ordered, only
+    // domains that produced reports appear).
+    w.key("domains").beginObject();
+    for (const auto &[dom, n] : s.reports_by_domain) {
+        w.key(dom).beginObject();
+        w.key("reports").value(uint64_t{n});
+        w.endObject();
+    }
+    w.endObject();
     // Robustness accounting (additive key): how every function's analysis
     // ended plus per-function/per-file degradation records.
     w.key("diagnostics").beginObject();
@@ -199,10 +219,31 @@ Rid::addModule(ir::Module mod)
     module_.absorb(std::move(mod));
 }
 
+bool
+Rid::loadSpecTolerant(const std::string &name, const std::string &text)
+{
+    // Spec-level fault isolation, mirroring addSourceTolerant: one
+    // malformed spec file must not take down a multi-spec scan.
+    try {
+        loadSpecText(text);
+        return true;
+    } catch (const std::exception &e) {
+        file_errors_.push_back(FileDiagnostic{name, e.what()});
+        return false;
+    }
+}
+
 void
 Rid::importSummaries(const std::string &spec_text)
 {
-    for (auto &parsed : summary::parseSpecs(spec_text))
+    // Imports may reference domains declared in the exporting run (the
+    // export prepends their declarations) or in specs already loaded
+    // here; either way they are registered before the summaries land.
+    summary::DomainTable known = db_.domains();
+    summary::ParsedSpec spec = summary::parseSpecText(spec_text, &known);
+    for (const auto &d : spec.domains)
+        db_.declareDomain(d);
+    for (auto &parsed : spec.summaries)
         db_.addComputed(std::move(parsed.summary));
 }
 

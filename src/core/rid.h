@@ -83,6 +83,15 @@ class Rid
      *  @throws std::runtime_error if unreadable, SpecError if malformed. */
     void loadSpecFile(const std::string &path);
 
+    /**
+     * Fault-isolating variant of loadSpecText(): a malformed spec (bad
+     * syntax, unknown domain reference, conflicting domain policy,
+     * duplicate summary) is rejected whole and recorded as a
+     * FileDiagnostic on the next run()'s RunResult instead of aborting.
+     * @return true if the spec loaded, false if it was rejected
+     */
+    bool loadSpecTolerant(const std::string &name, const std::string &text);
+
     /** Parse and add a Kernel-C translation unit.
      *  @throws frontend::ParseError on syntax errors. */
     void addSource(const std::string &kernel_c_source);

@@ -1,0 +1,72 @@
+#include "kernel/domain_specs.h"
+
+namespace rid::kernel {
+
+const std::string &
+lockSpecText()
+{
+    static const std::string text = R"SPEC(
+# Spinlock/mutex acquire-release pairs as a `balanced` effect domain:
+# any path returning with the lock still held is a bug on its own.
+
+domain lock { policy: balanced; }
+
+summary spin_lock(l) -> void {
+  entry { cons: true; change(lock): [l].held += 1; return: none; }
+}
+
+summary spin_unlock(l) -> void {
+  entry { cons: true; change(lock): [l].held -= 1; return: none; }
+}
+
+summary spin_lock_irqsave(l, flags) -> void {
+  entry { cons: true; change(lock): [l].held += 1; return: none; }
+}
+
+summary spin_unlock_irqrestore(l, flags) -> void {
+  entry { cons: true; change(lock): [l].held -= 1; return: none; }
+}
+
+summary mutex_lock(l) -> void {
+  entry { cons: true; change(lock): [l].held += 1; return: none; }
+}
+
+summary mutex_unlock(l) -> void {
+  entry { cons: true; change(lock): [l].held -= 1; return: none; }
+}
+
+summary mutex_lock_interruptible(l) -> int {
+  entry { cons: [0] == 0; change(lock): [l].held += 1; return: [0]; }
+  entry { cons: [0] < 0; return: [0]; }
+}
+)SPEC";
+    return text;
+}
+
+const std::string &
+allocSpecText()
+{
+    static const std::string text = R"SPEC(
+# Kernel heap allocation as a `balanced` effect domain: an allocation
+# must be freed or escape (via the return value) before returning.
+
+domain alloc { policy: balanced; }
+
+summary kmalloc(size) -> ptr {
+  entry { cons: [0] != null; change(alloc): [0].mem += 1; return: [0]; }
+  entry { cons: [0] == null; return: null; }
+}
+
+summary kzalloc(size) -> ptr {
+  entry { cons: [0] != null; change(alloc): [0].mem += 1; return: [0]; }
+  entry { cons: [0] == null; return: null; }
+}
+
+summary kfree(p) -> void {
+  entry { cons: true; change(alloc): [p].mem -= 1; return: none; }
+}
+)SPEC";
+    return text;
+}
+
+} // namespace rid::kernel

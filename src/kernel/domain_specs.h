@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Predefined summaries for the non-refcount effect domains used by the
+ * synthetic corpus: `lock` (spinlock/mutex acquire-release pairs) and
+ * `alloc` (kmalloc/kfree), both checked under the `balanced` policy.
+ *
+ * The same text ships as specs/lock.spec and specs/kmalloc.spec for the
+ * ridc command-line workflow; these accessors exist so the corpus
+ * generator, benchmarks and tests need no file I/O.
+ */
+
+#ifndef RID_KERNEL_DOMAIN_SPECS_H
+#define RID_KERNEL_DOMAIN_SPECS_H
+
+#include <string>
+
+namespace rid::kernel {
+
+/** Spec text declaring the `lock` domain and the spinlock/mutex APIs. */
+const std::string &lockSpecText();
+
+/** Spec text declaring the `alloc` domain and the kmalloc/kfree APIs. */
+const std::string &allocSpecText();
+
+} // namespace rid::kernel
+
+#endif // RID_KERNEL_DOMAIN_SPECS_H

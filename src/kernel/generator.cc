@@ -53,6 +53,18 @@ CorpusMix::paperCalibrated(double scale, bool scale_bug_population)
     return mix;
 }
 
+CorpusMix
+CorpusMix::multiDomain(double scale, int domain_count)
+{
+    CorpusMix mix = paperCalibrated(scale);
+    mix.counts[PatternKind::CorrectLockPair] = domain_count;
+    mix.counts[PatternKind::BuggyLockLeak] = domain_count;
+    mix.counts[PatternKind::CorrectAllocFree] = domain_count;
+    mix.counts[PatternKind::CorrectAllocEscape] = domain_count;
+    mix.counts[PatternKind::BuggyAllocLeak] = domain_count;
+    return mix;
+}
+
 const FunctionTruth *
 Corpus::truthFor(const std::string &fn) const
 {

@@ -57,6 +57,17 @@ struct CorpusMix
      */
     static CorpusMix paperCalibrated(double scale,
                                      bool scale_bug_population = false);
+
+    /**
+     * The paper-calibrated mix plus the lock/alloc effect-domain
+     * patterns (balanced-policy populations, kept separate so the
+     * paper-replication benchmarks keep their exact report counts):
+     * per @p domain_count each of the correct lock pair, buggy lock
+     * leak, correct alloc+free, correct alloc-escape wrapper and buggy
+     * alloc leak. Analyzing it with the lock/kmalloc specs loaded
+     * exercises a multi-domain scan end to end.
+     */
+    static CorpusMix multiDomain(double scale, int domain_count = 8);
 };
 
 /** One synthetic source file. */

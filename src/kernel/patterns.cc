@@ -25,6 +25,11 @@ patternKindName(PatternKind k)
       case PatternKind::Cat2Helper: return "cat2-helper";
       case PatternKind::Cat2Complex: return "cat2-complex";
       case PatternKind::Cat3Filler: return "cat3-filler";
+      case PatternKind::CorrectLockPair: return "correct-lock-pair";
+      case PatternKind::BuggyLockLeak: return "buggy-lock-leak";
+      case PatternKind::CorrectAllocFree: return "correct-alloc-free";
+      case PatternKind::CorrectAllocEscape: return "correct-alloc-escape";
+      case PatternKind::BuggyAllocLeak: return "buggy-alloc-leak";
     }
     return "?";
 }
@@ -86,6 +91,11 @@ patternSuffix(PatternKind k)
       case PatternKind::BuggyLoopGet: return "loop";
       case PatternKind::CorrectGotoLadder: return "probe";
       case PatternKind::BuggyGotoLadder: return "badprobe";
+      case PatternKind::CorrectLockPair: return "lockok";
+      case PatternKind::BuggyLockLeak: return "lockleak";
+      case PatternKind::CorrectAllocFree: return "allocok";
+      case PatternKind::CorrectAllocEscape: return "mkbuf";
+      case PatternKind::BuggyAllocLeak: return "allocleak";
     }
     return "fn";
 }
@@ -445,6 +455,100 @@ emitPattern(PatternKind kind, int index, std::mt19937_64 &rng)
            << "int alloc_buf_" << index << "(struct device *dev);\n"
            << "int register_dev_" << index << "(struct device *dev);\n"
            << "void free_buf_" << index << "(struct device *dev);\n";
+        break;
+      }
+      case PatternKind::CorrectLockPair: {
+        // `lock` domain, balanced policy: acquired and released on the
+        // only path. Must stay silent.
+        bool mutex = (rng() & 1) != 0;
+        const char *acquire = mutex ? "mutex_lock" : "spin_lock";
+        const char *release = mutex ? "mutex_unlock" : "spin_unlock";
+        out.truth.domain = "lock";
+        os << "int " << name << "(struct device *dev, int arg) {\n"
+           << "    int ret;\n"
+           << "    " << acquire << "(&dev->lock);\n"
+           << "    ret = lk_op_" << index << "(dev, arg);\n"
+           << "    " << release << "(&dev->lock);\n"
+           << "    return ret;\n"
+           << "}\n"
+           << "int lk_op_" << index << "(struct device *dev, int a);\n";
+        break;
+      }
+      case PatternKind::BuggyLockLeak: {
+        // The error path bails out with the lock still held: a nonzero
+        // net `held` change at return, flagged by the balanced policy.
+        bool mutex = (rng() & 1) != 0;
+        const char *acquire = mutex ? "mutex_lock" : "spin_lock";
+        const char *release = mutex ? "mutex_unlock" : "spin_unlock";
+        out.truth.domain = "lock";
+        out.truth.has_bug = true;
+        out.truth.rid_detects = true;
+        os << "int " << name << "(struct device *dev, int arg) {\n"
+           << "    int ret;\n"
+           << "    " << acquire << "(&dev->lock);\n"
+           << "    ret = lk_op_" << index << "(dev, arg);\n"
+           << "    if (ret < 0)\n"
+           << "        return ret;\n"
+           << "    " << release << "(&dev->lock);\n"
+           << "    return 0;\n"
+           << "}\n"
+           << "int lk_op_" << index << "(struct device *dev, int a);\n";
+        break;
+      }
+      case PatternKind::CorrectAllocFree: {
+        // `alloc` domain: allocation freed on every path that made it.
+        // Must stay silent.
+        out.truth.domain = "alloc";
+        os << "int " << name << "(struct device *dev, int len) {\n"
+           << "    struct buf *p;\n"
+           << "    int ret;\n"
+           << "    p = kmalloc(len);\n"
+           << "    if (p == NULL)\n"
+           << "        return -12;\n"
+           << "    ret = fill_buf_" << index << "(dev, p);\n"
+           << "    kfree(p);\n"
+           << "    return ret;\n"
+           << "}\n"
+           << "int fill_buf_" << index
+           << "(struct device *dev, struct buf *p);\n";
+        break;
+      }
+      case PatternKind::CorrectAllocEscape: {
+        // The allocation escapes through the return value: projection
+        // roots its counter at [0] and the balanced policy exempts it.
+        // Must stay silent.
+        out.truth.domain = "alloc";
+        os << "struct buf *" << name << "(struct device *dev, int len) {\n"
+           << "    struct buf *p;\n"
+           << "    p = kmalloc(len);\n"
+           << "    if (p == NULL)\n"
+           << "        return NULL;\n"
+           << "    init_buf_" << index << "(p);\n"
+           << "    return p;\n"
+           << "}\n"
+           << "void init_buf_" << index << "(struct buf *p);\n";
+        break;
+      }
+      case PatternKind::BuggyAllocLeak: {
+        // The inner-failure path returns without freeing: the counter
+        // stays rooted at a dead local — a leak, flagged as unbalanced.
+        out.truth.domain = "alloc";
+        out.truth.has_bug = true;
+        out.truth.rid_detects = true;
+        os << "int " << name << "(struct device *dev, int len) {\n"
+           << "    struct buf *p;\n"
+           << "    int ret;\n"
+           << "    p = kmalloc(len);\n"
+           << "    if (p == NULL)\n"
+           << "        return -12;\n"
+           << "    ret = setup_buf_" << index << "(dev, p);\n"
+           << "    if (ret < 0)\n"
+           << "        return ret;\n"
+           << "    kfree(p);\n"
+           << "    return 0;\n"
+           << "}\n"
+           << "int setup_buf_" << index
+           << "(struct device *dev, struct buf *p);\n";
         break;
       }
       case PatternKind::Cat3Filler: {

@@ -80,6 +80,23 @@ enum class PatternKind : uint8_t {
      *  count leaks on that failure. Detected (overlaps with the
      *  get-failure path, which returns the same error range). */
     BuggyGotoLadder,
+    /** `lock` domain: acquire, work, release on every path. Correct;
+     *  must stay silent under the balanced policy. */
+    CorrectLockPair,
+    /** `lock` domain: an error path returns with the spinlock still
+     *  held. Real bug; the balanced policy flags the unbalanced path. */
+    BuggyLockLeak,
+    /** `alloc` domain: kmalloc with a null check, used and kfreed on
+     *  every path. Correct; must stay silent. */
+    CorrectAllocFree,
+    /** `alloc` domain: the allocation escapes through the return value
+     *  (an allocator wrapper). Correct: local-state projection roots the
+     *  counter at [0] and the balanced policy exempts escaping
+     *  allocations. */
+    CorrectAllocEscape,
+    /** `alloc` domain: an inner operation fails and the error path
+     *  returns without kfree. Real bug; flagged as unbalanced. */
+    BuggyAllocLeak,
 };
 
 const char *patternKindName(PatternKind k);
@@ -100,6 +117,9 @@ struct FunctionTruth
     bool error_handled_get_site = false;
     /** The error handling misses the balancing decrement. */
     bool misuse = false;
+    /** Effect domain the pattern exercises ("ref" for the refcount
+     *  patterns; "lock"/"alloc" for the balanced-policy ones). */
+    std::string domain = "ref";
 };
 
 /** One generated function: source text plus its ground truth. */

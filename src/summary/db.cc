@@ -1,11 +1,26 @@
 #include "summary/db.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "summary/spec.h"
 
 namespace rid::summary {
+
+bool
+SummaryDb::declareDomain(const DomainInfo &info)
+{
+    std::unique_lock lock(mutex_);
+    return domains_.declare(info) != DomainTable::DeclareResult::Conflict;
+}
+
+DomainTable
+SummaryDb::domains() const
+{
+    std::shared_lock lock(mutex_);
+    return domains_;
+}
 
 void
 SummaryDb::addPredefined(FunctionSummary s)
@@ -59,14 +74,21 @@ SummaryDb::predefinedNames() const
 std::vector<std::string>
 SummaryDb::namesWithChanges() const
 {
+    return namesWithChanges({});
+}
+
+std::vector<std::string>
+SummaryDb::namesWithChanges(
+    const std::vector<std::string> &enabled_domains) const
+{
     std::shared_lock lock(mutex_);
     std::vector<std::string> names;
     for (const auto &[name, s] : predefined_) {
-        if (s.hasChanges())
+        if (s.hasChangesIn(enabled_domains))
             names.push_back(name);
     }
     for (const auto &[name, s] : computed_) {
-        if (s.hasChanges() && !predefined_.count(name))
+        if (s.hasChangesIn(enabled_domains) && !predefined_.count(name))
             names.push_back(name);
     }
     std::sort(names.begin(), names.end());
@@ -95,6 +117,20 @@ SummaryDb::saveComputed() const
                   return a->function < b->function;
               });
     std::ostringstream os;
+    // Non-ref domains referenced by the export are declared up front so
+    // the text round-trips through parseSpecText() without needing the
+    // original spec files. Ref-only exports stay byte-identical to the
+    // pre-domain format.
+    std::set<std::string> used;
+    for (const FunctionSummary *s : rows)
+        for (const auto &e : s->entries)
+            for (const auto &[rc, delta] : e.changes)
+                if (!rc.isRef())
+                    used.insert(rc.domain);
+    for (const auto &name : used) {
+        os << "domain " << name << " { policy: "
+           << domainPolicyName(domains_.policyOf(name)) << "; }\n";
+    }
     for (const FunctionSummary *s : rows)
         os << serializeSummary(*s);
     return os.str();

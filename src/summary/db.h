@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "summary/domain.h"
 #include "summary/summary.h"
 
 namespace rid::summary {
@@ -27,6 +28,14 @@ class SummaryDb
 {
   public:
     SummaryDb() = default;
+
+    /** Register an effect domain (idempotent for identical policies).
+     *  @return false if the name is already declared with a different
+     *  policy (the declaration is then ignored). */
+    bool declareDomain(const DomainInfo &info);
+
+    /** Snapshot of the declared effect domains. */
+    DomainTable domains() const;
 
     /** Register an API specification summary (wins over computed ones). */
     void addPredefined(FunctionSummary s);
@@ -43,8 +52,13 @@ class SummaryDb
     std::vector<std::string> predefinedNames() const;
 
     /** Names of all known summaries (predefined or computed/imported)
-     *  whose entries change a refcount — the classifier's seed set. */
+     *  whose entries change a counter — the classifier's seed set. */
     std::vector<std::string> namesWithChanges() const;
+
+    /** As namesWithChanges(), but only effects in @p enabled_domains
+     *  count (empty = all domains). */
+    std::vector<std::string>
+    namesWithChanges(const std::vector<std::string> &enabled_domains) const;
 
     size_t size() const;
 
@@ -58,6 +72,7 @@ class SummaryDb
 
   private:
     mutable std::shared_mutex mutex_;
+    DomainTable domains_;
     std::unordered_map<std::string, FunctionSummary> predefined_;
     std::unordered_map<std::string, FunctionSummary> computed_;
 };

@@ -1,0 +1,87 @@
+#include "summary/domain.h"
+
+#include <sstream>
+
+namespace rid::summary {
+
+const char *
+domainPolicyName(DomainPolicy policy)
+{
+    switch (policy) {
+      case DomainPolicy::Ipp: return "ipp";
+      case DomainPolicy::Balanced: return "balanced";
+    }
+    return "ipp";
+}
+
+bool
+parseDomainPolicy(const std::string &word, DomainPolicy *out)
+{
+    if (word == "ipp") {
+        *out = DomainPolicy::Ipp;
+        return true;
+    }
+    if (word == "balanced") {
+        *out = DomainPolicy::Balanced;
+        return true;
+    }
+    return false;
+}
+
+DomainTable::DomainTable()
+{
+    domains_[kRefDomain] = DomainPolicy::Ipp;
+}
+
+DomainTable::DeclareResult
+DomainTable::declare(const DomainInfo &info)
+{
+    auto [it, inserted] = domains_.emplace(info.name, info.policy);
+    if (inserted)
+        return DeclareResult::Added;
+    return it->second == info.policy ? DeclareResult::Unchanged
+                                     : DeclareResult::Conflict;
+}
+
+bool
+DomainTable::contains(const std::string &name) const
+{
+    return domains_.count(name) != 0;
+}
+
+DomainPolicy
+DomainTable::policyOf(const std::string &name) const
+{
+    auto it = domains_.find(name);
+    return it == domains_.end() ? DomainPolicy::Ipp : it->second;
+}
+
+bool
+DomainTable::anyNonIpp() const
+{
+    for (const auto &[name, policy] : domains_)
+        if (policy != DomainPolicy::Ipp)
+            return true;
+    return false;
+}
+
+std::vector<DomainInfo>
+DomainTable::all() const
+{
+    std::vector<DomainInfo> out;
+    out.reserve(domains_.size());
+    for (const auto &[name, policy] : domains_)
+        out.push_back(DomainInfo{name, policy});
+    return out;
+}
+
+std::string
+listDomainsText(const DomainTable &table)
+{
+    std::ostringstream os;
+    for (const auto &d : table.all())
+        os << d.name << "\t" << domainPolicyName(d.policy) << "\n";
+    return os.str();
+}
+
+} // namespace rid::summary

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Effect domains: named families of paired-resource effects with a
+ * per-domain checking policy.
+ *
+ * RID's inconsistent-path-pair technique is defined over the effects a
+ * path makes on a counter, not over refcounts specifically (the paper
+ * notes in Section 7 that the approach extends to other paired
+ * operations). An effect domain names one such family — `ref` for
+ * refcounts, `lock` for lock/unlock pairs, `alloc` for alloc/free — and
+ * selects how its effects are checked:
+ *
+ *  - `ipp`      — the paper's inconsistent-path-pair check: two
+ *                 externally indistinguishable paths with different net
+ *                 changes on the same counter are a bug. This is the
+ *                 policy of the builtin `ref` domain and the only
+ *                 behavior that existed before domains were introduced.
+ *  - `balanced` — a stricter must-analysis: any single path returning
+ *                 with a nonzero net change is a bug (a spinlock still
+ *                 held at return, memory allocated but neither freed nor
+ *                 escaping through the return value).
+ *
+ * Domains are declared in spec files (`domain lock { policy: balanced; }`)
+ * and every change effect is tagged with the domain it belongs to
+ * (`change(lock): [l].held += 1;`); untagged changes belong to `ref`.
+ */
+
+#ifndef RID_SUMMARY_DOMAIN_H
+#define RID_SUMMARY_DOMAIN_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rid::summary {
+
+/** Name of the builtin refcount domain; untagged `change:` effects and
+ *  default-constructed EffectKeys belong to it. */
+inline const std::string kRefDomain = "ref";
+
+enum class DomainPolicy : uint8_t {
+    Ipp,       ///< inconsistent-path-pair checking (the paper's check)
+    Balanced,  ///< any path with nonzero net change at return is a bug
+};
+
+/** Lower-case keyword for @p policy as written in spec files. */
+const char *domainPolicyName(DomainPolicy policy);
+
+/** Parse a policy keyword; returns false on an unknown word. */
+bool parseDomainPolicy(const std::string &word, DomainPolicy *out);
+
+struct DomainInfo
+{
+    std::string name;
+    DomainPolicy policy = DomainPolicy::Ipp;
+};
+
+/**
+ * The set of declared effect domains. Always contains the builtin `ref`
+ * domain with the `ipp` policy; `ref` may be redeclared, but only with
+ * the same policy.
+ */
+class DomainTable
+{
+  public:
+    DomainTable();
+
+    enum class DeclareResult {
+        Added,      ///< new domain registered
+        Unchanged,  ///< already declared with the same policy
+        Conflict,   ///< already declared with a different policy
+    };
+
+    DeclareResult declare(const DomainInfo &info);
+
+    bool contains(const std::string &name) const;
+
+    /** Policy of @p name; unknown domains default to Ipp (the behavior
+     *  every effect had before domains existed). */
+    DomainPolicy policyOf(const std::string &name) const;
+
+    /** True iff any declared domain uses a policy other than Ipp; used
+     *  to skip the policy pre-pass entirely on ref-only runs. */
+    bool anyNonIpp() const;
+
+    /** All declared domains, name-ordered. */
+    std::vector<DomainInfo> all() const;
+
+  private:
+    std::map<std::string, DomainPolicy> domains_;
+};
+
+/** Human-readable one-line-per-domain listing (for `ridc --list-domains`):
+ *  `name <tab> policy`, name-ordered, trailing newline. */
+std::string listDomainsText(const DomainTable &table);
+
+} // namespace rid::summary
+
+#endif // RID_SUMMARY_DOMAIN_H

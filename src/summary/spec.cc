@@ -144,14 +144,28 @@ class SpecLexer
 class SpecParser
 {
   public:
-    explicit SpecParser(const std::string &src) : lex_(src) {}
+    SpecParser(const std::string &src, const DomainTable *known)
+        : lex_(src)
+    {
+        if (known)
+            table_ = *known;
+    }
 
-    std::vector<ParsedSummary>
+    ParsedSpec
     parse()
     {
-        std::vector<ParsedSummary> out;
-        while (lex_.cur().kind != SpecTok::End)
-            out.push_back(parseSummary());
+        // Duplicate summaries are legal here (computed-summary imports
+        // concatenate exports, last wins); loadSpecsInto() rejects them
+        // for predefined specs.
+        ParsedSpec out;
+        while (lex_.cur().kind != SpecTok::End) {
+            if (lex_.cur().kind != SpecTok::Ident)
+                err("expected 'domain' or 'summary'");
+            if (lex_.cur().text == "domain")
+                out.domains.push_back(parseDomain());
+            else
+                out.summaries.push_back(parseSummary());
+        }
         return out;
     }
 
@@ -190,12 +204,53 @@ class SpecParser
         return s;
     }
 
+    DomainInfo
+    parseDomain()
+    {
+        int decl_line = lex_.cur().line;
+        if (!acceptIdent("domain"))
+            err("expected 'domain'");
+        DomainInfo info;
+        info.name = takeIdent("domain name");
+        expect(SpecTok::LBrace, "{");
+        bool saw_policy = false;
+        while (lex_.cur().kind != SpecTok::RBrace) {
+            std::string key = takeIdent("'policy'");
+            expect(SpecTok::Colon, ":");
+            if (key == "policy") {
+                std::string word = takeIdent("'ipp' or 'balanced'");
+                if (!parseDomainPolicy(word, &info.policy))
+                    err("unknown policy '" + word +
+                        "' (expected 'ipp' or 'balanced')");
+                saw_policy = true;
+            } else {
+                err("unknown domain key '" + key + "'");
+            }
+            expect(SpecTok::Semi, ";");
+        }
+        expect(SpecTok::RBrace, "}");
+        if (!saw_policy)
+            throw SpecError("domain '" + info.name +
+                                "' declares no policy",
+                            decl_line);
+        if (table_.declare(info) == DomainTable::DeclareResult::Conflict) {
+            throw SpecError(
+                "domain '" + info.name + "' redeclared with policy '" +
+                    domainPolicyName(info.policy) + "' (was '" +
+                    domainPolicyName(table_.policyOf(info.name)) + "')",
+                decl_line);
+        }
+        return info;
+    }
+
     ParsedSummary
     parseSummary()
     {
+        int decl_line = lex_.cur().line;
         if (!acceptIdent("summary"))
-            err("expected 'summary'");
+            err("expected 'summary' (or a 'domain' declaration)");
         ParsedSummary out;
+        out.line = decl_line;
         out.summary.function = takeIdent("function name");
         expect(SpecTok::LParen, "(");
         while (lex_.cur().kind != SpecTok::RParen) {
@@ -237,6 +292,18 @@ class SpecParser
         bool saw_return = false;
         while (lex_.cur().kind != SpecTok::RBrace) {
             std::string key = takeIdent("'cons', 'change' or 'return'");
+            // `change(domain):` tags the effect; plain `change:` is the
+            // builtin ref domain.
+            std::string domain = kRefDomain;
+            if (key == "change" && lex_.cur().kind == SpecTok::LParen) {
+                lex_.advance();
+                domain = takeIdent("domain name");
+                if (!table_.contains(domain))
+                    err("unknown domain '" + domain +
+                        "' (declare it first: domain " + domain +
+                        " { policy: ...; })");
+                expect(SpecTok::RParen, ")");
+            }
             expect(SpecTok::Colon, ":");
             if (key == "cons") {
                 e.cons = parseOr();
@@ -252,7 +319,7 @@ class SpecParser
                 lex_.advance();
                 if (lex_.cur().kind != SpecTok::Number)
                     err("expected change amount");
-                e.changes[rc] += sign * lex_.cur().number;
+                e.changes[EffectKey(domain, rc)] += sign * lex_.cur().number;
                 lex_.advance();
             } else if (key == "store") {
                 e.stores.insert(parseTerm());
@@ -381,21 +448,41 @@ class SpecParser
     }
 
     SpecLexer lex_;
+    DomainTable table_;
 };
 
 } // anonymous namespace
 
+ParsedSpec
+parseSpecText(const std::string &text, const DomainTable *known)
+{
+    SpecParser p(text, known);
+    return p.parse();
+}
+
 std::vector<ParsedSummary>
 parseSpecs(const std::string &text)
 {
-    SpecParser p(text);
-    return p.parse();
+    return parseSpecText(text).summaries;
 }
 
 void
 loadSpecsInto(const std::string &text, SummaryDb &db)
 {
-    for (auto &parsed : parseSpecs(text))
+    DomainTable known = db.domains();
+    ParsedSpec spec = parseSpecText(text, &known);
+    std::set<std::string> seen;
+    for (const auto &parsed : spec.summaries) {
+        if (!seen.insert(parsed.summary.function).second ||
+            db.hasPredefined(parsed.summary.function)) {
+            throw SpecError("duplicate summary for '" +
+                                parsed.summary.function + "'",
+                            parsed.line);
+        }
+    }
+    for (const auto &d : spec.domains)
+        db.declareDomain(d);
+    for (auto &parsed : spec.summaries)
         db.addPredefined(std::move(parsed.summary));
 }
 
@@ -419,7 +506,7 @@ serializeSummary(const FunctionSummary &s)
             for (const auto &lit : e.cons.literals())
                 collect(lit);
             for (const auto &[rc, delta] : e.changes)
-                collect(rc);
+                collect(rc.counter);
             if (e.ret) {
                 collect(e.ret);
                 returns_value = true;
@@ -446,7 +533,10 @@ serializeSummary(const FunctionSummary &s)
     for (const auto &e : s.entries) {
         os << "  entry { cons: " << e.cons.str() << ";";
         for (const auto &[rc, delta] : e.changes) {
-            os << " change: " << rc.str()
+            os << " change";
+            if (!rc.isRef())
+                os << "(" << rc.domain << ")";
+            os << ": " << rc.counter.str()
                << (delta >= 0 ? " += " : " -= ")
                << (delta >= 0 ? delta : -delta) << ";";
         }

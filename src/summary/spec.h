@@ -21,6 +21,18 @@
  * analysis-generated atom, a bare identifier a local, and `null` the null
  * pointer. `-> void` marks functions without a return value; `-> int` and
  * `-> ptr` are synonyms for value-returning functions.
+ *
+ * Effect domains (see summary/domain.h) are declared at the top level and
+ * referenced by tagging a change effect:
+ *
+ *     domain lock { policy: balanced; }
+ *     summary spin_lock(l) -> void {
+ *       entry { cons: true; change(lock): [l].held += 1; return: none; }
+ *     }
+ *
+ * An untagged `change:` belongs to the builtin `ref` domain. Referencing
+ * an undeclared domain, redeclaring a domain with a different policy, or
+ * declaring two summaries for the same function is a SpecError.
  */
 
 #ifndef RID_SUMMARY_SPEC_H
@@ -55,15 +67,35 @@ struct ParsedSummary
     FunctionSummary summary;
     std::vector<std::string> params;
     bool returns_value = false;
+    /** Line of the `summary` keyword (for duplicate diagnostics). */
+    int line = 0;
+};
+
+/** Result of parsing one spec text: domain declarations in declaration
+ *  order (builtin `ref` not included unless redeclared) and summaries. */
+struct ParsedSpec
+{
+    std::vector<DomainInfo> domains;
+    std::vector<ParsedSummary> summaries;
 };
 
 /**
- * Parse spec text into summaries.
- * @throws SpecError on malformed input.
+ * Parse spec text into domain declarations and summaries. `change(d)`
+ * tags must reference a domain declared earlier in the same text, the
+ * builtin `ref`, or a member of @p known (pre-declared domains, e.g.
+ * from specs already loaded into the target db).
+ * @throws SpecError on malformed input, an unknown domain reference, a
+ *         conflicting domain redeclaration or a duplicate summary.
  */
+ParsedSpec parseSpecText(const std::string &text,
+                         const DomainTable *known = nullptr);
+
+/** Compatibility wrapper: parse and return just the summaries. */
 std::vector<ParsedSummary> parseSpecs(const std::string &text);
 
-/** Parse spec text and register every summary as predefined in @p db. */
+/** Parse spec text, register its domain declarations and every summary
+ *  as predefined in @p db.
+ *  @throws SpecError also when a summary name is already predefined. */
 void loadSpecsInto(const std::string &text, SummaryDb &db);
 
 /** Serialize one summary in the spec format (round-trips via parseSpecs).

@@ -37,12 +37,12 @@ SummaryEntry::sameStores(const SummaryEntry &a, const SummaryEntry &b)
     return true;
 }
 
-std::vector<std::pair<smt::Expr, std::pair<int, int>>>
+std::vector<std::pair<EffectKey, std::pair<int, int>>>
 SummaryEntry::changedDifferently(const SummaryEntry &a,
                                  const SummaryEntry &b)
 {
-    std::vector<std::pair<smt::Expr, std::pair<int, int>>> diffs;
-    auto deltaIn = [](const ChangeMap &m, const smt::Expr &rc) {
+    std::vector<std::pair<EffectKey, std::pair<int, int>>> diffs;
+    auto deltaIn = [](const ChangeMap &m, const EffectKey &rc) {
         auto it = m.find(rc);
         return it == m.end() ? 0 : it->second;
     };
@@ -106,6 +106,19 @@ FunctionSummary::hasChanges() const
     return false;
 }
 
+bool
+FunctionSummary::hasChangesIn(const std::vector<std::string> &domains) const
+{
+    if (domains.empty())
+        return hasChanges();
+    for (const auto &e : entries)
+        for (const auto &[rc, delta] : e.changes)
+            for (const auto &d : domains)
+                if (rc.domain == d)
+                    return true;
+    return false;
+}
+
 FunctionSummary
 FunctionSummary::defaultFor(const std::string &fn, bool returns_value)
 {
@@ -151,7 +164,7 @@ instantiate(const SummaryEntry &entry,
             out.ret = out.ret.substitute(from, to);
         ChangeMap new_changes;
         for (const auto &[rc, delta] : out.changes) {
-            smt::Expr key = rc.substitute(from, to);
+            EffectKey key = rc.substitute(from, to);
             new_changes[key] += delta;
         }
         out.changes = std::move(new_changes);

@@ -16,15 +16,70 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "smt/formula.h"
+#include "summary/domain.h"
 
 namespace rid::summary {
 
-/** Map from a refcount (a symbolic expression like "[dev].pm") to its net
- *  change along a path. Zero deltas are never stored. */
-using ChangeMap = std::map<smt::Expr, int, smt::ExprLess>;
+/**
+ * Key of one tracked effect: the counter expression (e.g. "[dev].pm")
+ * tagged with the effect domain it belongs to. The implicit Expr
+ * conversion keeps the pre-domain call sites (`changes[Expr::field(...)]`)
+ * meaning "the builtin ref domain", so refcount-only code is unchanged.
+ */
+struct EffectKey
+{
+    std::string domain = kRefDomain;
+    smt::Expr counter;
+
+    EffectKey() = default;
+    /*implicit*/ EffectKey(smt::Expr e) : counter(std::move(e)) {}
+    EffectKey(std::string d, smt::Expr e)
+        : domain(std::move(d)), counter(std::move(e))
+    {}
+
+    bool isRef() const { return domain == kRefDomain; }
+
+    /** Rewrite the counter expression, preserving the domain tag. */
+    EffectKey substitute(const smt::Expr &from, const smt::Expr &to) const
+    {
+        return EffectKey(domain, counter.substitute(from, to));
+    }
+
+    /** `counter.str()` for ref keys (pre-domain rendering), otherwise
+     *  `domain:counter`. */
+    std::string str() const
+    {
+        return isRef() ? counter.str() : domain + ":" + counter.str();
+    }
+
+    bool operator==(const EffectKey &o) const
+    {
+        return domain == o.domain && counter.equals(o.counter);
+    }
+    bool operator!=(const EffectKey &o) const { return !(*this == o); }
+};
+
+/** Orders by domain name first, then structurally by counter; for keys in
+ *  the ref domain this coincides with the pre-domain smt::ExprLess
+ *  order, keeping ref-only output byte-identical. */
+struct EffectKeyLess
+{
+    bool operator()(const EffectKey &a, const EffectKey &b) const
+    {
+        if (a.domain != b.domain)
+            return a.domain < b.domain;
+        return a.counter.less(b.counter);
+    }
+};
+
+/** Map from a tracked counter (keyed by domain + symbolic expression,
+ *  e.g. "[dev].pm" in `ref`) to its net change along a path. Zero deltas
+ *  are never stored. */
+using ChangeMap = std::map<EffectKey, int, EffectKeyLess>;
 
 /** Provenance attached to an entry for report rendering. */
 struct EntryOrigin
@@ -63,8 +118,8 @@ struct SummaryEntry
     /** True if both entries write the same caller-visible structures. */
     static bool sameStores(const SummaryEntry &a, const SummaryEntry &b);
 
-    /** Refcounts on which the two entries differ, with both deltas. */
-    static std::vector<std::pair<smt::Expr, std::pair<int, int>>>
+    /** Counters on which the two entries differ, with both deltas. */
+    static std::vector<std::pair<EffectKey, std::pair<int, int>>>
     changedDifferently(const SummaryEntry &a, const SummaryEntry &b);
 
     /**
@@ -95,8 +150,12 @@ struct FunctionSummary
      *  default entry was appended (Section 5.2). */
     bool is_truncated = false;
 
-    /** True if any entry changes any refcount. */
+    /** True if any entry changes any counter, in any domain. */
     bool hasChanges() const;
+
+    /** As hasChanges(), but counting only effects whose domain is in
+     *  @p domains (empty = all domains). */
+    bool hasChangesIn(const std::vector<std::string> &domains) const;
 
     /** The default summary: single entry, no changes, return [0]. */
     static FunctionSummary defaultFor(const std::string &fn,

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/rid.h"
+#include "kernel/domain_specs.h"
 #include "kernel/dpm_specs.h"
 #include "kernel/generator.h"
 #include "obs/failpoint.h"
@@ -65,7 +66,9 @@ std::string
 runDigest(const kernel::Corpus &corpus, int threads, int path_threads,
           bool cache, bool trace = false, double run_deadline = 0,
           double fn_deadline = 0, uint64_t solver_fuel = 0,
-          bool prefix_sharing = true, const std::string &failpoints = "")
+          bool prefix_sharing = true, const std::string &failpoints = "",
+          const std::vector<std::string> &enabled_domains = {},
+          bool load_domain_specs = false)
 {
     analysis::AnalyzerOptions opts;
     opts.threads = threads;
@@ -76,12 +79,17 @@ runDigest(const kernel::Corpus &corpus, int threads, int path_threads,
     opts.function_solver_fuel = solver_fuel;
     opts.prefix_sharing = prefix_sharing;
     opts.failpoints = failpoints;
+    opts.enabled_domains = enabled_domains;
     if (trace) {
         opts.tracer = std::make_shared<obs::Tracer>();
         opts.trace_solver_queries = true;
     }
     Rid tool(opts);
     tool.loadSpecText(kernel::dpmSpecText());
+    if (load_domain_specs) {
+        tool.loadSpecText(kernel::lockSpecText());
+        tool.loadSpecText(kernel::allocSpecText());
+    }
     tool.addSource(kFigure9Source);
     for (const auto &file : corpus.files)
         tool.addSource(file.text);
@@ -108,16 +116,20 @@ class AnalyzerDeterminismTest : public ::testing::Test
 {
   protected:
     static kernel::Corpus corpus_;
+    static kernel::Corpus multi_corpus_;
 
     static void
     SetUpTestSuite()
     {
         corpus_ = kernel::generateCorpus(
             kernel::CorpusMix::paperCalibrated(0.001));
+        multi_corpus_ = kernel::generateCorpus(
+            kernel::CorpusMix::multiDomain(0.001, /*domain_count=*/4));
     }
 };
 
 kernel::Corpus AnalyzerDeterminismTest::corpus_;
+kernel::Corpus AnalyzerDeterminismTest::multi_corpus_;
 
 TEST_F(AnalyzerDeterminismTest, ThreadsByCacheMatrixIsByteIdentical)
 {
@@ -249,6 +261,65 @@ TEST_F(AnalyzerDeterminismTest, PrefixSharingMatchesReplayUnderFaults)
             << "fault did not fire under spec " << spec << ":\n"
             << replay;
     }
+}
+
+TEST_F(AnalyzerDeterminismTest, RefOnlyDomainFilterIsByteIdentical)
+{
+    // The effect-domain differential, part 1: enabling only the `ref`
+    // domain must reproduce the pre-domain run exactly — same reports,
+    // same summaries, same diagnostics — across thread counts and both
+    // engines. The filter machinery (seed selection, the IPP pre-pass)
+    // must be invisible when it selects everything there is.
+    std::string baseline = runDigest(corpus_, 1, 1, false);
+    for (int threads : {1, 4}) {
+        for (bool prefix : {false, true}) {
+            EXPECT_EQ(runDigest(corpus_, threads, threads, false, false,
+                                0, 0, 0, prefix, "", {"ref"}),
+                      baseline)
+                << "threads=" << threads << " prefix=" << prefix
+                << " domains=ref";
+        }
+    }
+}
+
+TEST_F(AnalyzerDeterminismTest, DomainSpecsDoNotPerturbRefScan)
+{
+    // Part 2: merely loading the lock/kmalloc specs (which declare two
+    // balanced-policy domains and so activate the balanced pre-pass)
+    // must not change a single byte of the refcount scan when the
+    // corpus never calls a lock/alloc primitive.
+    std::string baseline = runDigest(corpus_, 1, 1, false);
+    EXPECT_EQ(runDigest(corpus_, 1, 1, false, false, 0, 0, 0, true, "",
+                        {}, /*load_domain_specs=*/true),
+              baseline);
+}
+
+TEST_F(AnalyzerDeterminismTest, MultiDomainScanIsByteIdentical)
+{
+    // A corpus that mixes refcount, lock and alloc patterns, analyzed
+    // with all three domains' specs loaded, must stay byte-identical
+    // across the same matrix the refcount corpus is pinned on.
+    std::string baseline = runDigest(multi_corpus_, 1, 1, false, false,
+                                     0, 0, 0, true, "", {}, true);
+    ASSERT_NE(baseline.find("unbalanced at return"), std::string::npos)
+        << "multi-domain corpus produced no balanced-policy reports";
+    for (int threads : {1, 4}) {
+        for (bool prefix : {false, true}) {
+            EXPECT_EQ(runDigest(multi_corpus_, threads, threads, true,
+                                false, 0, 0, 0, prefix, "", {}, true),
+                      baseline)
+                << "threads=" << threads << " prefix=" << prefix
+                << " multi-domain";
+        }
+    }
+    // Filtering the same corpus down to `ref` suppresses every
+    // balanced-policy report deterministically.
+    std::string ref_only = runDigest(multi_corpus_, 1, 1, false, false,
+                                     0, 0, 0, true, "", {"ref"}, true);
+    EXPECT_EQ(ref_only.find("unbalanced at return"), std::string::npos);
+    EXPECT_EQ(runDigest(multi_corpus_, 4, 4, true, false, 0, 0, 0, true,
+                        "", {"ref"}, true),
+              ref_only);
 }
 
 TEST_F(AnalyzerDeterminismTest, CacheDoesNotChangeReportCount)

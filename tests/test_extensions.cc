@@ -6,9 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sys/wait.h>
+
 #include "core/rid.h"
 #include "frontend/lower.h"
+#include "kernel/domain_specs.h"
 #include "kernel/dpm_specs.h"
+#include "summary/domain.h"
 
 namespace rid {
 namespace {
@@ -216,6 +222,144 @@ void track_get(struct device *dev, struct list *busy) {
     ASSERT_NE(s, nullptr);
     ASSERT_FALSE(s->entries.empty());
     EXPECT_EQ(s->entries[0].stores.size(), 1u);
+}
+
+TEST(DomainTable, RefIsImplicitAndIpp)
+{
+    summary::DomainTable table;
+    EXPECT_TRUE(table.contains(summary::kRefDomain));
+    EXPECT_EQ(table.policyOf("ref"), summary::DomainPolicy::Ipp);
+    EXPECT_FALSE(table.anyNonIpp());
+    EXPECT_EQ(table.policyOf("unknown"), summary::DomainPolicy::Ipp);
+    EXPECT_FALSE(table.contains("unknown"));
+}
+
+TEST(DomainTable, DeclareIsIdempotentButConflictChecked)
+{
+    summary::DomainTable table;
+    using R = summary::DomainTable::DeclareResult;
+    EXPECT_EQ(table.declare({"lock", summary::DomainPolicy::Balanced}),
+              R::Added);
+    EXPECT_EQ(table.declare({"lock", summary::DomainPolicy::Balanced}),
+              R::Unchanged);
+    EXPECT_EQ(table.declare({"lock", summary::DomainPolicy::Ipp}),
+              R::Conflict);
+    EXPECT_EQ(table.policyOf("lock"), summary::DomainPolicy::Balanced);
+    EXPECT_TRUE(table.anyNonIpp());
+}
+
+TEST(DomainTable, ListTextIsNameSorted)
+{
+    summary::DomainTable table;
+    table.declare({"lock", summary::DomainPolicy::Balanced});
+    table.declare({"alloc", summary::DomainPolicy::Balanced});
+    EXPECT_EQ(summary::listDomainsText(table),
+              "alloc\tbalanced\nlock\tbalanced\nref\tipp\n");
+}
+
+const char *kLockLeakSource = R"(
+int do_op(struct device *dev, int a);
+
+int leaky(struct device *dev, int arg) {
+    int ret;
+    spin_lock(&dev->lock);
+    ret = do_op(dev, arg);
+    if (ret < 0)
+        return ret;
+    spin_unlock(&dev->lock);
+    return 0;
+}
+)";
+
+TEST(EnabledDomains, FilterSelectsWhichDomainsAreChecked)
+{
+    auto scan = [&](std::vector<std::string> domains) {
+        Rid tool;
+        tool.loadSpecText(kernel::lockSpecText());
+        tool.options().enabled_domains = std::move(domains);
+        tool.addSource(kLockLeakSource);
+        return tool.run();
+    };
+    RunResult all = scan({});
+    ASSERT_EQ(all.reports.size(), 1u);
+    EXPECT_EQ(all.reports[0].domain, "lock");
+    EXPECT_EQ(all.reports[0].kind, analysis::BugKind::Unbalanced);
+    EXPECT_EQ(all.stats.reports_by_domain.at("lock"), 1u);
+
+    EXPECT_EQ(scan({"lock"}).reports.size(), 1u);
+    // With only `ref` enabled the lock seeds are never even seeded, so
+    // the scan is silent.
+    RunResult ref_only = scan({"ref"});
+    EXPECT_TRUE(ref_only.reports.empty());
+    EXPECT_TRUE(ref_only.stats.reports_by_domain.empty());
+}
+
+// --- ridc CLI: --list-domains / --domains -------------------------------
+
+struct CliResult
+{
+    int exit_code = -1;
+    std::string output;
+};
+
+CliResult
+runCli(const std::string &args)
+{
+    CliResult r;
+    std::string cmd = std::string(RIDC_PATH) + " " + args + " 2>&1";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return r;
+    char buf[512];
+    while (fgets(buf, sizeof(buf), pipe))
+        r.output += buf;
+    int status = pclose(pipe);
+    r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return r;
+}
+
+std::string
+writeTemp(const std::string &name, const std::string &text)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::ofstream(path) << text;
+    return path;
+}
+
+TEST(RidcCli, ListDomainsPrintsDeclaredDomains)
+{
+    std::string lock = writeTemp("cli_lock.spec",
+                                 kernel::lockSpecText());
+    std::string alloc = writeTemp("cli_alloc.spec",
+                                  kernel::allocSpecText());
+    CliResult r = runCli("--spec " + lock + " --spec " + alloc +
+                         " --list-domains");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_EQ(r.output, "alloc\tbalanced\nlock\tbalanced\nref\tipp\n");
+}
+
+TEST(RidcCli, UnknownDomainIsAClearError)
+{
+    std::string lock = writeTemp("cli_lock.spec",
+                                 kernel::lockSpecText());
+    std::string src = writeTemp("cli_lock.c", kLockLeakSource);
+    CliResult r = runCli("--spec " + lock + " --domains=locks " + src);
+    EXPECT_EQ(r.exit_code, 2);
+    EXPECT_NE(r.output.find("unknown domain 'locks'"), std::string::npos);
+}
+
+TEST(RidcCli, DomainsFilterControlsTheScan)
+{
+    std::string lock = writeTemp("cli_lock.spec",
+                                 kernel::lockSpecText());
+    std::string src = writeTemp("cli_lock.c", kLockLeakSource);
+    CliResult leak = runCli("--spec " + lock + " --domains=lock " + src);
+    EXPECT_EQ(leak.exit_code, 1);
+    EXPECT_NE(leak.output.find("unbalanced at return"),
+              std::string::npos);
+    CliResult quiet = runCli("--spec " + lock + " --domains ref " + src);
+    EXPECT_EQ(quiet.exit_code, 0);
+    EXPECT_NE(quiet.output.find("0 report(s)"), std::string::npos);
 }
 
 } // anonymous namespace

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/rid.h"
 #include "summary/db.h"
+#include "summary/domain.h"
 #include "summary/spec.h"
 #include "summary/summary.h"
 
@@ -328,6 +330,158 @@ TEST(SpecSave, DbSavesOnlyComputed)
     std::string saved = db.saveComputed();
     EXPECT_NE(saved.find("summary mine"), std::string::npos);
     EXPECT_EQ(saved.find("summary api"), std::string::npos);
+}
+
+TEST(SpecDomains, ParsesDeclarationAndTaggedChange)
+{
+    ParsedSpec spec = parseSpecText(R"(
+domain lock { policy: balanced; }
+summary spin_lock(l) -> void {
+  entry { cons: true; change(lock): [l].held += 1; return: none; }
+}
+)");
+    ASSERT_EQ(spec.domains.size(), 1u);
+    EXPECT_EQ(spec.domains[0].name, "lock");
+    EXPECT_EQ(spec.domains[0].policy, DomainPolicy::Balanced);
+    ASSERT_EQ(spec.summaries.size(), 1u);
+    const auto &changes = spec.summaries[0].summary.entries[0].changes;
+    ASSERT_EQ(changes.size(), 1u);
+    EXPECT_EQ(changes.begin()->first.domain, "lock");
+    EXPECT_EQ(changes.begin()->second, 1);
+}
+
+TEST(SpecDomains, UntaggedChangeIsRefDomain)
+{
+    auto parsed = parseSpecs("summary g(a) -> void { entry { cons: true; "
+                             "change: [a].rc += 1; } }");
+    const auto &key = parsed[0].summary.entries[0].changes.begin()->first;
+    EXPECT_EQ(key.domain, kRefDomain);
+    EXPECT_TRUE(key.isRef());
+    EXPECT_EQ(key.str(), "[a].rc");
+}
+
+TEST(SpecDomains, RoundTripPreservesDomainTag)
+{
+    DomainTable known;
+    known.declare({"lock", DomainPolicy::Balanced});
+    ParsedSpec spec = parseSpecText(
+        "summary mutex_lock(l) -> void { entry { cons: true; "
+        "change(lock): [l].held += 1; } }",
+        &known);
+    std::string text = serializeSummary(spec.summaries[0].summary);
+    EXPECT_NE(text.find("change(lock):"), std::string::npos);
+    ParsedSpec again = parseSpecText(text, &known);
+    EXPECT_EQ(spec.summaries[0].summary.entries[0].changes,
+              again.summaries[0].summary.entries[0].changes);
+}
+
+TEST(SpecDomains, SaveComputedEmitsDomainHeaderForNonRef)
+{
+    SummaryDb db;
+    ASSERT_TRUE(db.declareDomain({"lock", DomainPolicy::Balanced}));
+    FunctionSummary s;
+    s.function = "wrapper";
+    s.returns_value = false;
+    SummaryEntry e;
+    e.changes[EffectKey("lock", smt::Expr::field(smt::Expr::arg("l"),
+                                                 "held"))] = 1;
+    s.entries.push_back(e);
+    db.addComputed(s);
+    std::string saved = db.saveComputed();
+    EXPECT_NE(saved.find("domain lock { policy: balanced; }"),
+              std::string::npos);
+
+    // A ref-only database never emits a domain header (byte
+    // compatibility with pre-domain exports).
+    SummaryDb ref_db;
+    ref_db.addComputed(FunctionSummary::defaultFor("plain", true));
+    EXPECT_EQ(ref_db.saveComputed().find("domain"), std::string::npos);
+}
+
+TEST(SpecDomainErrors, DeclarationWithoutPolicyThrows)
+{
+    EXPECT_THROW(parseSpecText("domain lock { }"), SpecError);
+    try {
+        parseSpecText("domain lock { }");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("declares no policy"),
+                  std::string::npos);
+    }
+}
+
+TEST(SpecDomainErrors, UnknownPolicyThrows)
+{
+    EXPECT_THROW(parseSpecText("domain lock { policy: bogus; }"),
+                 SpecError);
+}
+
+TEST(SpecDomainErrors, MalformedDeclarationThrows)
+{
+    EXPECT_THROW(parseSpecText("domain { policy: ipp; }"), SpecError);
+    EXPECT_THROW(parseSpecText("domain lock policy: ipp;"), SpecError);
+    EXPECT_THROW(parseSpecText("domain lock { color: red; }"), SpecError);
+}
+
+TEST(SpecDomainErrors, UnknownDomainReferenceThrows)
+{
+    try {
+        parseSpecText("summary f(a) -> void { entry { cons: true; "
+                      "change(lock): [a].held += 1; } }");
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown domain 'lock'"),
+                  std::string::npos);
+    }
+}
+
+TEST(SpecDomainErrors, ConflictingRedeclarationThrows)
+{
+    EXPECT_THROW(parseSpecText("domain lock { policy: balanced; }\n"
+                               "domain lock { policy: ipp; }"),
+                 SpecError);
+    // Redeclaring with the same policy is harmless (spec concatenation).
+    EXPECT_NO_THROW(parseSpecText("domain lock { policy: balanced; }\n"
+                                  "domain lock { policy: balanced; }"));
+    // `ref` is implicitly declared with the ipp policy.
+    EXPECT_THROW(parseSpecText("domain ref { policy: balanced; }"),
+                 SpecError);
+}
+
+TEST(SpecDomainErrors, DuplicateSummaryRejectedByLoad)
+{
+    SummaryDb db;
+    const std::string dup =
+        "summary f(a) -> void { entry { cons: true; } }\n"
+        "summary f(a) -> void { entry { cons: true; } }";
+    EXPECT_THROW(loadSpecsInto(dup, db), SpecError);
+    // parseSpecText itself allows duplicates: computed-summary imports
+    // concatenate exports across levels and the last one wins.
+    EXPECT_NO_THROW(parseSpecText(dup));
+}
+
+TEST(SpecDomainErrors, LoadSpecTolerantRecordsDiagnosticNeverThrows)
+{
+    Rid tool;
+    EXPECT_FALSE(tool.loadSpecTolerant("bad.spec",
+                                       "domain lock { policy: bogus; }"));
+    EXPECT_FALSE(tool.loadSpecTolerant(
+        "unknown.spec", "summary f(a) -> void { entry { cons: true; "
+                        "change(lock): [a].held += 1; } }"));
+    EXPECT_FALSE(tool.loadSpecTolerant(
+        "dup.spec", "summary g() -> void { entry { cons: true; } }\n"
+                    "summary g() -> void { entry { cons: true; } }"));
+    ASSERT_EQ(tool.fileDiagnostics().size(), 3u);
+    EXPECT_EQ(tool.fileDiagnostics()[0].file, "bad.spec");
+    EXPECT_NE(tool.fileDiagnostics()[1].reason.find("unknown domain"),
+              std::string::npos);
+    EXPECT_NE(tool.fileDiagnostics()[2].reason.find("duplicate summary"),
+              std::string::npos);
+    // A good spec still loads afterwards.
+    EXPECT_TRUE(tool.loadSpecTolerant(
+        "good.spec", "summary h(a) -> void { entry { cons: true; "
+                     "change: [a].rc += 1; } }"));
+    EXPECT_TRUE(tool.summaries().hasPredefined("h"));
 }
 
 } // anonymous namespace
