@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Cross-tool scoring harness on injected ground truth.
+ *
+ * Generates a known-clean calibrated corpus, injects viability-filtered
+ * bugs with exact ground truth (kernel/inject.h), analyzes it shard by
+ * shard with RID (ref+lock+alloc specs) and with the cpychecker-style
+ * escape checker (kernel API attribute table, check_arguments on), and
+ * scores both report sets against the same injection log. Results —
+ * per-domain precision/recall, throughput, the Table-1-style census —
+ * go to stdout and to BENCH_truth.json (override with RID_TRUTH_JSON).
+ *
+ * Usage: bench_truth_score [scale] [seed]
+ *   scale  corpus scale (default 0.05; 1.0 = the 270k-function regime)
+ *   seed   layout seed (default 0x101)
+ *
+ * RID_SCALE_BENCH=1 additionally runs the full-scale sharded pass: the
+ * paperCalibrated(1.0) population (seeded bugs and FP-inducers
+ * included) grafted with the calibrated lock/alloc/nested-domain
+ * populations, injected and scored in bounded memory.
+ *
+ * Exit status is nonzero unless RID reaches precision and recall >= 0.9
+ * on the injected truth in every domain and Pareto-dominates the
+ * baseline.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baseline/cpychecker.h"
+#include "core/rid.h"
+#include "kernel/domain_specs.h"
+#include "kernel/dpm_specs.h"
+#include "kernel/generator.h"
+#include "kernel/inject.h"
+#include "kernel/score.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ToolRun
+{
+    rid::kernel::ScoreResult score;
+    double wall_seconds = 0;
+    size_t reports = 0;
+};
+
+struct ScoredRun
+{
+    size_t functions = 0;
+    int shards = 0;
+    std::vector<rid::kernel::Injection> injections;
+    rid::kernel::InjectionEngine::Stats inj_stats;
+    rid::kernel::CorpusCensus census;
+    ToolRun rid;
+    ToolRun cpy;
+};
+
+/** Generate, inject, analyze shard by shard with both tools, score. */
+ScoredRun
+runScored(const rid::kernel::CorpusMix &mix, uint64_t seed,
+          int files_per_shard)
+{
+    using namespace rid;
+
+    ScoredRun out;
+    auto plan = kernel::InjectionPlan::calibrated(mix);
+    kernel::ShardOptions shard_opts;
+    shard_opts.files_per_shard = files_per_shard;
+    kernel::InjectionLog log;
+    std::vector<kernel::ReportClaim> rid_claims;
+    std::vector<kernel::ReportClaim> cpy_claims;
+    std::vector<kernel::FunctionTruth> truth;
+
+    baseline::CpycheckerOptions cpy_opts;
+    cpy_opts.check_arguments = true;
+    baseline::Cpychecker checker(kernel::kernelApiAttrs(), cpy_opts);
+
+    kernel::generateInjectedCorpusSharded(
+        mix, plan, seed, shard_opts,
+        [&](kernel::CorpusShard &&shard) {
+            out.shards++;
+            Rid tool;
+            tool.loadSpecText(kernel::dpmSpecText());
+            tool.loadSpecText(kernel::lockSpecText());
+            tool.loadSpecText(kernel::allocSpecText());
+            for (const auto &file : shard.files)
+                tool.addSource(file.text);
+
+            auto t0 = Clock::now();
+            RunResult result = tool.run();
+            out.rid.wall_seconds += secondsSince(t0);
+            for (const auto &report : result.reports) {
+                rid_claims.push_back(
+                    kernel::ReportClaim{report.function, report.domain});
+            }
+
+            // The baseline reuses the shard's compiled module.
+            t0 = Clock::now();
+            auto base = checker.run(tool.module());
+            out.cpy.wall_seconds += secondsSince(t0);
+            for (const auto &report : base.reports) {
+                cpy_claims.push_back(
+                    kernel::ReportClaim{report.function, ""});
+            }
+
+            for (auto &t : shard.truth) {
+                out.census.add(t);
+                truth.push_back(std::move(t));
+            }
+        },
+        log);
+
+    out.functions = truth.size();
+    out.injections = std::move(log.injections);
+    out.inj_stats = log.stats;
+    out.rid.reports = rid_claims.size();
+    out.cpy.reports = cpy_claims.size();
+    out.rid.score =
+        kernel::scoreReports(out.injections, truth, rid_claims);
+    out.cpy.score =
+        kernel::scoreReports(out.injections, truth, cpy_claims);
+    return out;
+}
+
+/** Census and injection counters minted into a metrics registry (the
+ *  cardinality guard keeps this safe even for adversarial name sets). */
+void
+mintMetrics(rid::obs::MetricsRegistry &registry, const ScoredRun &run)
+{
+    for (const auto &[domain, census] : run.census.domains) {
+        const std::string prefix = "rid_truth_census_" + domain + "_";
+        registry.counter(prefix + "changing_total")
+            .inc(static_cast<uint64_t>(census.changing));
+        registry.counter(prefix + "affecting_analyzed_total")
+            .inc(static_cast<uint64_t>(census.affecting_analyzed));
+        registry.counter(prefix + "affecting_not_analyzed_total")
+            .inc(static_cast<uint64_t>(census.affecting_not_analyzed));
+        registry.counter(prefix + "others_total")
+            .inc(static_cast<uint64_t>(census.others));
+    }
+    for (const auto &inj : run.injections) {
+        registry
+            .counter(std::string("rid_truth_injected_") +
+                     rid::kernel::injectionKindName(inj.kind) + "_total")
+            .inc();
+    }
+}
+
+bool
+meetsGate(const ScoredRun &run)
+{
+    const auto &score = run.rid.score;
+    if (score.total.precision() < 0.9 || score.total.recall() < 0.9)
+        return false;
+    for (const auto &[domain, tally] : score.by_domain) {
+        if (tally.precision() < 0.9 || tally.recall() < 0.9)
+            return false;
+    }
+    return score.dominates(run.cpy.score);
+}
+
+void
+printRun(const char *label, const ScoredRun &run)
+{
+    std::printf("== %s ==\n", label);
+    std::printf("functions %zu in %d shard(s); injected %zu "
+                "(attempted %d, rejected: rewrite %d, unviable %d)\n",
+                run.functions, run.shards, run.injections.size(),
+                run.inj_stats.attempted, run.inj_stats.rejected_rewrite,
+                run.inj_stats.rejected_unviable);
+    for (const auto &[domain, census] : run.census.domains) {
+        std::printf("  census %-5s changing %6d  analyzed %5d  "
+                    "skipped %5d  others %7d  injected %4d\n",
+                    domain.c_str(), census.changing,
+                    census.affecting_analyzed,
+                    census.affecting_not_analyzed, census.others,
+                    census.injected);
+    }
+    auto printTool = [&](const char *name, const ToolRun &tool) {
+        const auto &s = tool.score;
+        std::printf("  %-10s reports %5zu  tp %4d fp %4d fn %4d  "
+                    "precision %.3f recall %.3f  %.2fs (%.0f fn/s)\n",
+                    name, tool.reports, s.total.tp, s.total.fp,
+                    s.total.fn, s.total.precision(), s.total.recall(),
+                    tool.wall_seconds,
+                    tool.wall_seconds > 0
+                        ? static_cast<double>(run.functions) /
+                              tool.wall_seconds
+                        : 0.0);
+        for (const auto &[domain, tally] : s.by_domain) {
+            std::printf("    %-5s tp %4d fp %4d fn %4d  precision %.3f "
+                        "recall %.3f\n",
+                        domain.c_str(), tally.tp, tally.fp, tally.fn,
+                        tally.precision(), tally.recall());
+        }
+        if (s.pattern_bug_hits || s.pattern_fp_hits) {
+            std::printf("    seeded-pattern hits: %d bugs, %d "
+                        "fp-inducers (excluded from injected-truth "
+                        "score)\n",
+                        s.pattern_bug_hits, s.pattern_fp_hits);
+        }
+        for (const auto &fp : s.false_positives)
+            std::printf("    FP %s\n", fp.c_str());
+    };
+    printTool("rid", run.rid);
+    printTool("cpychecker", run.cpy);
+    std::printf("  dominates baseline: %s\n",
+                run.rid.score.dominates(run.cpy.score) ? "yes" : "no");
+}
+
+void
+writeToolJson(std::ofstream &out, const char *indent,
+              const ScoredRun &run, const ToolRun &tool)
+{
+    const auto &s = tool.score;
+    out << "{\n";
+    out << indent << "  \"reports\": " << tool.reports << ",\n";
+    out << indent << "  \"wall_seconds\": " << tool.wall_seconds << ",\n";
+    out << indent << "  \"functions_per_second\": "
+        << (tool.wall_seconds > 0
+                ? static_cast<double>(run.functions) / tool.wall_seconds
+                : 0.0)
+        << ",\n";
+    out << indent << "  \"tp\": " << s.total.tp
+        << ", \"fp\": " << s.total.fp << ", \"fn\": " << s.total.fn
+        << ",\n";
+    out << indent << "  \"precision\": " << s.total.precision()
+        << ", \"recall\": " << s.total.recall() << ",\n";
+    out << indent << "  \"pattern_bug_hits\": " << s.pattern_bug_hits
+        << ", \"pattern_fp_hits\": " << s.pattern_fp_hits << ",\n";
+    out << indent << "  \"by_domain\": {";
+    bool first = true;
+    for (const auto &[domain, tally] : s.by_domain) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << indent << "    \"" << domain << "\": {\"tp\": " << tally.tp
+            << ", \"fp\": " << tally.fp << ", \"fn\": " << tally.fn
+            << ", \"precision\": " << tally.precision()
+            << ", \"recall\": " << tally.recall() << "}";
+    }
+    out << "\n" << indent << "  }\n" << indent << "}";
+}
+
+void
+writeRunJson(std::ofstream &out, const char *indent, double scale,
+             uint64_t seed, const ScoredRun &run)
+{
+    out << "{\n";
+    out << indent << "  \"scale\": " << scale << ",\n";
+    out << indent << "  \"seed\": " << seed << ",\n";
+    out << indent << "  \"functions\": " << run.functions << ",\n";
+    out << indent << "  \"shards\": " << run.shards << ",\n";
+    out << indent << "  \"injected\": {\n";
+    out << indent << "    \"total\": " << run.injections.size() << ",\n";
+    out << indent << "    \"attempted\": " << run.inj_stats.attempted
+        << ",\n";
+    out << indent
+        << "    \"rejected_rewrite\": " << run.inj_stats.rejected_rewrite
+        << ",\n";
+    out << indent << "    \"rejected_unviable\": "
+        << run.inj_stats.rejected_unviable << ",\n";
+    std::map<std::string, int> by_kind;
+    for (const auto &inj : run.injections)
+        by_kind[rid::kernel::injectionKindName(inj.kind)]++;
+    out << indent << "    \"by_kind\": {";
+    bool first = true;
+    for (const auto &[kind, count] : by_kind) {
+        out << (first ? "" : ", ") << "\"" << kind << "\": " << count;
+        first = false;
+    }
+    out << "}\n" << indent << "  },\n";
+    out << indent << "  \"census\": {";
+    first = true;
+    for (const auto &[domain, census] : run.census.domains) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << indent << "    \"" << domain
+            << "\": {\"changing\": " << census.changing
+            << ", \"affecting_analyzed\": " << census.affecting_analyzed
+            << ", \"affecting_not_analyzed\": "
+            << census.affecting_not_analyzed
+            << ", \"others\": " << census.others
+            << ", \"injected\": " << census.injected << "}";
+    }
+    out << "\n" << indent << "  },\n";
+    out << indent << "  \"rid\": ";
+    writeToolJson(out, (std::string(indent) + "  ").c_str(), run,
+                  run.rid);
+    out << ",\n" << indent << "  \"cpychecker\": ";
+    writeToolJson(out, (std::string(indent) + "  ").c_str(), run,
+                  run.cpy);
+    out << ",\n";
+    out << indent << "  \"dominates_baseline\": "
+        << (run.rid.score.dominates(run.cpy.score) ? "true" : "false")
+        << "\n";
+    out << indent << "}";
+}
+
+/** The full-scale population: the paper-calibrated corpus (seeded bugs
+ *  and FP-inducers included) grafted with the calibrated lock/alloc/
+ *  nested-domain populations so every recipe has hosts at scale. */
+rid::kernel::CorpusMix
+fullScaleMix()
+{
+    using rid::kernel::CorpusMix;
+    using rid::kernel::PatternKind;
+    CorpusMix mix = CorpusMix::paperCalibrated(1.0);
+    CorpusMix clean = CorpusMix::cleanCalibrated(1.0);
+    for (PatternKind kind :
+         {PatternKind::CorrectLockPair, PatternKind::CorrectAllocFree,
+          PatternKind::CorrectAllocEscape,
+          PatternKind::NestedGetUnderLock,
+          PatternKind::LockedAllocPair}) {
+        mix.counts[kind] = clean.countOf(kind);
+    }
+    return mix;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
+    uint64_t seed = argc > 2
+                        ? std::strtoull(argv[2], nullptr, 0)
+                        : 0x101;
+
+    auto mix = rid::kernel::CorpusMix::cleanCalibrated(scale);
+    ScoredRun smoke = runScored(mix, seed, 64);
+    printRun("injected-truth score (clean corpus)", smoke);
+
+    rid::obs::MetricsRegistry registry;
+    mintMetrics(registry, smoke);
+
+    const char *scale_env = std::getenv("RID_SCALE_BENCH");
+    bool do_scale = scale_env && std::strcmp(scale_env, "1") == 0;
+    ScoredRun full;
+    if (do_scale) {
+        full = runScored(fullScaleMix(), seed, 64);
+        printRun("full-scale sharded run (paperCalibrated 1.0)", full);
+    }
+
+    const char *path_env = std::getenv("RID_TRUTH_JSON");
+    std::string path =
+        path_env && *path_env ? path_env : "BENCH_truth.json";
+    std::ofstream out(path);
+    out << "{\n  \"workload\": \"injected-truth-score\",\n";
+    out << "  \"smoke\": ";
+    writeRunJson(out, "  ", scale, seed, smoke);
+    if (do_scale) {
+        out << ",\n  \"scale_run\": ";
+        writeRunJson(out, "  ", 1.0, seed, full);
+    }
+    out << "\n}\n";
+    out.close();
+    std::printf("wrote %s\n", path.c_str());
+
+    bool pass = meetsGate(smoke) && (!do_scale || meetsGate(full));
+    std::printf("%s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}

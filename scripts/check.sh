@@ -63,12 +63,24 @@ RID_BENCH_JSON="$PWD/BENCH_performance.json" \
     ./build/bench/bench_performance --benchmark_filter='^$none'
 test -s BENCH_performance.json
 
+# The standing cross-tool scoring harness: score RID and the cpychecker
+# baseline against LAVA-style injected ground truth at scale 0.05. The
+# binary exits nonzero unless RID holds precision/recall >= 0.9 in every
+# effect domain AND strictly Pareto-dominates the baseline. Export
+# RID_SCALE_BENCH=1 before running check.sh to add the full-scale
+# (270k-function) sharded run to the record.
+echo "== injected-truth scoring harness (RID vs cpychecker) =="
+RID_TRUTH_JSON="$PWD/BENCH_truth.json" ./build/bench/bench_truth_score 0.05
+test -s BENCH_truth.json
+
 # Append a compacted snapshot of the (gitignored) BENCH_performance.json
-# to the committed trajectory log, so the perf history travels with the
-# repo even though the full records do not.
+# and BENCH_truth.json to the committed trajectory log, so the perf and
+# score history travels with the repo even though the full records do not.
 if command -v python3 > /dev/null; then
     echo "== bench snapshot -> docs/bench/trajectory.jsonl =="
     python3 scripts/bench_snapshot.py BENCH_performance.json \
+        docs/bench/trajectory.jsonl
+    python3 scripts/bench_snapshot.py BENCH_truth.json \
         docs/bench/trajectory.jsonl
 else
     echo "== bench snapshot skipped (no python3) =="

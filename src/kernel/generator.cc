@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <random>
 #include <sstream>
 
 namespace rid::kernel {
@@ -65,6 +67,47 @@ CorpusMix::multiDomain(double scale, int domain_count)
     return mix;
 }
 
+CorpusMix
+CorpusMix::cleanCalibrated(double scale, const DriverCalibration &cal)
+{
+    CorpusMix mix;
+    const double functions = 270000.0 * scale;
+    // Density × share of the domain's population, never rounded to
+    // zero: the injection engine needs at least one host per kind.
+    auto per_k = [&](double density, double share) {
+        return std::max(1, static_cast<int>(std::llround(
+                               functions * density / 1000.0 * share)));
+    };
+    auto scaled = [scale](int n) {
+        return std::max(1, static_cast<int>(std::llround(n * scale)));
+    };
+
+    mix.counts[PatternKind::CorrectGetPut] = per_k(cal.ref_per_k, 0.40);
+    mix.counts[PatternKind::CorrectNoErrorCheck] =
+        per_k(cal.ref_per_k, 0.25);
+    mix.counts[PatternKind::WrapperGet] = per_k(cal.ref_per_k, 0.10);
+    mix.counts[PatternKind::WrapperPut] = per_k(cal.ref_per_k, 0.10);
+    mix.counts[PatternKind::CorrectGotoLadder] =
+        per_k(cal.ref_per_k, 0.15);
+
+    mix.counts[PatternKind::CorrectLockPair] = per_k(cal.lock_per_k, 1.0);
+    mix.counts[PatternKind::CorrectAllocFree] =
+        per_k(cal.alloc_per_k, 0.7);
+    mix.counts[PatternKind::CorrectAllocEscape] =
+        per_k(cal.alloc_per_k, 0.3);
+
+    mix.counts[PatternKind::NestedGetUnderLock] =
+        per_k(cal.nested_per_k, 0.5);
+    mix.counts[PatternKind::LockedAllocPair] =
+        per_k(cal.nested_per_k, 0.5);
+
+    // The same Table 1 filler ratios as paperCalibrated.
+    mix.counts[PatternKind::Cat2Helper] = scaled(630);
+    mix.counts[PatternKind::Cat2Complex] = scaled(934);
+    mix.counts[PatternKind::Cat3Filler] = scaled(261391);
+    return mix;
+}
+
 const FunctionTruth *
 Corpus::truthFor(const std::string &fn) const
 {
@@ -96,51 +139,190 @@ Corpus::totals() const
     return t;
 }
 
-Corpus
-generateCorpus(const CorpusMix &mix, uint64_t seed, int functions_per_file)
+namespace {
+
+struct Slot
 {
-    Corpus corpus;
-    std::mt19937_64 rng(seed);
+    PatternKind kind;
+    int index;
+};
 
-    // Emit pattern instances in a deterministic interleaved order so a
-    // source file mixes unrelated "drivers" like a real tree does.
-    struct Slot
-    {
-        PatternKind kind;
-        int index;
-    };
-    // Indices are per pattern kind so that cross-referencing patterns
-    // (the Figure 9 wrapper and its buggy caller share an index) line up.
-    std::vector<Slot> slots;
+/** Patterns that cross-reference each other by index and therefore
+ *  must stay together (the Figure 9 wrapper trio: a buggy caller calls
+ *  autopm_get_I / autopm_put_I). */
+bool
+isWrapperTrioKind(PatternKind k)
+{
+    return k == PatternKind::WrapperGet || k == PatternKind::WrapperPut ||
+           k == PatternKind::BuggyWrapperCaller;
+}
+
+/**
+ * Emit pattern instances in a deterministic interleaved order so a
+ * source file mixes unrelated "drivers" like a real tree does. Indices
+ * are per pattern kind so that cross-referencing patterns line up, and
+ * the trio members of one index form a single shuffle unit so they are
+ * never split across shards.
+ */
+std::vector<std::vector<Slot>>
+layoutBundles(const CorpusMix &mix, std::mt19937_64 &rng)
+{
+    std::vector<std::vector<Slot>> bundles;
+    std::map<int, std::vector<Slot>> trios;
     for (const auto &[kind, count] : mix.counts) {
-        for (int i = 0; i < count; i++)
-            slots.push_back(Slot{kind, i});
+        for (int i = 0; i < count; i++) {
+            if (isWrapperTrioKind(kind))
+                trios[i].push_back(Slot{kind, i});
+            else
+                bundles.push_back({Slot{kind, i}});
+        }
     }
-    std::shuffle(slots.begin(), slots.end(), rng);
+    for (auto &[index, slots] : trios)
+        bundles.push_back(std::move(slots));
+    std::shuffle(bundles.begin(), bundles.end(), rng);
+    return bundles;
+}
 
+} // anonymous namespace
+
+void
+generateCorpusSharded(const CorpusMix &mix, uint64_t seed,
+                      const ShardOptions &opts,
+                      const std::function<void(CorpusShard &&)> &sink,
+                      const FunctionTweak &tweak)
+{
+    std::mt19937_64 rng(seed);
+    auto bundles = layoutBundles(mix, rng);
+
+    CorpusShard shard;
+    int shard_no = 0;
     std::ostringstream file_text;
     int in_file = 0;
     int file_no = 0;
-    auto flush = [&]() {
+
+    auto flushFile = [&]() {
         if (in_file == 0)
             return;
         SourceFile f;
         f.name = "drivers/gen/file" + std::to_string(file_no++) + ".c";
         f.text = file_text.str();
-        corpus.files.push_back(std::move(f));
+        shard.files.push_back(std::move(f));
         file_text.str("");
         in_file = 0;
     };
+    auto maybeFlushShard = [&]() {
+        if (static_cast<int>(shard.files.size()) < opts.files_per_shard)
+            return;
+        sink(std::move(shard));
+        shard = CorpusShard{};
+        shard.index = ++shard_no;
+    };
 
-    for (const auto &slot : slots) {
-        GeneratedFunction gen = emitPattern(slot.kind, slot.index, rng);
-        file_text << gen.source << "\n";
-        corpus.truth.push_back(std::move(gen.truth));
-        if (++in_file >= functions_per_file)
-            flush();
+    for (const auto &bundle : bundles) {
+        // Keep a multi-function bundle within one file so its members
+        // cannot straddle a shard boundary.
+        if (bundle.size() > 1 && in_file > 0 &&
+            in_file + static_cast<int>(bundle.size()) >
+                opts.functions_per_file) {
+            flushFile();
+            maybeFlushShard();
+        }
+        for (const auto &slot : bundle) {
+            GeneratedFunction gen =
+                emitPattern(slot.kind, slot.index, rng);
+            if (tweak)
+                tweak(gen);
+            file_text << gen.source << "\n";
+            shard.truth.push_back(std::move(gen.truth));
+            if (++in_file >= opts.functions_per_file) {
+                flushFile();
+                maybeFlushShard();
+            }
+        }
     }
-    flush();
+    flushFile();
+    if (!shard.files.empty())
+        sink(std::move(shard));
+}
+
+Corpus
+generateCorpus(const CorpusMix &mix, uint64_t seed, int functions_per_file)
+{
+    Corpus corpus;
+    ShardOptions opts;
+    opts.functions_per_file = functions_per_file;
+    opts.files_per_shard = std::numeric_limits<int>::max();
+    generateCorpusSharded(mix, seed, opts, [&](CorpusShard &&shard) {
+        for (auto &file : shard.files)
+            corpus.files.push_back(std::move(file));
+        for (auto &truth : shard.truth)
+            corpus.truth.push_back(std::move(truth));
+    });
     return corpus;
+}
+
+void
+CorpusCensus::add(const FunctionTruth &truth)
+{
+    static const char *kAllDomains[] = {"ref", "lock", "alloc"};
+    functions++;
+    bool counted[3] = {false, false, false};
+    auto mark = [&](const std::string &d) {
+        for (size_t i = 0; i < 3; i++)
+            if (d == kAllDomains[i])
+                counted[i] = true;
+    };
+    switch (truth.kind) {
+      case PatternKind::Cat2Helper:
+        domains["ref"].affecting_analyzed++;
+        mark("ref");
+        break;
+      case PatternKind::Cat2Complex:
+        domains["ref"].affecting_not_analyzed++;
+        mark("ref");
+        break;
+      default:
+        for (const char *d : patternDomains(truth.kind)) {
+            domains[d].changing++;
+            mark(d);
+        }
+        break;
+    }
+    for (size_t i = 0; i < 3; i++)
+        if (!counted[i])
+            domains[kAllDomains[i]].others++;
+
+    if (truth.injected)
+        domains[truth.domain].injected++;
+    else if (truth.has_bug)
+        domains[truth.domain].seeded_bugs++;
+    if (truth.induces_fp)
+        domains[truth.domain].seeded_fp_inducers++;
+}
+
+void
+CorpusCensus::merge(const CorpusCensus &other)
+{
+    functions += other.functions;
+    for (const auto &[name, c] : other.domains) {
+        DomainCensus &d = domains[name];
+        d.changing += c.changing;
+        d.affecting_analyzed += c.affecting_analyzed;
+        d.affecting_not_analyzed += c.affecting_not_analyzed;
+        d.others += c.others;
+        d.seeded_bugs += c.seeded_bugs;
+        d.seeded_fp_inducers += c.seeded_fp_inducers;
+        d.injected += c.injected;
+    }
+}
+
+CorpusCensus
+censusOf(const std::vector<FunctionTruth> &truth)
+{
+    CorpusCensus census;
+    for (const auto &t : truth)
+        census.add(t);
+    return census;
 }
 
 } // namespace rid::kernel

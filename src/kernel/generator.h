@@ -15,6 +15,7 @@
 #define RID_KERNEL_GENERATOR_H
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,6 +23,22 @@
 #include "kernel/patterns.h"
 
 namespace rid::kernel {
+
+/**
+ * Per-driver pattern densities, expressed as instances per 1000 corpus
+ * functions. The defaults approximate the rates the Table-1 census
+ * implies for a driver tree: refcount-using functions dominate, lock
+ * regions and allocations are a few per mille, and nested-domain code
+ * (a count taken under a lock, a lock held around an allocation) is
+ * rarer still.
+ */
+struct DriverCalibration
+{
+    double ref_per_k = 12.0;
+    double lock_per_k = 4.5;
+    double alloc_per_k = 4.0;
+    double nested_per_k = 3.0;
+};
 
 /** Per-pattern instance counts. */
 struct CorpusMix
@@ -68,6 +85,17 @@ struct CorpusMix
      * exercises a multi-domain scan end to end.
      */
     static CorpusMix multiDomain(double scale, int domain_count = 8);
+
+    /**
+     * A known-clean mix for the injection engine: only correct
+     * patterns (plus category-2/3 filler), with lock/alloc/ref/nested
+     * densities drawn from @p cal so per-driver rates match the
+     * calibration at any @p scale (1.0 ≈ the 270k-function regime).
+     * No pattern in this mix has has_bug or induces_fp set — every
+     * report against it is either an injection hit or a scorer FP.
+     */
+    static CorpusMix cleanCalibrated(double scale,
+                                     const DriverCalibration &cal = {});
 };
 
 /** One synthetic source file. */
@@ -112,6 +140,70 @@ struct Corpus
  */
 Corpus generateCorpus(const CorpusMix &mix, uint64_t seed = 0x101,
                       int functions_per_file = 40);
+
+/** Shard layout for streaming generation. */
+struct ShardOptions
+{
+    int functions_per_file = 40;
+    /** Files emitted per shard; a shard is the unit of analysis for the
+     *  bounded-memory full-scale runs. */
+    int files_per_shard = 64;
+};
+
+/** One streamed slice of a corpus: a few files plus their truth. */
+struct CorpusShard
+{
+    int index = 0;
+    std::vector<SourceFile> files;
+    std::vector<FunctionTruth> truth;
+};
+
+/** Hook applied to each generated function before placement (the
+ *  injection engine rewrites functions through this). */
+using FunctionTweak = std::function<void(GeneratedFunction &)>;
+
+/**
+ * Streaming generation: the same deterministic layout as
+ * generateCorpus, delivered shard by shard through @p sink so the
+ * full-scale (270k-function) corpus never has to be resident at once.
+ * Patterns that cross-reference each other by index (the Figure 9
+ * wrapper trio) are bundled before shuffling, so a caller and its
+ * wrappers always land in the same shard.
+ */
+void generateCorpusSharded(const CorpusMix &mix, uint64_t seed,
+                           const ShardOptions &opts,
+                           const std::function<void(CorpusShard &&)> &sink,
+                           const FunctionTweak &tweak = nullptr);
+
+/** Table-1-style category census, per effect domain. */
+struct DomainCensus
+{
+    /** Functions whose code changes a counter in this domain. */
+    int changing = 0;
+    /** Category-2 helpers simple enough to analyze selectively. */
+    int affecting_analyzed = 0;
+    /** Category-2 helpers skipped for complexity. */
+    int affecting_not_analyzed = 0;
+    /** Everything else. */
+    int others = 0;
+    /** Seeded pattern bugs whose primary domain is this one. */
+    int seeded_bugs = 0;
+    /** Seeded false-positive inducers in this domain. */
+    int seeded_fp_inducers = 0;
+    /** Functions rewritten by the injection engine. */
+    int injected = 0;
+};
+
+struct CorpusCensus
+{
+    std::map<std::string, DomainCensus> domains;
+    int functions = 0;
+
+    void add(const FunctionTruth &truth);
+    void merge(const CorpusCensus &other);
+};
+
+CorpusCensus censusOf(const std::vector<FunctionTruth> &truth);
 
 } // namespace rid::kernel
 

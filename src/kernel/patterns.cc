@@ -30,8 +30,32 @@ patternKindName(PatternKind k)
       case PatternKind::CorrectAllocFree: return "correct-alloc-free";
       case PatternKind::CorrectAllocEscape: return "correct-alloc-escape";
       case PatternKind::BuggyAllocLeak: return "buggy-alloc-leak";
+      case PatternKind::NestedGetUnderLock: return "nested-get-under-lock";
+      case PatternKind::LockedAllocPair: return "locked-alloc-pair";
     }
     return "?";
+}
+
+std::vector<const char *>
+patternDomains(PatternKind k)
+{
+    switch (k) {
+      case PatternKind::CorrectLockPair:
+      case PatternKind::BuggyLockLeak:
+        return {"lock"};
+      case PatternKind::CorrectAllocFree:
+      case PatternKind::CorrectAllocEscape:
+      case PatternKind::BuggyAllocLeak:
+        return {"alloc"};
+      case PatternKind::NestedGetUnderLock:
+        return {"ref", "lock"};
+      case PatternKind::LockedAllocPair:
+        return {"alloc", "lock"};
+      case PatternKind::Cat3Filler:
+        return {};
+      default:
+        return {"ref"};
+    }
 }
 
 namespace {
@@ -96,6 +120,8 @@ patternSuffix(PatternKind k)
       case PatternKind::CorrectAllocFree: return "allocok";
       case PatternKind::CorrectAllocEscape: return "mkbuf";
       case PatternKind::BuggyAllocLeak: return "allocleak";
+      case PatternKind::NestedGetUnderLock: return "nestget";
+      case PatternKind::LockedAllocPair: return "lockalloc";
     }
     return "fn";
 }
@@ -548,6 +574,68 @@ emitPattern(PatternKind kind, int index, std::mt19937_64 &rng)
            << "    return 0;\n"
            << "}\n"
            << "int setup_buf_" << index
+           << "(struct device *dev, struct buf *p);\n";
+        break;
+      }
+      case PatternKind::NestedGetUnderLock: {
+        // A usage count taken inside a lock region, balanced on both
+        // paths. The success path returns an unconstrained inner result
+        // so its return range overlaps the error path's: deleting the
+        // error-path put (the injection recipes) yields an IPP rather
+        // than distinguishable paths.
+        bool mutex = (rng() & 1) != 0;
+        const char *acquire = mutex ? "mutex_lock" : "spin_lock";
+        const char *release = mutex ? "mutex_unlock" : "spin_unlock";
+        std::string get = pickGet(rng);
+        std::string put = pickPut(rng);
+        out.truth.error_handled_get_site = true;
+        os << "int " << name << "(struct device *dev, int arg) {\n"
+           << "    int ret;\n"
+           << "    " << acquire << "(&dev->lock);\n"
+           << "    " << get << "(dev);\n"
+           << "    ret = crit_op_" << index << "(dev, arg);\n"
+           << "    if (ret < 0) {\n"
+           << "        " << put << "(dev);\n"
+           << "        " << release << "(&dev->lock);\n"
+           << "        return ret;\n"
+           << "    }\n"
+           << "    ret = finish_op_" << index << "(dev, arg);\n"
+           << "    " << put << "(dev);\n"
+           << "    " << release << "(&dev->lock);\n"
+           << "    return ret;\n"
+           << "}\n"
+           << "int crit_op_" << index << "(struct device *dev, int a);\n"
+           << "int finish_op_" << index
+           << "(struct device *dev, int a);\n";
+        break;
+      }
+      case PatternKind::LockedAllocPair: {
+        // A lock held around an allocation, freed before release on
+        // every path. Hosts the lock-around-allocation recipe.
+        bool mutex = (rng() & 1) != 0;
+        const char *acquire = mutex ? "mutex_lock" : "spin_lock";
+        const char *release = mutex ? "mutex_unlock" : "spin_unlock";
+        out.truth.domain = "alloc";
+        os << "int " << name << "(struct device *dev, int len) {\n"
+           << "    struct buf *p;\n"
+           << "    int ret;\n"
+           << "    " << acquire << "(&dev->lock);\n"
+           << "    p = kmalloc(len);\n"
+           << "    if (p == NULL) {\n"
+           << "        " << release << "(&dev->lock);\n"
+           << "        return -12;\n"
+           << "    }\n"
+           << "    ret = fill_op_" << index << "(dev, p);\n"
+           << "    if (ret < 0) {\n"
+           << "        kfree(p);\n"
+           << "        " << release << "(&dev->lock);\n"
+           << "        return ret;\n"
+           << "    }\n"
+           << "    kfree(p);\n"
+           << "    " << release << "(&dev->lock);\n"
+           << "    return 0;\n"
+           << "}\n"
+           << "int fill_op_" << index
            << "(struct device *dev, struct buf *p);\n";
         break;
       }

@@ -97,9 +97,22 @@ enum class PatternKind : uint8_t {
     /** `alloc` domain: an inner operation fails and the error path
      *  returns without kfree. Real bug; flagged as unbalanced. */
     BuggyAllocLeak,
+    /** Nested-domain pattern: a usage count taken and released inside a
+     *  lock region, both balanced on every path. Correct; the injection
+     *  engine uses it as the host for the under-lock ref recipes. */
+    NestedGetUnderLock,
+    /** Nested-domain pattern: a lock held around an allocation that is
+     *  freed before release on every path. Correct; hosts the
+     *  lock-around-allocation injection recipe. */
+    LockedAllocPair,
 };
 
 const char *patternKindName(PatternKind k);
+
+/** Effect domains a pattern's code touches ("ref"/"lock"/"alloc");
+ *  empty for pure filler. First element is the pattern's primary
+ *  domain (the one FunctionTruth::domain records). */
+std::vector<const char *> patternDomains(PatternKind k);
 
 /** Ground-truth record for one generated function. */
 struct FunctionTruth
@@ -120,6 +133,9 @@ struct FunctionTruth
     /** Effect domain the pattern exercises ("ref" for the refcount
      *  patterns; "lock"/"alloc" for the balanced-policy ones). */
     std::string domain = "ref";
+    /** The injection engine rewrote this function: the authoritative
+     *  ground truth is the Injection record, not the pattern flags. */
+    bool injected = false;
 };
 
 /** One generated function: source text plus its ground truth. */

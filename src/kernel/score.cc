@@ -1,0 +1,119 @@
+#include "kernel/score.h"
+
+#include <set>
+
+namespace rid::kernel {
+
+std::vector<ReportClaim>
+claimsFrom(const std::vector<analysis::BugReport> &reports)
+{
+    std::vector<ReportClaim> claims;
+    claims.reserve(reports.size());
+    for (const auto &report : reports)
+        claims.push_back(ReportClaim{report.function, report.domain});
+    return claims;
+}
+
+bool
+ScoreResult::dominates(const ScoreResult &other) const
+{
+    double p = total.precision(), r = total.recall();
+    double op = other.total.precision(), orc = other.total.recall();
+    return p >= op && r >= orc && (p > op || r > orc);
+}
+
+ScoreResult
+scoreReports(const std::vector<Injection> &injections,
+             const std::vector<FunctionTruth> &truth,
+             const std::vector<ReportClaim> &claims)
+{
+    constexpr size_t kFpSampleCap = 20;
+
+    ScoreResult result;
+    std::map<std::string, const Injection *> injected_by_fn;
+    for (const auto &inj : injections)
+        injected_by_fn[inj.function] = &inj;
+    std::map<std::string, const FunctionTruth *> truth_by_name;
+    for (const auto &t : truth)
+        truth_by_name[t.name] = &t;
+
+    // Deduplicate claims per function (a tool may report one function
+    // several times); remember which domains it claimed.
+    std::map<std::string, std::set<std::string>> claimed;
+    for (const auto &claim : claims)
+        claimed[claim.function].insert(claim.domain);
+
+    std::set<std::string> matched;
+    for (const auto &[fn, domains] : claimed) {
+        auto inj_it = injected_by_fn.find(fn);
+        if (inj_it != injected_by_fn.end()) {
+            const Injection *inj = inj_it->second;
+            if (domains.count(inj->domain) || domains.count("")) {
+                result.by_domain[inj->domain].tp++;
+                result.total.tp++;
+                matched.insert(fn);
+                continue;
+            }
+            // A report on an injected function in the wrong domain
+            // falls through: it is a false positive.
+        }
+        auto truth_it = truth_by_name.find(fn);
+        if (truth_it != truth_by_name.end() &&
+            !truth_it->second->injected) {
+            if (truth_it->second->has_bug) {
+                result.pattern_bug_hits++;
+                continue;
+            }
+            if (truth_it->second->induces_fp) {
+                result.pattern_fp_hits++;
+                continue;
+            }
+        }
+        result.total.fp++;
+        if (domains.size() == 1 && !domains.begin()->empty())
+            result.by_domain[*domains.begin()].fp++;
+        if (result.false_positives.size() < kFpSampleCap)
+            result.false_positives.push_back(fn);
+    }
+
+    for (const auto &inj : injections) {
+        if (!matched.count(inj.function)) {
+            result.by_domain[inj.domain].fn++;
+            result.total.fn++;
+        }
+    }
+    return result;
+}
+
+const std::map<std::string, pyc::ApiAttr> &
+kernelApiAttrs()
+{
+    static const std::map<std::string, pyc::ApiAttr> attrs = [] {
+        std::map<std::string, pyc::ApiAttr> m;
+        pyc::ApiAttr inc;
+        inc.arg_delta = {{0, 1}};
+        pyc::ApiAttr dec;
+        dec.arg_delta = {{0, -1}};
+        for (const char *get :
+             {"pm_runtime_get", "pm_runtime_get_sync",
+              "pm_runtime_get_noresume"}) {
+            m[get] = inc;
+        }
+        for (const char *put :
+             {"pm_runtime_put", "pm_runtime_put_sync",
+              "pm_runtime_put_autosuspend", "pm_runtime_put_noidle"}) {
+            m[put] = dec;
+        }
+        pyc::ApiAttr alloc;
+        alloc.returns_new_ref = true;
+        m["kmalloc"] = alloc;
+        m["kzalloc"] = alloc;
+        pyc::ApiAttr free_attr;
+        free_attr.arg_delta = {{0, -1}};
+        m["kfree"] = free_attr;
+        return m;
+    }();
+    return attrs;
+}
+
+} // namespace rid::kernel

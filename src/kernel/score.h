@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Scoring against injected ground truth.
+ *
+ * A tool's reports are reduced to (function, domain) claims and matched
+ * against the injection log: a claim on an injected function in the
+ * right domain (or with no domain, for tools that do not classify) is a
+ * true positive, an unmatched injection is a false negative, and a
+ * claim matching no truth record at all is a false positive. Reports on
+ * the corpus's own seeded patterns (pre-existing bugs and known
+ * FP-inducers) are tallied separately so the injected-truth
+ * precision/recall stays comparable across corpora that do and do not
+ * carry a seeded population.
+ */
+
+#ifndef RID_KERNEL_SCORE_H
+#define RID_KERNEL_SCORE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/ipp.h"
+#include "kernel/inject.h"
+#include "pyc/pyc_specs.h"
+
+namespace rid::kernel {
+
+/** One report, reduced to what scoring needs. An empty domain means
+ *  "unclassified" and matches any injection on the function. */
+struct ReportClaim
+{
+    std::string function;
+    std::string domain;
+};
+
+std::vector<ReportClaim>
+claimsFrom(const std::vector<analysis::BugReport> &reports);
+
+struct TallyCounts
+{
+    int tp = 0;
+    int fn = 0;
+    int fp = 0;
+
+    double
+    precision() const
+    {
+        return tp + fp ? static_cast<double>(tp) / (tp + fp) : 1.0;
+    }
+    double
+    recall() const
+    {
+        return tp + fn ? static_cast<double>(tp) / (tp + fn) : 1.0;
+    }
+};
+
+struct ScoreResult
+{
+    std::map<std::string, TallyCounts> by_domain;
+    TallyCounts total;
+    /** Claims matching seeded (non-injected) pattern bugs. */
+    int pattern_bug_hits = 0;
+    /** Claims matching seeded FP-inducer patterns. */
+    int pattern_fp_hits = 0;
+    /** Sample of false-positive function names (capped). */
+    std::vector<std::string> false_positives;
+
+    /** Pareto dominance on (precision, recall): no worse on both axes
+     *  and strictly better on at least one. */
+    bool dominates(const ScoreResult &other) const;
+};
+
+/**
+ * Score @p claims against the injection log and the corpus ground
+ * truth. Claims are deduplicated per function; every injection yields
+ * exactly one TP or FN, so recall is structurally within [0, 1].
+ */
+ScoreResult scoreReports(const std::vector<Injection> &injections,
+                         const std::vector<FunctionTruth> &truth,
+                         const std::vector<ReportClaim> &claims);
+
+/**
+ * ApiAttr table teaching the cpychecker-style escape checker the
+ * kernel APIs of the generated corpus: the pm_runtime get/put families
+ * as per-argument deltas, kmalloc/kzalloc as new-reference allocators
+ * and kfree as a consuming call. Used with check_arguments so wrapper
+ * and goto-ladder code exhibits the Section 2.1 false positives.
+ */
+const std::map<std::string, pyc::ApiAttr> &kernelApiAttrs();
+
+} // namespace rid::kernel
+
+#endif // RID_KERNEL_SCORE_H

@@ -82,9 +82,16 @@ pathCountBuckets()
     return {1, 2, 4, 8, 16, 32, 64, 100, 1000};
 }
 
+bool
+MetricsRegistry::isGuardName(const std::string &name)
+{
+    return name == kOverflowCounter || name == kOverflowGauge ||
+           name == kOverflowHistogram || name == kDroppedNames;
+}
+
 MetricsRegistry::Entry &
-MetricsRegistry::lookup(const std::string &name, Kind kind,
-                        const std::string &help)
+MetricsRegistry::getOrCreate(const std::string &name, Kind kind,
+                             const std::string &help)
 {
     auto it = metrics_.find(name);
     if (it != metrics_.end()) {
@@ -96,7 +103,76 @@ MetricsRegistry::lookup(const std::string &name, Kind kind,
     Entry e;
     e.kind = kind;
     e.help = help;
+    if (isGuardName(name))
+        guard_entries_++;
     return metrics_.emplace(name, std::move(e)).first->second;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::lookup(const std::string &name, Kind kind,
+                        const std::string &help)
+{
+    auto it = metrics_.find(name);
+    if (it != metrics_.end())
+        return getOrCreate(name, kind, help);
+
+    // Cardinality guard: a NEW caller-supplied name past the cap lands
+    // in the shared per-kind overflow instrument instead of growing the
+    // map without bound (unbounded label sets are the classic metrics
+    // cardinality explosion).
+    if (max_cardinality_ != 0 && !isGuardName(name) &&
+        metrics_.size() - guard_entries_ >= max_cardinality_) {
+        dropped_names_++;
+        Entry &dropped = getOrCreate(
+            kDroppedNames, Kind::Counter,
+            "distinct metric names redirected to an overflow bucket");
+        if (!dropped.counter)
+            dropped.counter = std::make_unique<Counter>();
+        dropped.counter->inc();
+        switch (kind) {
+          case Kind::Counter:
+            return getOrCreate(kOverflowCounter, kind,
+                               "updates to counters past the "
+                               "cardinality cap");
+          case Kind::Gauge:
+            return getOrCreate(kOverflowGauge, kind,
+                               "updates to gauges past the "
+                               "cardinality cap");
+          case Kind::Histogram:
+            return getOrCreate(kOverflowHistogram, kind,
+                               "observations to histograms past the "
+                               "cardinality cap");
+        }
+    }
+    return getOrCreate(name, kind, help);
+}
+
+void
+MetricsRegistry::setMaxCardinality(size_t cap)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_cardinality_ = cap;
+}
+
+size_t
+MetricsRegistry::maxCardinality() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_cardinality_;
+}
+
+size_t
+MetricsRegistry::cardinality() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_.size() - guard_entries_;
+}
+
+uint64_t
+MetricsRegistry::droppedNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_names_;
 }
 
 Counter &

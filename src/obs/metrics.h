@@ -99,6 +99,33 @@ class MetricsRegistry
                          std::vector<double> bounds =
                              latencyBucketsSeconds());
 
+    /**
+     * Cardinality guard: at most @p cap distinct caller-named
+     * instruments are ever created (0 = unlimited). Once the cap is
+     * reached, further NEW names are redirected to one shared overflow
+     * instrument per kind (kOverflowCounter and friends) and counted in
+     * the kDroppedNames counter — updates are never lost, they just
+     * collapse into the overflow bucket, the way Prometheus relabeling
+     * drops high-cardinality series. Existing instruments are
+     * unaffected; lowering the cap below the current population only
+     * stops new names. Guard-owned instruments are exempt from the cap.
+     */
+    void setMaxCardinality(size_t cap);
+    size_t maxCardinality() const;
+    /** Caller-named instruments created so far (guard names excluded). */
+    size_t cardinality() const;
+    /** Distinct names redirected to an overflow instrument so far. */
+    uint64_t droppedNames() const;
+
+    static constexpr const char *kOverflowCounter =
+        "rid_metrics_overflow_counter";
+    static constexpr const char *kOverflowGauge =
+        "rid_metrics_overflow_gauge";
+    static constexpr const char *kOverflowHistogram =
+        "rid_metrics_overflow_histogram";
+    static constexpr const char *kDroppedNames =
+        "rid_metrics_dropped_names_total";
+
     /** Prometheus text exposition format, metrics in name order. */
     std::string prometheusText() const;
 
@@ -119,10 +146,18 @@ class MetricsRegistry
 
     Entry &lookup(const std::string &name, Kind kind,
                   const std::string &help);
+    Entry &getOrCreate(const std::string &name, Kind kind,
+                       const std::string &help);
+    static bool isGuardName(const std::string &name);
 
     mutable std::mutex mutex_;
     /** Ordered map: exposition order is deterministic by name. */
     std::map<std::string, Entry> metrics_;
+    /** Cap on caller-named instruments; 0 disables the guard. */
+    size_t max_cardinality_ = 4096;
+    /** How many entries in metrics_ are guard-owned (exempt). */
+    size_t guard_entries_ = 0;
+    uint64_t dropped_names_ = 0;
 };
 
 } // namespace rid::obs

@@ -21,6 +21,8 @@
 #include "kernel/domain_specs.h"
 #include "kernel/dpm_specs.h"
 #include "kernel/generator.h"
+#include "kernel/inject.h"
+#include "kernel/score.h"
 #include "obs/failpoint.h"
 
 namespace rid {
@@ -320,6 +322,96 @@ TEST_F(AnalyzerDeterminismTest, MultiDomainScanIsByteIdentical)
     EXPECT_EQ(runDigest(multi_corpus_, 4, 4, true, false, 0, 0, 0, true,
                         "", {"ref"}, true),
               ref_only);
+}
+
+class InjectedDeterminismTest : public ::testing::Test
+{
+  protected:
+    static kernel::InjectedCorpus injected_;
+
+    static void
+    SetUpTestSuite()
+    {
+        auto mix = kernel::CorpusMix::cleanCalibrated(0.05);
+        injected_ = kernel::generateInjectedCorpus(
+            mix, kernel::InjectionPlan::calibrated(mix));
+    }
+
+    struct ScoredRun
+    {
+        std::string digest;
+        kernel::ScoreResult score;
+    };
+
+    static ScoredRun
+    run(int path_threads, bool prefix_sharing)
+    {
+        analysis::AnalyzerOptions opts;
+        opts.path_threads = path_threads;
+        opts.prefix_sharing = prefix_sharing;
+        Rid tool(opts);
+        tool.loadSpecText(kernel::dpmSpecText());
+        tool.loadSpecText(kernel::lockSpecText());
+        tool.loadSpecText(kernel::allocSpecText());
+        for (const auto &file : injected_.corpus.files)
+            tool.addSource(file.text);
+        RunResult result = tool.run();
+
+        ScoredRun out;
+        std::multiset<std::string> reports;
+        for (const auto &report : result.reports)
+            reports.insert(report.str());
+        for (const auto &line : reports)
+            out.digest += line + "\n";
+        out.score = kernel::scoreReports(
+            injected_.injections, injected_.corpus.truth,
+            kernel::claimsFrom(result.reports));
+        return out;
+    }
+};
+
+kernel::InjectedCorpus InjectedDeterminismTest::injected_;
+
+TEST_F(InjectedDeterminismTest, InjectedScoresAreEngineAndThreadInvariant)
+{
+    // The ground-truth scores are a *measurement* — they must not move
+    // with the execution strategy. Scale-0.05 injected corpus: reports
+    // byte-identical and precision/recall identical across path_threads
+    // {1, 4} and both engines (the replay pipeline is the reference).
+    ASSERT_GT(injected_.injections.size(), 10u);
+    ScoredRun baseline = run(1, /*prefix_sharing=*/false);
+    ASSERT_FALSE(baseline.digest.empty());
+    // The clean-mix injected corpus scores perfectly in the reference
+    // configuration (the bench gate's smoke invariant).
+    EXPECT_EQ(baseline.score.total.fp, 0);
+    EXPECT_EQ(baseline.score.total.fn, 0);
+    EXPECT_EQ(baseline.score.total.tp,
+              static_cast<int>(injected_.injections.size()));
+
+    for (int path_threads : {1, 4}) {
+        for (bool prefix : {false, true}) {
+            if (path_threads == 1 && !prefix)
+                continue;  // the baseline itself
+            ScoredRun other = run(path_threads, prefix);
+            EXPECT_EQ(other.digest, baseline.digest)
+                << "path_threads=" << path_threads
+                << " prefix_sharing=" << prefix;
+            EXPECT_EQ(other.score.total.tp, baseline.score.total.tp);
+            EXPECT_EQ(other.score.total.fp, baseline.score.total.fp);
+            EXPECT_EQ(other.score.total.fn, baseline.score.total.fn);
+            EXPECT_EQ(other.score.total.precision(),
+                      baseline.score.total.precision());
+            EXPECT_EQ(other.score.total.recall(),
+                      baseline.score.total.recall());
+            ASSERT_EQ(other.score.by_domain.size(),
+                      baseline.score.by_domain.size());
+            for (const auto &[domain, counts] : baseline.score.by_domain) {
+                const auto &oc = other.score.by_domain.at(domain);
+                EXPECT_EQ(oc.precision(), counts.precision()) << domain;
+                EXPECT_EQ(oc.recall(), counts.recall()) << domain;
+            }
+        }
+    }
 }
 
 TEST_F(AnalyzerDeterminismTest, CacheDoesNotChangeReportCount)

@@ -60,7 +60,8 @@ TEST(Patterns, EveryKindParsesAsKernelC)
           PatternKind::WrapperPut, PatternKind::BuggyWrapperCaller,
           PatternKind::FpBitmask, PatternKind::FpListOp,
           PatternKind::Cat2Helper, PatternKind::Cat2Complex,
-          PatternKind::Cat3Filler}) {
+          PatternKind::Cat3Filler, PatternKind::NestedGetUnderLock,
+          PatternKind::LockedAllocPair}) {
         GeneratedFunction gen = emitPattern(kind, 1, rng);
         EXPECT_NO_THROW(frontend::parseUnit(gen.source))
             << patternKindName(kind) << ":\n"

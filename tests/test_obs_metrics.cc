@@ -266,6 +266,119 @@ TEST(MetricsRegistry, JsonExportParses)
     EXPECT_EQ(c->find("count")->number, 1.0);
 }
 
+TEST(MetricsRegistry, CardinalityCapRedirectsNewNamesToOverflow)
+{
+    obs::MetricsRegistry reg;
+    reg.setMaxCardinality(2);
+    EXPECT_EQ(reg.maxCardinality(), 2u);
+
+    obs::Counter &a = reg.counter("rid_a_total");
+    obs::Gauge &b = reg.gauge("rid_b_seconds");
+    EXPECT_EQ(reg.cardinality(), 2u);
+    EXPECT_EQ(reg.droppedNames(), 0u);
+
+    // The cap is reached: each further NEW name collapses into the
+    // per-kind overflow instrument; updates are never lost.
+    obs::Counter &c1 = reg.counter("rid_overflowing_one_total");
+    obs::Counter &c2 = reg.counter("rid_overflowing_two_total");
+    EXPECT_EQ(&c1, &c2);
+    EXPECT_EQ(&c1, &reg.counter(obs::MetricsRegistry::kOverflowCounter));
+    c1.inc(3);
+    c2.inc(4);
+    EXPECT_EQ(
+        reg.counter(obs::MetricsRegistry::kOverflowCounter).value(), 7u);
+
+    obs::Gauge &g = reg.gauge("rid_overflowing_gauge");
+    EXPECT_EQ(&g, &reg.gauge(obs::MetricsRegistry::kOverflowGauge));
+    obs::Histogram &h = reg.histogram("rid_overflowing_hist");
+    h.observe(0.5);
+    EXPECT_EQ(
+        reg.histogram(obs::MetricsRegistry::kOverflowHistogram).count(),
+        1u);
+
+    // Four distinct names were dropped, visible both through the
+    // accessor and as a scrapeable counter.
+    EXPECT_EQ(reg.droppedNames(), 4u);
+    EXPECT_EQ(reg.counter(obs::MetricsRegistry::kDroppedNames).value(),
+              4u);
+    // Caller-visible cardinality never grew past the cap.
+    EXPECT_EQ(reg.cardinality(), 2u);
+
+    // Existing instruments are unaffected: looking them up again hands
+    // back the same objects, not the overflow bucket.
+    a.inc();
+    EXPECT_EQ(&reg.counter("rid_a_total"), &a);
+    EXPECT_EQ(reg.counter("rid_a_total").value(), 1u);
+    EXPECT_EQ(&reg.gauge("rid_b_seconds"), &b);
+}
+
+TEST(MetricsRegistry, CardinalityZeroDisablesGuard)
+{
+    obs::MetricsRegistry reg;
+    reg.setMaxCardinality(0);
+    for (int i = 0; i < 100; i++)
+        reg.counter("rid_name_" + std::to_string(i) + "_total").inc();
+    EXPECT_EQ(reg.cardinality(), 100u);
+    EXPECT_EQ(reg.droppedNames(), 0u);
+}
+
+TEST(MetricsRegistry, GuardNamesAreExemptFromTheCap)
+{
+    obs::MetricsRegistry reg;
+    reg.setMaxCardinality(1);
+    reg.counter("rid_only_total").inc();
+    // Touching every guard instrument creates them past the cap without
+    // dropping anything and without counting toward cardinality.
+    reg.counter(obs::MetricsRegistry::kOverflowCounter);
+    reg.gauge(obs::MetricsRegistry::kOverflowGauge);
+    reg.histogram(obs::MetricsRegistry::kOverflowHistogram);
+    reg.counter(obs::MetricsRegistry::kDroppedNames);
+    EXPECT_EQ(reg.cardinality(), 1u);
+    EXPECT_EQ(reg.droppedNames(), 0u);
+}
+
+TEST(MetricsRegistry, LoweringTheCapKeepsExistingInstruments)
+{
+    obs::MetricsRegistry reg;
+    for (int i = 0; i < 5; i++)
+        reg.counter("rid_pre_" + std::to_string(i) + "_total").inc(10);
+    reg.setMaxCardinality(2);
+    // All five pre-existing names still resolve to their own series.
+    for (int i = 0; i < 5; i++) {
+        EXPECT_EQ(
+            reg.counter("rid_pre_" + std::to_string(i) + "_total")
+                .value(),
+            10u);
+    }
+    // Only new names overflow.
+    reg.counter("rid_new_total").inc();
+    EXPECT_EQ(reg.droppedNames(), 1u);
+    EXPECT_EQ(
+        reg.counter(obs::MetricsRegistry::kOverflowCounter).value(), 1u);
+}
+
+TEST(MetricsRegistry, OverflowSeriesAppearInExposition)
+{
+    obs::MetricsRegistry reg;
+    reg.setMaxCardinality(1);
+    reg.counter("rid_kept_total").inc();
+    reg.counter("rid_dropped_total").inc(9);
+
+    std::string text = reg.prometheusText();
+    EXPECT_NE(text.find(obs::MetricsRegistry::kOverflowCounter),
+              std::string::npos);
+    EXPECT_NE(text.find(obs::MetricsRegistry::kDroppedNames),
+              std::string::npos);
+    EXPECT_EQ(text.find("rid_dropped_total"), std::string::npos);
+
+    testutil::JsonValue doc;
+    ASSERT_TRUE(testutil::parseJson(reg.json(), doc));
+    const auto *overflow =
+        doc.find(obs::MetricsRegistry::kOverflowCounter);
+    ASSERT_NE(overflow, nullptr);
+    EXPECT_EQ(overflow->find("value")->number, 9.0);
+}
+
 TEST(JsonWriter, ByteStableNestedDocument)
 {
     obs::JsonWriter w;

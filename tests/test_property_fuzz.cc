@@ -20,6 +20,8 @@
 #include "frontend/lower.h"
 #include "kernel/dpm_specs.h"
 #include "kernel/generator.h"
+#include "kernel/inject.h"
+#include "kernel/score.h"
 #include "summary/spec.h"
 
 namespace rid {
@@ -304,6 +306,131 @@ TEST_P(SummaryRoundTripTest, RandomSummariesSurviveSerialization)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SummaryRoundTripTest,
                          ::testing::Values(11, 22, 33, 44, 55));
+
+class InjectionFuzzTest : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(InjectionFuzzTest, ScoresStayInRangeUnderRandomClaims)
+{
+    // Fuzz the injection recipes over generator seeds, then throw
+    // adversarial claim sets at the scorer: whatever a tool claims,
+    // scores must stay in range — recall and precision in [0, 1], no
+    // negative counts, tp + fn exactly the injection count.
+    uint64_t seed = GetParam();
+    auto mix = kernel::CorpusMix::cleanCalibrated(0.02);
+    auto plan = kernel::InjectionPlan::calibrated(mix);
+    auto injected = kernel::generateInjectedCorpus(mix, plan, seed);
+    const int n = static_cast<int>(injected.injections.size());
+
+    // Engine accounting closes: every attempt is applied or rejected,
+    // and every applied injection is logged with consistent truth.
+    EXPECT_EQ(injected.stats.attempted,
+              injected.stats.applied + injected.stats.rejected_rewrite +
+                  injected.stats.rejected_unviable);
+    EXPECT_EQ(injected.stats.applied, n);
+    EXPECT_GT(n, 0);
+    for (const auto &inj : injected.injections) {
+        const auto *truth = injected.corpus.truthFor(inj.function);
+        ASSERT_NE(truth, nullptr) << inj.function;
+        EXPECT_TRUE(truth->injected) << inj.function;
+        EXPECT_TRUE(truth->has_bug) << inj.function;
+        EXPECT_EQ(truth->domain, inj.domain) << inj.function;
+    }
+
+    std::mt19937_64 rng(seed * 7919 + 1);
+    const char *domains[] = {"", "ref", "lock", "alloc"};
+    std::vector<kernel::ReportClaim> claims;
+    for (const auto &inj : injected.injections) {
+        // Random subset of the injected functions, sometimes claimed in
+        // the wrong domain, sometimes twice.
+        if (rng() % 2)
+            claims.push_back({inj.function, domains[rng() % 4]});
+        if (rng() % 4 == 0)
+            claims.push_back({inj.function, domains[rng() % 4]});
+    }
+    for (size_t i = 0; i < injected.corpus.truth.size();
+         i += 1 + rng() % 97) {
+        claims.push_back(
+            {injected.corpus.truth[i].name, domains[rng() % 4]});
+    }
+    for (int i = 0; i < 25; i++) {
+        claims.push_back(
+            {"ghost_" + std::to_string(rng() % 40), domains[rng() % 4]});
+    }
+
+    auto score = kernel::scoreReports(injected.injections,
+                                      injected.corpus.truth, claims);
+    EXPECT_GE(score.total.tp, 0);
+    EXPECT_GE(score.total.fp, 0);
+    EXPECT_GE(score.total.fn, 0);
+    EXPECT_LE(score.total.tp, n);
+    EXPECT_EQ(score.total.tp + score.total.fn, n);
+    EXPECT_GE(score.total.precision(), 0.0);
+    EXPECT_LE(score.total.precision(), 1.0);
+    EXPECT_GE(score.total.recall(), 0.0);
+    EXPECT_LE(score.total.recall(), 1.0);
+    // The clean mix seeds no pattern bugs or FP-inducers, so nothing
+    // can land in those buckets no matter what is claimed.
+    EXPECT_EQ(score.pattern_bug_hits, 0);
+    EXPECT_EQ(score.pattern_fp_hits, 0);
+    int domain_tp = 0, domain_fn = 0;
+    for (const auto &[domain, counts] : score.by_domain) {
+        EXPECT_GE(counts.tp, 0) << domain;
+        EXPECT_GE(counts.fp, 0) << domain;
+        EXPECT_GE(counts.fn, 0) << domain;
+        EXPECT_LE(counts.recall(), 1.0) << domain;
+        EXPECT_LE(counts.precision(), 1.0) << domain;
+        domain_tp += counts.tp;
+        domain_fn += counts.fn;
+    }
+    EXPECT_EQ(domain_tp, score.total.tp);
+    EXPECT_EQ(domain_fn, score.total.fn);
+}
+
+TEST_P(InjectionFuzzTest, CensusStaysWithinCalibrationTolerance)
+{
+    // The per-domain census of a cleanCalibrated corpus must track the
+    // DriverCalibration densities at any seed: per-1000 "changing"
+    // rates within 30% of the analytic targets (base density plus the
+    // nested patterns' contribution to each of their domains).
+    uint64_t seed = GetParam();
+    auto mix = kernel::CorpusMix::cleanCalibrated(0.02);
+    auto plan = kernel::InjectionPlan::calibrated(mix);
+    auto injected = kernel::generateInjectedCorpus(mix, plan, seed);
+    auto census = kernel::censusOf(injected.corpus.truth);
+
+    ASSERT_GT(census.functions, 1000);
+    kernel::DriverCalibration cal;
+    double nested_each = cal.nested_per_k / 2.0;
+    std::map<std::string, double> target = {
+        {"ref", cal.ref_per_k + nested_each},
+        {"lock", cal.lock_per_k + 2 * nested_each},
+        {"alloc", cal.alloc_per_k + nested_each},
+    };
+    for (const auto &[domain, want_per_k] : target) {
+        ASSERT_TRUE(census.domains.count(domain)) << domain;
+        double got_per_k = 1000.0 *
+                           census.domains.at(domain).changing /
+                           census.functions;
+        EXPECT_NEAR(got_per_k, want_per_k, 0.30 * want_per_k) << domain;
+    }
+
+    // Injections are counted per domain and close with the log.
+    std::map<std::string, int> injected_by_domain;
+    for (const auto &inj : injected.injections)
+        injected_by_domain[inj.domain]++;
+    int census_injected = 0;
+    for (const auto &[domain, d] : census.domains) {
+        EXPECT_EQ(d.injected, injected_by_domain[domain]) << domain;
+        EXPECT_EQ(d.seeded_bugs, 0) << domain;
+        EXPECT_EQ(d.seeded_fp_inducers, 0) << domain;
+        census_injected += d.injected;
+    }
+    EXPECT_EQ(census_injected, static_cast<int>(injected.injections.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InjectionFuzzTest,
+                         ::testing::Values(0x101, 0x202, 0x303, 0x404));
 
 TEST(Determinism, ThreadCountDoesNotChangeReports)
 {
