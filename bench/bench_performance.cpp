@@ -301,7 +301,9 @@ BENCHMARK(BM_AnalyzeCorpusPrefixSharing)->Arg(0)->Arg(1)
  * BENCH_performance.json. The schema is documented in DESIGN.md
  * ("Solver query cache", "Prefix-sharing symbolic execution"); each
  * field under "cache_off"/"cache_on"/"prefix_off"/"prefix_on" is
- * RunResult::statsJson().
+ * RunResult::statsJson(). A final pair of runs measures the provenance
+ * journal cost (journal off vs on; see docs/PROVENANCE.md) —
+ * "provenance_overhead" is the relative symexec slowdown journal-on.
  */
 void
 writeBenchJson(const char *path)
@@ -309,10 +311,12 @@ writeBenchJson(const char *path)
     auto mix = rid::kernel::CorpusMix::paperCalibrated(0.01);
     auto corpus = rid::kernel::generateCorpus(mix);
 
-    auto runOnce = [&](bool cache, bool prefix = true) {
+    auto runOnce = [&](bool cache, bool prefix = true,
+                       const std::string &provenance = "") {
         rid::analysis::AnalyzerOptions opts;
         opts.use_query_cache = cache;
         opts.prefix_sharing = prefix;
+        opts.provenance_path = provenance;
         rid::Rid tool(opts);
         tool.loadSpecText(rid::kernel::dpmSpecText());
         for (const auto &file : corpus.files)
@@ -354,6 +358,18 @@ writeBenchJson(const char *path)
                         replay.stats.symexec_seconds
             : 0.0;
 
+    // Provenance journal overhead: the journal is rendered and written
+    // after analysis, so the symbolic-execution phase should be all but
+    // untouched (acceptance bound: <10% symexec overhead journal-on).
+    std::string journal_path = std::string(path) + ".provenance.jsonl";
+    auto [joff, joff_wall] = runOnce(true);
+    auto [jon, jon_wall] = runOnce(true, /*prefix=*/true, journal_path);
+    double journal_overhead =
+        joff.stats.symexec_seconds > 0
+            ? jon.stats.symexec_seconds / joff.stats.symexec_seconds - 1.0
+            : 0.0;
+    std::remove(journal_path.c_str());
+
     std::ofstream out(path);
     out << "{\n";
     out << "  \"workload\": \"synthetic DPM corpus (scale 0.01), "
@@ -380,7 +396,14 @@ writeBenchJson(const char *path)
         << replay.stats.symexec_seconds << ",\n";
     out << "  \"symexec_seconds_prefix_on\": "
         << tree.stats.symexec_seconds << ",\n";
-    out << "  \"symexec_reduction\": " << symexec_reduction << "\n";
+    out << "  \"symexec_reduction\": " << symexec_reduction << ",\n";
+    out << "  \"wall_seconds_journal_off\": " << joff_wall << ",\n";
+    out << "  \"wall_seconds_journal_on\": " << jon_wall << ",\n";
+    out << "  \"symexec_seconds_journal_off\": "
+        << joff.stats.symexec_seconds << ",\n";
+    out << "  \"symexec_seconds_journal_on\": "
+        << jon.stats.symexec_seconds << ",\n";
+    out << "  \"provenance_overhead\": " << journal_overhead << "\n";
     out << "}\n";
     std::printf("wrote %s (theory checks %llu -> %llu, hit rate %.2f; "
                 "prefix sharing: blocks %llu -> %llu, symexec -%.0f%%)\n",

@@ -112,10 +112,8 @@ runScored(const rid::kernel::CorpusMix &mix, uint64_t seed,
             t0 = Clock::now();
             auto base = checker.run(tool.module());
             out.cpy.wall_seconds += secondsSince(t0);
-            for (const auto &report : base.reports) {
-                cpy_claims.push_back(
-                    kernel::ReportClaim{report.function, ""});
-            }
+            for (auto &claim : kernel::claimsFrom(base.reports))
+                cpy_claims.push_back(std::move(claim));
 
             for (auto &t : shard.truth) {
                 out.census.add(t);

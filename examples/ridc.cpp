@@ -6,6 +6,11 @@
  *
  *     ridc --spec dpm.spec [--spec more.spec] file1.c file2.c ...
  *
+ * Subcommands over the provenance journal (--provenance FILE):
+ *
+ *     ridc explain <fingerprint|all> <journal.jsonl>
+ *     ridc diff-runs <old.jsonl> <new.jsonl>
+ *
  * Options:
  *   --spec FILE        load predefined summaries (repeatable)
  *   --builtin-dpm      load the bundled Linux DPM specs
@@ -22,6 +27,7 @@
  *   --fn-deadline S    per-function wall-clock budget (seconds)
  *   --solver-fuel N    per-function solver query budget
  *   --failpoints SPEC  arm fault injection (site[@fn]=mode,...)
+ *   --provenance FILE  write the report provenance journal (JSONL)
  *   --keep-going       parse errors skip the file instead of aborting
  *   --no-classify      analyze every function (skip Section 5.2 tiers)
  *   --model-bits       Section 5.4 extension: model `x & CONST` bit tests
@@ -77,8 +83,65 @@ usage()
                  "[--solver-fuel N]\n"
                  "            [--failpoints SPEC] [--keep-going]\n"
                  "            [--domains a,b] [--list-domains]\n"
-                 "            [--dump-ir] [--summaries] file.c ...\n");
+                 "            [--provenance FILE]\n"
+                 "            [--dump-ir] [--summaries] file.c ...\n"
+                 "       ridc explain <fingerprint|all> <journal.jsonl>\n"
+                 "       ridc diff-runs <old.jsonl> <new.jsonl>\n");
     std::exit(2);
+}
+
+std::vector<rid::obs::ProvenanceRecord>
+readJournal(const std::string &path)
+{
+    try {
+        return rid::obs::parseJournal(readFile(path));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ridc: %s: %s\n", path.c_str(), e.what());
+        std::exit(2);
+    }
+}
+
+/** ridc explain <fingerprint|all> <journal.jsonl> */
+int
+cmdExplain(int argc, char **argv)
+{
+    if (argc != 4)
+        usage();
+    std::string selector = argv[2];
+    auto records = readJournal(argv[3]);
+    uint64_t wanted = 0;
+    bool all = selector == "all";
+    if (!all && !rid::obs::parseFp(selector, wanted)) {
+        std::fprintf(stderr, "ridc: bad fingerprint '%s'\n",
+                     selector.c_str());
+        return 2;
+    }
+    size_t shown = 0;
+    for (const auto &r : records) {
+        if (!all && r.fingerprint != wanted)
+            continue;
+        std::printf("%s", rid::obs::explainText(r).c_str());
+        shown++;
+    }
+    if (!shown) {
+        std::fprintf(stderr, "ridc: no record matches %s\n",
+                     selector.c_str());
+        return 1;
+    }
+    return 0;
+}
+
+/** ridc diff-runs <old.jsonl> <new.jsonl> */
+int
+cmdDiffRuns(int argc, char **argv)
+{
+    if (argc != 4)
+        usage();
+    auto old_run = readJournal(argv[2]);
+    auto new_run = readJournal(argv[3]);
+    rid::obs::RunDiff diff = rid::obs::diffRuns(old_run, new_run);
+    std::printf("%s", rid::obs::diffText(diff).c_str());
+    return diff.added.empty() ? 0 : 1;
 }
 
 } // anonymous namespace
@@ -86,6 +149,13 @@ usage()
 int
 main(int argc, char **argv)
 {
+    // Journal subcommands dispatch before flag parsing; everything else
+    // is the classic scan invocation.
+    if (argc > 1 && std::strcmp(argv[1], "explain") == 0)
+        return cmdExplain(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "diff-runs") == 0)
+        return cmdDiffRuns(argc, argv);
+
     rid::analysis::AnalyzerOptions opts;
     rid::frontend::LowerOptions lower_opts;
     std::vector<std::string> spec_files, sources, imports;
@@ -141,6 +211,8 @@ main(int argc, char **argv)
                 std::strtoull(next().c_str(), nullptr, 10);
         else if (arg == "--failpoints")
             opts.failpoints = next();
+        else if (arg == "--provenance")
+            opts.provenance_path = next();
         else if (arg == "--domains")
             split_domains(next());
         else if (arg.rfind("--domains=", 0) == 0)

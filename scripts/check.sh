@@ -18,8 +18,10 @@
 # ownership code ASan exists for), refreshes BENCH_performance.json
 # at the repo root (the microbenchmarks themselves are skipped via a
 # non-matching filter — only the trajectory-record workload runs,
-# including the prefix_off/prefix_on engine comparison) and
-# exercises the tracing path end to end on a small DPM corpus.
+# including the prefix_off/prefix_on engine comparison and the
+# provenance journal off/on overhead pair), exercises the tracing path
+# end to end on a small DPM corpus, and round-trips the provenance
+# journal through `ridc explain` and `ridc diff-runs`.
 #
 # Usage: scripts/check.sh        (from anywhere inside the repo)
 # CMake equivalent: cmake --build build --target check
@@ -107,5 +109,27 @@ else
     grep -q '"analyze-function"' "$trace_json"
 fi
 grep -q '^rid_functions_analyzed_total ' "$metrics_prom"
+
+# Provenance round trip: scan a known-buggy file with --provenance, then
+# require `explain all` to narrate every journal record and `diff-runs`
+# of the journal against itself to report everything as persisting.
+echo "== provenance explain/diff-runs smoke =="
+prov_src="$(mktemp)" prov_journal="$(mktemp)"
+trap 'rm -f "$trace_json" "$metrics_prom" "$prov_src" "$prov_journal"' EXIT
+cat > "$prov_src" <<'EOF'
+int smoke_guarded_get(struct device *dev, int flags) {
+    if (flags & 4)
+        pm_runtime_get_noresume(dev);
+    return 0;
+}
+EOF
+rc=0
+./build/examples/ridc --builtin-dpm --provenance "$prov_journal" \
+    "$prov_src" > /dev/null 2>&1 || rc=$?
+test "$rc" -eq 1     # 1 = reports found; anything else is a real failure
+test -s "$prov_journal"
+./build/examples/ridc explain all "$prov_journal" | grep -q '^report 0x'
+./build/examples/ridc diff-runs "$prov_journal" "$prov_journal" \
+    | grep -q '^new (0):'
 
 echo "check.sh: all green"

@@ -444,6 +444,17 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
         for (auto &extra : opts_.summary_check(summary))
             ipp.reports.push_back(std::move(extra));
     }
+    if (!ipp.reports.empty()) {
+        // Stamp stable report identities (after summary_check so the
+        // escape-rule reports get theirs too). Every fingerprint input is
+        // byte-stable across engines/threads/cache settings, so the
+        // stamps are as deterministic as the reports themselves.
+        uint64_t fn_fp = fn.fingerprint();
+        for (auto &r : ipp.reports) {
+            r.function_fp = fn_fp;
+            r.fingerprint = r.computeFingerprint(fn_fp);
+        }
+    }
     if (truncated || summary.entries.empty()) {
         // Limits cut the analysis short: weaken with the default entry so
         // callers never trust an incomplete summary too much

@@ -113,6 +113,11 @@ struct AnalyzerOptions
     /** Prometheus metrics dump path (empty = none); written by
      *  Rid::run() from the run's metrics registry. */
     std::string metrics_path;
+    /** Provenance journal path (empty = none). Rid::run() renders every
+     *  report's ProvenanceRecord (obs/provenance.h) as a JSONL journal
+     *  there; the Analyzer itself only collects the evidence, so the
+     *  symbolic-execution phase pays no journal cost. */
+    std::string provenance_path;
     /** Rows kept in the post-run analysis profile (0 = no profile). */
     int profile_top_n = 10;
     /** Record one span per solver query (noisy; off by default). */

@@ -6,8 +6,39 @@
 
 #include "obs/failpoint.h"
 #include "obs/trace.h"
+#include "smt/intern.h"
 
 namespace rid::analysis {
+
+uint64_t
+BugReport::computeFingerprint(uint64_t function_fingerprint) const
+{
+    // Normalized witness shape: every ingredient is byte-stable across
+    // engines/threads/cache settings (pinned by the determinism suite),
+    // so the fingerprint is too. Solver evidence and callee chains stay
+    // out — they carry run-configuration detail (cache hits).
+    using smt::fpBytes;
+    using smt::fpCombine;
+    uint64_t h = fpCombine(function_fingerprint, fpBytes(function));
+    h = fpCombine(h, fpBytes(domain));
+    h = fpCombine(h, fpBytes(refcount));
+    h = fpCombine(h, static_cast<uint64_t>(kind));
+    h = fpCombine(h, static_cast<uint64_t>(static_cast<int64_t>(delta_a)));
+    h = fpCombine(h, static_cast<uint64_t>(static_cast<int64_t>(delta_b)));
+    h = fpCombine(h, fpBytes(cons_a));
+    h = fpCombine(h, fpBytes(cons_b));
+    for (int line : lines_a)
+        h = fpCombine(h, static_cast<uint64_t>(static_cast<int64_t>(line)));
+    h = fpCombine(h, static_cast<uint64_t>(lines_a.size()));
+    for (int line : lines_b)
+        h = fpCombine(h, static_cast<uint64_t>(static_cast<int64_t>(line)));
+    h = fpCombine(h, static_cast<uint64_t>(lines_b.size()));
+    h = fpCombine(h,
+                  static_cast<uint64_t>(static_cast<int64_t>(return_line_a)));
+    h = fpCombine(h,
+                  static_cast<uint64_t>(static_cast<int64_t>(return_line_b)));
+    return h;
+}
 
 std::string
 BugReport::str() const
@@ -117,6 +148,7 @@ checkAndMerge(const std::string &function,
                     report.cons_a = entry.cons.str();
                     report.lines_a = entry.origin.change_lines;
                     report.return_line_a = entry.origin.return_line;
+                    report.callees_a = entry.origin.callees;
                     result.reports.push_back(std::move(report));
                     it = entry.changes.erase(it);
                     continue;
@@ -137,6 +169,10 @@ checkAndMerge(const std::string &function,
                     entries[i].cons.land(entries[j].cons);
                 if (!solver.isSat(overlap))
                     continue;
+                // The query that just decided the pair overlaps is this
+                // report's deciding evidence; snapshot it before any
+                // further solver traffic overwrites lastQuery().
+                smt::QueryInfo overlap_query = solver.lastQuery();
                 if (!summary::SummaryEntry::sameStores(entries[i],
                                                        entries[j])) {
                     // Under the field-store extension the paths are
@@ -187,6 +223,9 @@ checkAndMerge(const std::string &function,
                     report.lines_b = entries[j].origin.change_lines;
                     report.return_line_a = entries[i].origin.return_line;
                     report.return_line_b = entries[j].origin.return_line;
+                    report.callees_a = entries[i].origin.callees;
+                    report.callees_b = entries[j].origin.callees;
+                    report.queries.push_back(overlap_query);
                     result.reports.push_back(std::move(report));
                 }
                 size_t drop = (rng() & 1) ? i : j;

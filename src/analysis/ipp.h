@@ -58,7 +58,27 @@ struct BugReport
     /** Return statement lines of the two paths. */
     int return_line_a = 0, return_line_b = 0;
 
+    /** Stable 64-bit report identity (0 until stamped by the analyzer):
+     *  function body fingerprint x domain x counter x kind x witness
+     *  shape. Byte-stable across engines, thread counts and cache
+     *  settings; the cross-run dedup key of `ridc diff-runs`. */
+    uint64_t fingerprint = 0;
+    /** ir::Function::fingerprint() of the reported function. */
+    uint64_t function_fp = 0;
+    /** Solver queries that decided this report (the IPP overlap check;
+     *  empty for must-analysis Unbalanced reports). Evidence only —
+     *  excluded from the fingerprint, since cache hit/miss varies with
+     *  run configuration. */
+    std::vector<smt::QueryInfo> queries;
+    /** Callee-summary instantiation chains of the two witness paths. */
+    std::vector<std::string> callees_a, callees_b;
+
     std::string str() const;
+
+    /** Derive the stable report fingerprint from the witness shape.
+     *  Deterministic function of fields the determinism suite already
+     *  pins byte-identical across engines/threads/cache configs. */
+    uint64_t computeFingerprint(uint64_t function_fingerprint) const;
 };
 
 struct IppOptions

@@ -62,6 +62,7 @@ escapeRuleViolations(const summary::FunctionSummary &summary,
                             std::to_string(expected) + ")";
             report.lines_a = entry.origin.change_lines;
             report.return_line_a = entry.origin.return_line;
+            report.callees_a = entry.origin.callees;
             reports.push_back(std::move(report));
         }
     }

@@ -40,6 +40,8 @@ struct State
     summary::StoreSet stores;
     std::map<std::string, Expr> vmap;
     std::vector<int> change_lines;
+    /** Callee summaries instantiated along this path (provenance). */
+    std::vector<std::string> callees;
     /** Per-call-site execution counts, for deterministic temp naming. */
     std::map<const ir::Instruction *, int> call_occurrence;
 
@@ -247,7 +249,8 @@ projectEntryLocals(SummaryEntry &entry)
 SummaryEntry
 finishReturnState(const Expr &retval, std::vector<Formula> parts,
                   summary::ChangeMap changes, summary::StoreSet stores,
-                  std::vector<int> change_lines, int return_line,
+                  std::vector<int> change_lines,
+                  std::vector<std::string> callees, int return_line,
                   int path_index)
 {
     SummaryEntry entry;
@@ -279,6 +282,7 @@ finishReturnState(const Expr &retval, std::vector<Formula> parts,
     entry.cons = Formula::conj(std::move(parts));
     projectEntryLocals(entry);
     entry.origin.change_lines = std::move(change_lines);
+    entry.origin.callees = std::move(callees);
     entry.origin.return_line = return_line;
     entry.origin.path_index = path_index;
     return entry;
@@ -456,6 +460,7 @@ executePath(const ir::Function &fn, const Path &path, int path_index,
                         }
 
                         State forked = s;
+                        forked.callees.push_back(in.callee);
                         forked.cons_parts.push_back(
                             ConsPart{nullptr, inst.cons});
                         for (const auto &[rc, delta] : inst.changes) {
@@ -487,7 +492,8 @@ executePath(const ir::Function &fn, const Path &path, int path_index,
                         opts.max_subcases) {
                         result.entries.push_back(finishReturnState(
                             retval, std::move(parts), s.changes, s.stores,
-                            s.change_lines, in.line, path_index));
+                            s.change_lines, s.callees, in.line,
+                            path_index));
                     } else {
                         result.truncated = true;
                     }
@@ -520,6 +526,8 @@ struct TreeState
     summary::StoreSet stores;
     CowMap<std::string, Expr> vmap;
     std::vector<int> change_lines;
+    /** Callee summaries instantiated along this path (provenance). */
+    std::vector<std::string> callees;
     /** Per-call-site execution counts, for deterministic temp naming. */
     std::map<const ir::Instruction *, int> call_occurrence;
 };
@@ -801,6 +809,7 @@ TreeExecutor::stepBlock(RunCtx &ctx, ir::BlockId b,
                     }
 
                     TreeState forked = s;
+                    forked.callees.push_back(in.callee);
                     forked.cons = s.cons.extended(nullptr, inst.cons);
                     for (const auto &[rc, delta] : inst.changes) {
                         forked.changes[rc] += delta;
@@ -830,7 +839,7 @@ TreeExecutor::stepBlock(RunCtx &ctx, ir::BlockId b,
                     opts_.max_subcases) {
                     step.outcome.entries.push_back(finishReturnState(
                         retval, s.cons.parts(), s.changes, s.stores,
-                        s.change_lines, in.line, 0));
+                        s.change_lines, s.callees, in.line, 0));
                 } else {
                     ctx.res->truncated = true;
                 }

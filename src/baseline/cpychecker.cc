@@ -8,6 +8,7 @@
 #include "analysis/paths.h"
 #include "obs/budget.h"
 #include "obs/failpoint.h"
+#include "smt/intern.h"
 
 namespace rid::baseline {
 
@@ -19,6 +20,43 @@ BaselineReport::str() const
        << (refs >= 0 ? "+" : "") << refs << " but " << expected
        << " reference(s) escape";
     return os.str();
+}
+
+uint64_t
+BaselineReport::computeFingerprint(uint64_t function_fingerprint) const
+{
+    using smt::fpBytes;
+    using smt::fpCombine;
+    uint64_t h = fpCombine(function_fingerprint, fpBytes(function));
+    h = fpCombine(h, fpBytes(domain));
+    h = fpCombine(h, fpBytes(variable));
+    h = fpCombine(h, static_cast<uint64_t>(static_cast<int64_t>(refs)));
+    h = fpCombine(h, static_cast<uint64_t>(static_cast<int64_t>(expected)));
+    return h;
+}
+
+std::vector<obs::ProvenanceRecord>
+provenanceRecords(const std::vector<BaselineReport> &reports)
+{
+    std::vector<obs::ProvenanceRecord> records;
+    records.reserve(reports.size());
+    for (const auto &r : reports) {
+        obs::ProvenanceRecord rec;
+        rec.tool = "cpychecker";
+        rec.function = r.function;
+        rec.function_fp = r.function_fp;
+        rec.fingerprint = r.fingerprint;
+        rec.domain = r.domain;
+        rec.kind = "escape";
+        rec.counter = r.variable;
+        rec.path_a.delta = r.refs;
+        rec.has_path_b = true;
+        rec.path_b.cons =
+            "(escape rule: expected " + std::to_string(r.expected) + ")";
+        rec.path_b.delta = r.expected;
+        records.push_back(std::move(rec));
+    }
+    return records;
 }
 
 Cpychecker::Cpychecker(const std::map<std::string, pyc::ApiAttr> &attrs,
@@ -36,6 +74,10 @@ struct ObjState
     int escapes = 0;     ///< references escaped (returned / stolen)
     bool is_null = false; ///< this path established the object is null
     bool borrowed = false;
+    /** Effect domain, attributed from the API that created the object or
+     *  (for argument objects) the first count-changing API; empty until
+     *  attributed, reported as "ref". */
+    std::string domain;
 };
 
 /**
@@ -188,8 +230,11 @@ struct PathWalker
 
         for (const auto &[arg_idx, delta] : attr.arg_delta) {
             if (arg_idx < static_cast<int>(in.args.size())) {
-                if (ObjState *obj = objectFor(in.args[arg_idx]))
+                if (ObjState *obj = objectFor(in.args[arg_idx])) {
                     obj->refs += delta;
+                    if (obj->domain.empty())
+                        obj->domain = attr.domain;
+                }
             }
         }
         for (int stolen : attr.steals_args) {
@@ -210,6 +255,7 @@ struct PathWalker
                                 : in.dst;
                 state.refs = attr.returns_new_ref ? 1 : 0;
                 state.borrowed = attr.returns_borrowed;
+                state.domain = attr.domain;
                 objects[id] = state;
                 binding[in.dst] = id;
             }
@@ -269,6 +315,8 @@ struct PathWalker
                 r.variable = obj.var;
                 r.refs = obj.refs;
                 r.expected = obj.escapes;
+                if (!obj.domain.empty())
+                    r.domain = obj.domain;
                 reports.push_back(std::move(r));
             }
         }
@@ -335,6 +383,16 @@ Cpychecker::checkFunctionInner(const ir::Function &fn,
     runWalker(/*with_args=*/false);
     if (opts_.check_arguments)
         runWalker(/*with_args=*/true);
+    if (!out.empty()) {
+        // Same stamping contract as the main analyzer: the fingerprint is
+        // a deterministic function of the function body and the report's
+        // witness shape, independent of run configuration.
+        uint64_t fn_fp = fn.fingerprint();
+        for (auto &r : out) {
+            r.function_fp = fn_fp;
+            r.fingerprint = r.computeFingerprint(fn_fp);
+        }
+    }
     return out;
 }
 

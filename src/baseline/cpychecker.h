@@ -34,6 +34,7 @@
 
 #include "analysis/analyzer.h"
 #include "ir/function.h"
+#include "obs/provenance.h"
 #include "pyc/pyc_specs.h"
 
 namespace rid::obs {
@@ -48,9 +49,29 @@ struct BaselineReport
     std::string variable;   ///< source variable holding the object
     int refs = 0;           ///< net count change on the offending path
     int expected = 0;       ///< escapes on that path
+    /** Effect domain of the tracked counter, attributed from the API
+     *  that created (or first changed) the object ("ref" by default).
+     *  Gives baseline reports the same domain vocabulary as RID's, so
+     *  the scorer and `ridc diff-runs` treat both tools uniformly. */
+    std::string domain = "ref";
+    /** Stable 64-bit report identity (0 until stamped): function body
+     *  fingerprint x domain x variable x observed/expected counts. Same
+     *  contract as analysis::BugReport::fingerprint. */
+    uint64_t fingerprint = 0;
+    /** ir::Function::fingerprint() of the reported function. */
+    uint64_t function_fp = 0;
 
     std::string str() const;
+
+    /** Derive the stable report fingerprint from the witness shape. */
+    uint64_t computeFingerprint(uint64_t function_fingerprint) const;
 };
+
+/** Convert baseline reports into provenance records (tool "cpychecker",
+ *  kind "escape"; the expected-escapes rule forms the synthetic second
+ *  path, mirroring RID's escape-rule records). */
+std::vector<obs::ProvenanceRecord>
+provenanceRecords(const std::vector<BaselineReport> &reports);
 
 struct CpycheckerOptions
 {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/json_writer.h"
+#include "obs/provenance.h"
 
 namespace rid {
 
@@ -50,6 +51,10 @@ writeReport(obs::JsonWriter &w, const analysis::BugReport &report)
                                 ? "unbalanced"
                                 : "inconsistent");
     }
+    // Additive key: the stable report identity (0 means unstamped —
+    // e.g. a BugReport constructed directly in tests).
+    if (report.fingerprint)
+        w.key("fingerprint").value(obs::fpHex(report.fingerprint));
     w.endObject();
 }
 

@@ -1,6 +1,7 @@
 #include "core/rid.h"
 
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "frontend/lower.h"
@@ -11,6 +12,91 @@
 #include "summary/spec.h"
 
 namespace rid {
+
+namespace {
+
+obs::QueryRecord
+queryRecordOf(const smt::QueryInfo &q)
+{
+    obs::QueryRecord out;
+    out.fingerprint = q.fingerprint;
+    out.result = smt::satResultName(q.result);
+    out.cache_hit = q.cache_hit;
+    out.trivial = q.trivial;
+    out.fuel = q.fuel;
+    return out;
+}
+
+/** Kind slug of a report. Escape-rule reports reuse BugKind::Inconsistent
+ *  with a synthetic second "path" (the rule), recognizable by cons_b. */
+const char *
+reportKindName(const analysis::BugReport &r)
+{
+    if (r.kind == analysis::BugKind::Unbalanced)
+        return "unbalanced";
+    if (r.cons_b.rfind("(escape rule:", 0) == 0)
+        return "escape";
+    return "inconsistent";
+}
+
+} // anonymous namespace
+
+std::vector<obs::ProvenanceRecord>
+provenanceRecords(const std::vector<analysis::BugReport> &reports,
+                  const std::vector<analysis::FunctionDiagnostic> &diagnostics)
+{
+    // Per-function degradation context; the worst status wins when a
+    // function carries several diagnostics (diagnostics are name-sorted
+    // with the worse status last for equal names, but don't rely on it).
+    std::map<std::string, const analysis::FunctionDiagnostic *> by_fn;
+    for (const auto &d : diagnostics) {
+        auto [it, inserted] = by_fn.emplace(d.function, &d);
+        if (!inserted && d.status > it->second->status)
+            it->second = &d;
+    }
+
+    std::vector<obs::ProvenanceRecord> records;
+    records.reserve(reports.size());
+    for (const auto &r : reports) {
+        obs::ProvenanceRecord rec;
+        rec.tool = "rid";
+        rec.function = r.function;
+        rec.function_fp = r.function_fp;
+        rec.fingerprint = r.fingerprint;
+        rec.domain = r.domain;
+        rec.kind = reportKindName(r);
+        rec.counter = r.refcount;
+        rec.path_a.cons = r.cons_a;
+        rec.path_a.delta = r.delta_a;
+        rec.path_a.lines = r.lines_a;
+        rec.path_a.return_line = r.return_line_a;
+        rec.path_a.callees = r.callees_a;
+        if (r.kind == analysis::BugKind::Inconsistent) {
+            // Escape reports keep their synthetic path_b (the rule text
+            // and the expected delta) so the record is lossless.
+            rec.has_path_b = true;
+            rec.path_b.cons = r.cons_b;
+            rec.path_b.delta = r.delta_b;
+            rec.path_b.lines = r.lines_b;
+            rec.path_b.return_line = r.return_line_b;
+            rec.path_b.callees = r.callees_b;
+        }
+        for (const auto &q : r.queries)
+            rec.queries.push_back(queryRecordOf(q));
+        if (auto it = by_fn.find(r.function); it != by_fn.end()) {
+            rec.status = analysis::fnStatusName(it->second->status);
+            rec.budget = it->second->reason;
+        }
+        records.push_back(std::move(rec));
+    }
+    return records;
+}
+
+std::vector<obs::ProvenanceRecord>
+provenanceRecords(const RunResult &result)
+{
+    return provenanceRecords(result.reports, result.diagnostics);
+}
 
 std::string
 RunResult::str() const
@@ -272,6 +358,43 @@ RunResult
 Rid::run()
 {
     analysis::Analyzer analyzer(module_, db_, opts_);
+
+    // Abnormal-exit salvage: register every configured export with the
+    // exit-flush registry before analysis starts, so a budget-expired
+    // process kill, an uncaught fault or Ctrl-C still leaves partial
+    // trace/metrics/provenance files behind. The registrations capture
+    // the stack-local analyzer, which is alive for exactly the window
+    // they are live: the guard unregisters on every exit path (including
+    // an export-write failure unwinding past the analyzer).
+    struct FlushGuard
+    {
+        std::vector<int> ids;
+        ~FlushGuard()
+        {
+            for (int id : ids)
+                obs::unregisterExitFlush(id);
+        }
+    } flush_guard;
+    std::vector<int> &flush_ids = flush_guard.ids;
+    if (!opts_.trace_path.empty())
+        flush_ids.push_back(obs::registerExitFlush(
+            opts_.trace_path, [&analyzer]() {
+                return analyzer.tracer()
+                           ? analyzer.tracer()->chromeTraceJson()
+                           : std::string();
+            }));
+    if (!opts_.metrics_path.empty())
+        flush_ids.push_back(obs::registerExitFlush(
+            opts_.metrics_path, [&analyzer]() {
+                return analyzer.metrics()->prometheusText();
+            }));
+    if (!opts_.provenance_path.empty())
+        flush_ids.push_back(obs::registerExitFlush(
+            opts_.provenance_path, [&analyzer]() {
+                return obs::renderJournal(provenanceRecords(
+                    analyzer.reports(), analyzer.diagnostics()));
+            }));
+
     analyzer.run();
     RunResult result;
     result.reports = analyzer.reports();
@@ -286,6 +409,30 @@ Rid::run()
     if (!opts_.trace_path.empty() && analyzer.tracer())
         writeTextFile(opts_.trace_path,
                       analyzer.tracer()->chromeTraceJson(), "trace");
+    if (!opts_.provenance_path.empty()) {
+        // Journal the run's provenance records, then account for them in
+        // the metrics registry before the metrics dump is written so the
+        // provenance counters appear in it.
+        auto records = provenanceRecords(result);
+        std::string journal = obs::renderJournal(std::move(records));
+        writeTextFile(opts_.provenance_path, journal, "provenance");
+        std::map<std::string, uint64_t> by_domain;
+        for (const auto &r : result.reports)
+            by_domain[r.domain]++;
+        auto &metrics = *analyzer.metrics();
+        for (const auto &[dom, n] : by_domain) {
+            metrics
+                .counter("rid_provenance_records_" + dom + "_total",
+                         "Provenance records journaled for effect domain '" +
+                             dom + "'.")
+                .inc(n);
+        }
+        metrics
+            .histogram("rid_provenance_journal_bytes",
+                       "Rendered provenance journal size (bytes).",
+                       obs::byteSizeBuckets())
+            .observe(static_cast<double>(journal.size()));
+    }
     if (!opts_.metrics_path.empty())
         writeTextFile(opts_.metrics_path,
                       analyzer.metrics()->prometheusText(), "metrics");

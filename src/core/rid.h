@@ -26,6 +26,7 @@
 #include "frontend/lower.h"
 #include "ir/function.h"
 #include "obs/profile.h"
+#include "obs/provenance.h"
 #include "summary/db.h"
 
 namespace rid {
@@ -68,6 +69,21 @@ struct RunResult
      */
     std::string statsJson() const;
 };
+
+/**
+ * Convert a run's bug reports into provenance records (obs/provenance.h):
+ * stable fingerprint, witness path pair, deciding solver queries,
+ * callee-summary chains, and each reporting function's degradation status
+ * pulled from @p diagnostics. Pure conversion — Rid::run() uses it to
+ * write the journal gated by AnalyzerOptions::provenance_path, and tests
+ * use it directly.
+ */
+std::vector<obs::ProvenanceRecord>
+provenanceRecords(const std::vector<analysis::BugReport> &reports,
+                  const std::vector<analysis::FunctionDiagnostic> &diagnostics);
+
+/** Convenience overload over a finished run. */
+std::vector<obs::ProvenanceRecord> provenanceRecords(const RunResult &result);
 
 class Rid
 {

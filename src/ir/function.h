@@ -109,6 +109,16 @@ class Function
 
     std::string str() const;
 
+    /**
+     * Stable 64-bit fingerprint of the function body: FNV-1a over the
+     * printed IR (name, signature, blocks, instructions). Identical
+     * across runs, platforms and analysis configurations — the key the
+     * provenance layer (obs/provenance.h) and the report fingerprints
+     * derive from, and the summary-store key the incremental-daemon
+     * roadmap item calls for.
+     */
+    uint64_t fingerprint() const;
+
   private:
     std::string name_;
     std::vector<std::string> params_;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/failpoint.h"
+#include "smt/intern.h"
 
 namespace rid::ir {
 
@@ -323,6 +324,12 @@ Function::str() const
     }
     os << "}\n";
     return os.str();
+}
+
+uint64_t
+Function::fingerprint() const
+{
+    return smt::fpBytes(str());
 }
 
 Function *

@@ -2,10 +2,22 @@
 
 #include <set>
 
+#include "baseline/cpychecker.h"
+
 namespace rid::kernel {
 
 std::vector<ReportClaim>
 claimsFrom(const std::vector<analysis::BugReport> &reports)
+{
+    std::vector<ReportClaim> claims;
+    claims.reserve(reports.size());
+    for (const auto &report : reports)
+        claims.push_back(ReportClaim{report.function, report.domain});
+    return claims;
+}
+
+std::vector<ReportClaim>
+claimsFrom(const std::vector<baseline::BaselineReport> &reports)
 {
     std::vector<ReportClaim> claims;
     claims.reserve(reports.size());
@@ -106,10 +118,12 @@ kernelApiAttrs()
         }
         pyc::ApiAttr alloc;
         alloc.returns_new_ref = true;
+        alloc.domain = "alloc";
         m["kmalloc"] = alloc;
         m["kzalloc"] = alloc;
         pyc::ApiAttr free_attr;
         free_attr.arg_delta = {{0, -1}};
+        free_attr.domain = "alloc";
         m["kfree"] = free_attr;
         return m;
     }();

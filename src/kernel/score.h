@@ -24,6 +24,10 @@
 #include "kernel/inject.h"
 #include "pyc/pyc_specs.h"
 
+namespace rid::baseline {
+struct BaselineReport;
+}
+
 namespace rid::kernel {
 
 /** One report, reduced to what scoring needs. An empty domain means
@@ -36,6 +40,12 @@ struct ReportClaim
 
 std::vector<ReportClaim>
 claimsFrom(const std::vector<analysis::BugReport> &reports);
+
+/** Baseline reports carry the same domain vocabulary since their API
+ *  attribute tables were domain-attributed; reduce them to the same
+ *  claims so the scorer treats both tools uniformly. */
+std::vector<ReportClaim>
+claimsFrom(const std::vector<baseline::BaselineReport> &reports);
 
 struct TallyCounts
 {

@@ -82,6 +82,12 @@ pathCountBuckets()
     return {1, 2, 4, 8, 16, 32, 64, 100, 1000};
 }
 
+std::vector<double>
+byteSizeBuckets()
+{
+    return {1024, 4096, 16384, 65536, 262144, 1048576, 4194304};
+}
+
 bool
 MetricsRegistry::isGuardName(const std::string &name)
 {

@@ -85,6 +85,10 @@ std::vector<double> latencyBucketsSeconds();
 /** Default bucket bounds for per-function path counts. */
 std::vector<double> pathCountBuckets();
 
+/** Default bucket bounds for export sizes in bytes (powers of four from
+ *  1KiB to 4MiB; e.g. the provenance journal size). */
+std::vector<double> byteSizeBuckets();
+
 class MetricsRegistry
 {
   public:

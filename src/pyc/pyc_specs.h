@@ -29,6 +29,11 @@ struct ApiAttr
     /** Per-argument refcount delta applied by the call (e.g. Py_INCREF
      *  is {+1 on arg 0}). */
     std::map<int, int> arg_delta;
+    /** Effect domain of the counter this API manipulates ("ref" for
+     *  refcounts; kernel tables mark e.g. kmalloc/kfree as "alloc").
+     *  Propagated onto baseline reports so the scorer and `ridc
+     *  diff-runs` treat both tools' reports uniformly. */
+    std::string domain = "ref";
 };
 
 /** Attribute table for the APIs in pycSpecText(). */

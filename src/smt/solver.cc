@@ -113,10 +113,16 @@ SatResult
 Solver::check(const Formula &f)
 {
     stats_.queries++;
-    if (f.isTrue())
+    if (f.isTrue()) {
+        last_query_ = QueryInfo{f.fingerprint(), SatResult::Sat, false,
+                                true, 0};
         return SatResult::Sat;
-    if (f.isFalse())
+    }
+    if (f.isFalse()) {
+        last_query_ = QueryInfo{f.fingerprint(), SatResult::Unsat, false,
+                                true, 0};
         return SatResult::Unsat;
+    }
     obs::failpoint("smt.solver.check");
     // Budget gate before any real work *and* before the cache: a
     // budget-stopped Unknown is a property of this run's resource limits,
@@ -125,6 +131,8 @@ Solver::check(const Formula &f)
     if (budget_ && (!budget_->consumeFuel() || budget_->expiredNow())) {
         stats_.budget_stops++;
         stats_.unknowns++;
+        last_query_ = QueryInfo{f.fingerprint(), SatResult::Unknown,
+                                false, false, 1};
         return SatResult::Unknown;
     }
     obs::Span span(opts_.trace_queries ? obs::currentTracer() : nullptr,
@@ -160,6 +168,7 @@ Solver::check(const Formula &f)
     span.arg("result", satResultName(r));
     if (cached_hit)
         span.arg("cache", "hit");
+    last_query_ = QueryInfo{f.fingerprint(), r, cached_hit, false, 1};
     return r;
 }
 
@@ -180,16 +189,24 @@ Solver::checkChain(const CondChain &chain)
     }
     stats_.queries++;
     Formula f = chain.formula();
-    if (f.isTrue())
+    if (f.isTrue()) {
+        last_query_ = QueryInfo{f.fingerprint(), SatResult::Sat, false,
+                                true, 0};
         return SatResult::Sat;
-    if (f.isFalse())
+    }
+    if (f.isFalse()) {
+        last_query_ = QueryInfo{f.fingerprint(), SatResult::Unsat, false,
+                                true, 0};
         return SatResult::Unsat;
+    }
     obs::failpoint("smt.solver.check");
     // Same budget gate as check(): fuel before the cache, Unknown
     // without polluting shared verdicts.
     if (budget_ && (!budget_->consumeFuel() || budget_->expiredNow())) {
         stats_.budget_stops++;
         stats_.unknowns++;
+        last_query_ = QueryInfo{f.fingerprint(), SatResult::Unknown,
+                                false, false, 1};
         return SatResult::Unknown;
     }
     obs::Span span(opts_.trace_queries ? obs::currentTracer() : nullptr,
@@ -237,6 +254,7 @@ Solver::checkChain(const CondChain &chain)
     span.arg("result", satResultName(r));
     if (cached_hit)
         span.arg("cache", "hit");
+    last_query_ = QueryInfo{f.fingerprint(), r, cached_hit, false, 1};
     return r;
 }
 

@@ -46,6 +46,26 @@ enum class SatResult : uint8_t { Sat, Unsat, Unknown };
 const char *satResultName(SatResult r);
 
 /**
+ * Provenance snapshot of the most recent check()/checkChain() call:
+ * which formula was decided (by stable fingerprint), how, and what it
+ * cost. Consumed by the IPP phase to attach per-report solver evidence
+ * (obs/provenance.h) without re-deriving the query.
+ */
+struct QueryInfo
+{
+    /** Formula::fingerprint() of the decided formula (0 for True). */
+    uint64_t fingerprint = 0;
+    SatResult result = SatResult::Unknown;
+    /** Answered from the attached QueryCache. */
+    bool cache_hit = false;
+    /** Trivial True/False short-circuit (no fuel, no cache). */
+    bool trivial = false;
+    /** Solver fuel consumed by this query (1 for every non-trivial
+     *  check, including budget-stopped ones; 0 for trivial). */
+    uint64_t fuel = 0;
+};
+
+/**
  * Stateless satisfiability checker (thread-compatible: distinct Solver
  * instances may run concurrently; a single instance accumulates stats and
  * must not be shared without synchronization).
@@ -170,6 +190,10 @@ class Solver
     const Stats &stats() const { return stats_; }
     void resetStats() { stats_ = Stats(); }
 
+    /** Provenance of the most recent check()/checkChain() call. Valid
+     *  until the next query on this solver instance. */
+    const QueryInfo &lastQuery() const { return last_query_; }
+
   private:
     SatResult enumerate(const Formula &f, std::vector<LinLit> &acc,
                         VarSpace &space, int &branch_budget);
@@ -178,6 +202,7 @@ class Solver
 
     Options opts_;
     Stats stats_;
+    QueryInfo last_query_;
     std::shared_ptr<QueryCache> cache_;
     obs::Histogram *latency_hist_ = nullptr;
     const obs::Budget *budget_ = nullptr;

@@ -74,6 +74,8 @@ SummaryEntry::merge(const SummaryEntry &a, const SummaryEntry &b)
     out.origin.path_index = -1;
     for (int line : b.origin.change_lines)
         out.origin.change_lines.push_back(line);
+    for (const auto &callee : b.origin.callees)
+        out.origin.callees.push_back(callee);
     return out;
 }
 

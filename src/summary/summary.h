@@ -90,6 +90,11 @@ struct EntryOrigin
     int return_line = 0;
     /** Index of the enumerated path this entry came from (-1: merged). */
     int path_index = -1;
+    /** Callee-summary instantiation chain: names of the callees whose
+     *  summaries were instantiated along the path, in execution order
+     *  (both engines record the identical sequence). Never printed or
+     *  serialized — provenance only (obs/provenance.h). */
+    std::vector<std::string> callees;
 };
 
 /** Set of caller-visible field-store effects (extension, Section 5.4). */

@@ -343,6 +343,38 @@ class InjectedDeterminismTest : public ::testing::Test
         kernel::ScoreResult score;
     };
 
+    /** Sorted fingerprint set of one run (one fpHex + report line per
+     *  report), asserting every report is stamped. */
+    static std::string
+    fingerprintDigest(int path_threads, bool prefix_sharing, bool cache)
+    {
+        analysis::AnalyzerOptions opts;
+        opts.path_threads = path_threads;
+        opts.prefix_sharing = prefix_sharing;
+        opts.use_query_cache = cache;
+        Rid tool(opts);
+        tool.loadSpecText(kernel::dpmSpecText());
+        tool.loadSpecText(kernel::lockSpecText());
+        tool.loadSpecText(kernel::allocSpecText());
+        for (const auto &file : injected_.corpus.files)
+            tool.addSource(file.text);
+        RunResult result = tool.run();
+        EXPECT_FALSE(result.reports.empty());
+        std::multiset<std::string> lines;
+        for (const auto &report : result.reports) {
+            EXPECT_NE(report.fingerprint, 0u) << report.str();
+            EXPECT_NE(report.function_fp, 0u) << report.str();
+            EXPECT_EQ(report.fingerprint,
+                      report.computeFingerprint(report.function_fp));
+            lines.insert(obs::fpHex(report.fingerprint) + " " +
+                         report.str());
+        }
+        std::string digest;
+        for (const auto &line : lines)
+            digest += line + "\n";
+        return digest;
+    }
+
     static ScoredRun
     run(int path_threads, bool prefix_sharing)
     {
@@ -409,6 +441,30 @@ TEST_F(InjectedDeterminismTest, InjectedScoresAreEngineAndThreadInvariant)
                 const auto &oc = other.score.by_domain.at(domain);
                 EXPECT_EQ(oc.precision(), counts.precision()) << domain;
                 EXPECT_EQ(oc.recall(), counts.recall()) << domain;
+            }
+        }
+    }
+}
+
+TEST_F(InjectedDeterminismTest, FingerprintsAreConfigInvariant)
+{
+    // The provenance contract: report fingerprints are a stable identity,
+    // byte-identical across path_threads {1, 4} x both engines x query
+    // cache {on, off} on the injected smoke corpus. Any configuration
+    // leaking into the fingerprint recipe (e.g. cache hit/miss evidence)
+    // breaks cross-run diffing and shows up here.
+    std::string baseline =
+        fingerprintDigest(1, /*prefix_sharing=*/false, /*cache=*/false);
+    ASSERT_FALSE(baseline.empty());
+    for (int path_threads : {1, 4}) {
+        for (bool prefix : {false, true}) {
+            for (bool cache : {false, true}) {
+                if (path_threads == 1 && !prefix && !cache)
+                    continue;  // the baseline itself
+                EXPECT_EQ(fingerprintDigest(path_threads, prefix, cache),
+                          baseline)
+                    << "path_threads=" << path_threads
+                    << " prefix_sharing=" << prefix << " cache=" << cache;
             }
         }
     }
