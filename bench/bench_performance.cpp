@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 #include "analysis/analyzer.h"
@@ -293,6 +294,43 @@ BM_AnalyzeCorpusPrefixSharing(benchmark::State &state)
 BENCHMARK(BM_AnalyzeCorpusPrefixSharing)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+void
+BM_AnalyzeCorpusResume(benchmark::State &state)
+{
+    // Warm-resume workload: a cold run seeds the durable store outside
+    // the timed loop; each iteration resumes from it on the unchanged
+    // corpus, so the analysis replays from the log instead of
+    // re-executing symbolically.
+    auto mix = rid::kernel::CorpusMix::paperCalibrated(0.01);
+    auto corpus = rid::kernel::generateCorpus(mix);
+    std::string dir = "bench_resume_store.tmp";
+    std::filesystem::remove_all(dir);
+    auto runOnce = [&](bool resume) {
+        rid::analysis::AnalyzerOptions opts;
+        opts.store_path = dir;
+        opts.resume = resume;
+        rid::Rid tool(opts);
+        tool.loadSpecText(rid::kernel::dpmSpecText());
+        for (const auto &file : corpus.files)
+            tool.addSource(file.text);
+        return tool.run();
+    };
+    rid::RunResult cold = runOnce(false);
+    double hit_rate = 0;
+    double warm_symexec = 0;
+    for (auto _ : state) {
+        rid::RunResult warm = runOnce(true);
+        hit_rate = warm.stats.store.hitRate();
+        warm_symexec = warm.stats.symexec_seconds;
+        benchmark::DoNotOptimize(warm.reports.size());
+    }
+    state.counters["resume_hit_rate"] = hit_rate;
+    state.counters["symexec_seconds_cold"] = cold.stats.symexec_seconds;
+    state.counters["symexec_seconds_warm"] = warm_symexec;
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_AnalyzeCorpusResume)->Unit(benchmark::kMillisecond);
+
 /**
  * Machine-readable trajectory record: run the repeated-overlap corpus
  * workload with the query cache off and on, then with the replay and
@@ -303,7 +341,9 @@ BENCHMARK(BM_AnalyzeCorpusPrefixSharing)->Arg(0)->Arg(1)
  * field under "cache_off"/"cache_on"/"prefix_off"/"prefix_on" is
  * RunResult::statsJson(). A final pair of runs measures the provenance
  * journal cost (journal off vs on; see docs/PROVENANCE.md) —
- * "provenance_overhead" is the relative symexec slowdown journal-on.
+ * "provenance_overhead" is the relative symexec slowdown journal-on —
+ * and the durable-store resume differential ("resume_hit_rate",
+ * cold/warm "symexec_seconds_resume_*"; see docs/STORE.md).
  */
 void
 writeBenchJson(const char *path)
@@ -370,6 +410,31 @@ writeBenchJson(const char *path)
             : 0.0;
     std::remove(journal_path.c_str());
 
+    // Kill-and-resume differential: a cold run records the durable
+    // analysis store, a warm resume on the unchanged corpus replays
+    // from it — acceptance bounds: hit rate > 0.9 and near-zero warm
+    // symbolic-execution time (docs/STORE.md).
+    std::string store_dir = std::string(path) + ".store";
+    std::filesystem::remove_all(store_dir);
+    auto runStore = [&](bool resume) {
+        rid::analysis::AnalyzerOptions opts;
+        opts.store_path = store_dir;
+        opts.resume = resume;
+        rid::Rid tool(opts);
+        tool.loadSpecText(rid::kernel::dpmSpecText());
+        for (const auto &file : corpus.files)
+            tool.addSource(file.text);
+        auto t0 = std::chrono::steady_clock::now();
+        rid::RunResult result = tool.run();
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        return std::pair<rid::RunResult, double>(std::move(result), wall);
+    };
+    auto [store_cold, store_cold_wall] = runStore(false);
+    auto [store_warm, store_warm_wall] = runStore(true);
+    std::filesystem::remove_all(store_dir);
+
     std::ofstream out(path);
     out << "{\n";
     out << "  \"workload\": \"synthetic DPM corpus (scale 0.01), "
@@ -403,16 +468,29 @@ writeBenchJson(const char *path)
         << joff.stats.symexec_seconds << ",\n";
     out << "  \"symexec_seconds_journal_on\": "
         << jon.stats.symexec_seconds << ",\n";
-    out << "  \"provenance_overhead\": " << journal_overhead << "\n";
+    out << "  \"provenance_overhead\": " << journal_overhead << ",\n";
+    out << "  \"wall_seconds_resume_cold\": " << store_cold_wall << ",\n";
+    out << "  \"wall_seconds_resume_warm\": " << store_warm_wall << ",\n";
+    out << "  \"symexec_seconds_resume_cold\": "
+        << store_cold.stats.symexec_seconds << ",\n";
+    out << "  \"symexec_seconds_resume_warm\": "
+        << store_warm.stats.symexec_seconds << ",\n";
+    out << "  \"resume_hit_rate\": " << store_warm.stats.store.hitRate()
+        << ",\n";
+    out << "  \"resume_store_bytes\": "
+        << store_cold.stats.store.bytes_appended << "\n";
     out << "}\n";
     std::printf("wrote %s (theory checks %llu -> %llu, hit rate %.2f; "
-                "prefix sharing: blocks %llu -> %llu, symexec -%.0f%%)\n",
+                "prefix sharing: blocks %llu -> %llu, symexec -%.0f%%; "
+                "resume hit rate %.2f, warm symexec %.3fs)\n",
                 path, static_cast<unsigned long long>(checks_off),
                 static_cast<unsigned long long>(checks_on),
                 on.stats.query_cache.hitRate(),
                 static_cast<unsigned long long>(blocks_replay),
                 static_cast<unsigned long long>(blocks_tree),
-                symexec_reduction * 100);
+                symexec_reduction * 100,
+                store_warm.stats.store.hitRate(),
+                store_warm.stats.symexec_seconds);
 }
 
 } // anonymous namespace

@@ -28,6 +28,9 @@
  *   --solver-fuel N    per-function solver query budget
  *   --failpoints SPEC  arm fault injection (site[@fn]=mode,...)
  *   --provenance FILE  write the report provenance journal (JSONL)
+ *   --store DIR        persist analysis outcomes to a durable store
+ *   --resume           replay unchanged functions from --store DIR
+ *                      instead of re-analyzing them
  *   --keep-going       parse errors skip the file instead of aborting
  *   --no-classify      analyze every function (skip Section 5.2 tiers)
  *   --model-bits       Section 5.4 extension: model `x & CONST` bit tests
@@ -83,7 +86,8 @@ usage()
                  "[--solver-fuel N]\n"
                  "            [--failpoints SPEC] [--keep-going]\n"
                  "            [--domains a,b] [--list-domains]\n"
-                 "            [--provenance FILE]\n"
+                 "            [--provenance FILE] [--store DIR] "
+                 "[--resume]\n"
                  "            [--dump-ir] [--summaries] file.c ...\n"
                  "       ridc explain <fingerprint|all> <journal.jsonl>\n"
                  "       ridc diff-runs <old.jsonl> <new.jsonl>\n");
@@ -93,12 +97,20 @@ usage()
 std::vector<rid::obs::ProvenanceRecord>
 readJournal(const std::string &path)
 {
-    try {
-        return rid::obs::parseJournal(readFile(path));
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "ridc: %s: %s\n", path.c_str(), e.what());
-        std::exit(2);
+    // Tolerant read: a journal whose writer was killed mid-flush ends in
+    // a torn line; every complete record is still usable, so recover
+    // them and warn instead of failing the whole subcommand.
+    rid::obs::JournalRecovery rec =
+        rid::obs::parseJournalTolerant(readFile(path));
+    if (rec.skipped_lines > 0) {
+        std::fprintf(stderr,
+                     "ridc: warning: %s: skipped %zu malformed line(s) "
+                     "(torn tail?); recovered %zu record(s)\n",
+                     path.c_str(), rec.skipped_lines, rec.records.size());
+        for (const auto &e : rec.errors)
+            std::fprintf(stderr, "ridc: warning:   %s\n", e.c_str());
     }
+    return std::move(rec.records);
 }
 
 /** ridc explain <fingerprint|all> <journal.jsonl> */
@@ -213,6 +225,12 @@ main(int argc, char **argv)
             opts.failpoints = next();
         else if (arg == "--provenance")
             opts.provenance_path = next();
+        else if (arg == "--store")
+            opts.store_path = next();
+        else if (arg.rfind("--store=", 0) == 0)
+            opts.store_path = arg.substr(std::strlen("--store="));
+        else if (arg == "--resume")
+            opts.resume = true;
         else if (arg == "--domains")
             split_domains(next());
         else if (arg.rfind("--domains=", 0) == 0)
@@ -305,7 +323,15 @@ main(int argc, char **argv)
         return 0;
     }
 
-    rid::RunResult result = tool.run();
+    rid::RunResult result;
+    try {
+        result = tool.run();
+    } catch (const std::exception &e) {
+        // e.g. an unopenable --store directory; asking for persistence
+        // and silently not getting it would be worse than failing.
+        std::fprintf(stderr, "ridc: %s\n", e.what());
+        return 2;
+    }
     if (dot_callgraph) {
         rid::analysis::CallGraph cg(tool.module());
         rid::summary::SummaryDb db;

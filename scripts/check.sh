@@ -19,9 +19,12 @@
 # at the repo root (the microbenchmarks themselves are skipped via a
 # non-matching filter — only the trajectory-record workload runs,
 # including the prefix_off/prefix_on engine comparison and the
-# provenance journal off/on overhead pair), exercises the tracing path
-# end to end on a small DPM corpus, and round-trips the provenance
-# journal through `ridc explain` and `ridc diff-runs`.
+# provenance journal off/on overhead pair plus the durable-store
+# cold/warm resume differential), exercises the tracing path end to end
+# on a small DPM corpus, round-trips the provenance journal through
+# `ridc explain` and `ridc diff-runs` (including a torn-tail journal),
+# and SIGKILLs a store-backed `ridc` scan mid-run to prove `--resume`
+# reproduces an uninterrupted run's reports byte for byte.
 #
 # Usage: scripts/check.sh        (from anywhere inside the repo)
 # CMake equivalent: cmake --build build --target check
@@ -52,6 +55,10 @@ echo "== sanitizer smoke (ASan+UBSan chaos run) =="
 cmake -B build-asan -S . -DRID_SANITIZE=ON
 cmake --build build-asan -j --target test_robustness_chaos
 ./build-asan/tests/test_robustness_chaos
+
+echo "== sanitizer smoke (ASan+UBSan durable store) =="
+cmake --build build-asan -j --target test_store
+./build-asan/tests/test_store
 
 echo "== sanitizer smoke (ASan+UBSan prefix-sharing engine) =="
 cmake --build build-asan -j --target test_analysis_tree_exec \
@@ -131,5 +138,69 @@ test -s "$prov_journal"
 ./build/examples/ridc explain all "$prov_journal" | grep -q '^report 0x'
 ./build/examples/ridc diff-runs "$prov_journal" "$prov_journal" \
     | grep -q '^new (0):'
+
+# Torn-journal tolerance: a journal whose writer was killed mid-flush has
+# a partial last line; `ridc explain` must recover every complete record
+# and warn about the torn tail instead of aborting.
+echo "== torn provenance journal smoke =="
+torn_journal="$(mktemp)" torn_err="$(mktemp)"
+trap 'rm -f "$trace_json" "$metrics_prom" "$prov_src" "$prov_journal" \
+    "$torn_journal" "$torn_err"' EXIT
+journal_bytes=$(wc -c < "$prov_journal")
+cat "$prov_journal" > "$torn_journal"
+head -c "$((journal_bytes - 10))" "$prov_journal" >> "$torn_journal"
+./build/examples/ridc explain all "$torn_journal" 2> "$torn_err" \
+    | grep -q '^report 0x'
+grep -q 'skipped 1 malformed line' "$torn_err"
+
+# Kill-and-resume differential on the real binary: SIGKILL a store-backed
+# scan mid-run, resume from the surviving log, and require the resumed
+# run's reports to be byte-identical to an uninterrupted scan's with a
+# nonzero store hit count. The kill lands at a fraction of the measured
+# cold wall time; later fractions retry in case an early cut killed the
+# scan before anything durable was recorded.
+echo "== kill-and-resume smoke =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -f "$trace_json" "$metrics_prom" "$prov_src" "$prov_journal" \
+    "$torn_journal" "$torn_err"; rm -rf "$smoke_dir"' EXIT
+./build/examples/corpus_dump 0.2 0x101 "$smoke_dir/src" > /dev/null
+mapfile -t smoke_srcs < <(find "$smoke_dir/src" -name '*.c' | sort)
+
+cold_start=$(date +%s%N)
+rc=0
+./build/examples/ridc --builtin-dpm "${smoke_srcs[@]}" \
+    > "$smoke_dir/cold.out" 2> /dev/null || rc=$?
+test "$rc" -eq 1     # 1 = reports found; anything else is a real failure
+cold_wall_ns=$(( $(date +%s%N) - cold_start ))
+test -s "$smoke_dir/cold.out"
+
+resume_ok=0
+for frac in 0.5 0.75 0.9; do
+    rm -rf "$smoke_dir/store"
+    kill_after=$(awk -v ns="$cold_wall_ns" -v f="$frac" \
+        'BEGIN { printf "%.3f", ns / 1e9 * f }')
+    rc=0
+    timeout -s KILL "$kill_after" \
+        ./build/examples/ridc --builtin-dpm --store "$smoke_dir/store" \
+        "${smoke_srcs[@]}" > /dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 137 ]; then
+        continue     # ran to completion before the kill; try a later cut
+    fi
+    rc=0
+    ./build/examples/ridc --builtin-dpm --store "$smoke_dir/store" \
+        --resume "${smoke_srcs[@]}" \
+        > "$smoke_dir/resumed.out" 2> "$smoke_dir/resumed.err" || rc=$?
+    test "$rc" -eq 1
+    cmp -s "$smoke_dir/cold.out" "$smoke_dir/resumed.out"
+    hits=$(sed -n 's/^store: \([0-9]*\) hit(s).*/\1/p' \
+        "$smoke_dir/resumed.err")
+    if [ -n "$hits" ] && [ "$hits" -gt 0 ]; then
+        echo "kill-and-resume: byte-identical after SIGKILL at" \
+            "${kill_after}s ($hits replayed)"
+        resume_ok=1
+        break
+    fi
+done
+test "$resume_ok" -eq 1
 
 echo "check.sh: all green"

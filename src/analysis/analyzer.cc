@@ -124,6 +124,33 @@ Analyzer::Analyzer(const ir::Module &mod, summary::SummaryDb &db,
     ins_.solver_query_seconds = &m.histogram(
         "rid_solver_query_seconds", "Solver query latency (seconds).");
 
+    store_ = opts_.store;
+    if (store_) {
+        store_config_fp_ = store_->configFingerprint();
+        ins_.store_hits =
+            &m.counter("rid_store_hits_total",
+                       "Functions replayed from the analysis store "
+                       "(symexec skipped).");
+        ins_.store_misses =
+            &m.counter("rid_store_misses_total",
+                       "Store lookups that fell back to re-analysis.");
+        ins_.store_retries =
+            &m.counter("rid_store_retries_total",
+                       "Previously failed functions re-run under a "
+                       "supervisor-laddered budget.");
+        ins_.store_quarantined =
+            &m.counter("rid_store_quarantined_total",
+                       "Functions quarantined after exhausting the retry "
+                       "ladder.");
+        ins_.store_torn_frames =
+            &m.counter("rid_store_torn_frames_total",
+                       "Store frames dropped by the recovery scan.");
+        ins_.store_record_bytes =
+            &m.histogram("rid_store_record_bytes",
+                         "Bytes appended to the store per function record.",
+                         obs::byteSizeBuckets());
+    }
+
     // Arm the process-wide fault-injection registry when asked to, either
     // programmatically or via the environment. An empty spec leaves any
     // existing arming alone (tests drive the registry directly).
@@ -229,8 +256,24 @@ Analyzer::storeDefaultSummary(const ir::Function &fn)
         fn.name(), fn.returnsValue()));
 }
 
+void
+Analyzer::recordToStore(const ir::Function &fn, FnStatus status,
+                        const std::string &reason, bool defaulted,
+                        const summary::FunctionSummary *summary,
+                        const std::vector<BugReport> &reports)
+{
+    if (!store_)
+        return;
+    size_t n = store_->record({fn.name(), fn.fingerprint(),
+                               store_config_fp_},
+                              status, reason, defaulted, summary, reports);
+    if (n > 0 && ins_.store_record_bytes)
+        ins_.store_record_bytes->observe(static_cast<double>(n));
+}
+
 std::vector<BugReport>
-Analyzer::analyzeFunction(const ir::Function &fn)
+Analyzer::analyzeFunction(const ir::Function &fn, double deadline_seconds,
+                          uint64_t fuel)
 {
     obs::Span fn_span("function", "analyze-function");
     fn_span.arg("fn", fn.name());
@@ -238,9 +281,10 @@ Analyzer::analyzeFunction(const ir::Function &fn)
 
     // Child of the run budget: expires at the earlier of its own
     // deadline/fuel and the run's. A generous budget that never fires
-    // leaves results byte-identical to an unbudgeted run.
-    obs::Budget fn_budget(run_budget_.get(), opts_.function_deadline_seconds,
-                          opts_.function_solver_fuel);
+    // leaves results byte-identical to an unbudgeted run. The budget is
+    // normally the run's per-function configuration; a supervised retry
+    // passes the ladder's halved values instead.
+    obs::Budget fn_budget(run_budget_.get(), deadline_seconds, fuel);
     try {
         return analyzeFunctionGuarded(fn, fn_budget);
     } catch (const std::exception &e) {
@@ -252,6 +296,7 @@ Analyzer::analyzeFunction(const ir::Function &fn)
         storeDefaultSummary(fn);
         ins_.functions_degraded->inc();
         recordDiagnostic({fn.name(), FnStatus::Degraded, e.what()});
+        recordToStore(fn, FnStatus::Degraded, e.what(), false, nullptr, {});
         return {};
     }
 }
@@ -276,9 +321,10 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
         addSolverStats(fn_solver_stats);
         storeDefaultSummary(fn);
         ins_.functions_timeout->inc();
-        recordDiagnostic({fn.name(), FnStatus::Timeout,
-                          std::string("budget: ") +
-                              obs::budgetStopName(fn_budget.stopReason())});
+        std::string reason = std::string("budget: ") +
+                             obs::budgetStopName(fn_budget.stopReason());
+        recordDiagnostic({fn.name(), FnStatus::Timeout, reason});
+        recordToStore(fn, FnStatus::Timeout, reason, false, nullptr, {});
         return {};
     };
 
@@ -465,6 +511,22 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
             dflt.ret = smt::Expr::ret();
         summary.entries.push_back(std::move(dflt));
     }
+    // With pruning the path cap counts feasible completed paths only;
+    // say how many infeasible subtrees were skipped before it filled,
+    // so a "cap hit" on a heavily-pruned function reads differently
+    // from a plain structural explosion.
+    std::string trunc_reason;
+    if (truncated) {
+        trunc_reason = "path/subcase cap truncated analysis";
+        if (path_cap_hit && subtrees_pruned > 0)
+            trunc_reason += " after pruning " +
+                            std::to_string(subtrees_pruned) +
+                            " infeasible subtrees";
+    }
+    // Persist before the summary is moved into the db: one frame carries
+    // the complete outcome (status, summary, stamped reports).
+    recordToStore(fn, truncated ? FnStatus::Truncated : FnStatus::Ok,
+                  trunc_reason, false, &summary, ipp.reports);
     db_.addComputed(std::move(summary));
 
     fn_solver_stats += solver.stats();
@@ -476,16 +538,7 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
     ins_.subtrees_pruned->inc(subtrees_pruned);
     if (truncated) {
         ins_.functions_truncated->inc();
-        // With pruning the path cap counts feasible completed paths
-        // only; say how many infeasible subtrees were skipped before it
-        // filled, so a "cap hit" on a heavily-pruned function reads
-        // differently from a plain structural explosion.
-        std::string reason = "path/subcase cap truncated analysis";
-        if (path_cap_hit && subtrees_pruned > 0)
-            reason += " after pruning " + std::to_string(subtrees_pruned) +
-                      " infeasible subtrees";
-        recordDiagnostic(
-            {fn.name(), FnStatus::Truncated, std::move(reason)});
+        recordDiagnostic({fn.name(), FnStatus::Truncated, trunc_reason});
     }
     ins_.paths_per_function->observe(static_cast<double>(num_paths));
     ins_.symexec_seconds->observe(symexec_seconds);
@@ -568,17 +621,118 @@ Analyzer::run()
     CallGraph cg(mod_);
     size_t reports_before = reports_.size();
 
+    auto tracked = [this](const ir::Function &fn) {
+        return !fn.isDeclaration() && !db_.hasPredefined(fn.name());
+    };
+
+    // Resume plan, built bottom-up over the SCC condensation before the
+    // traversal. An SCC is *clean* when every tracked member replays from
+    // the store (Load) or is quarantined, and every cross-SCC callee's
+    // SCC is clean; a dirty SCC downgrades its members' Loads to Analyze,
+    // so the whole up-cone of any changed/incomplete function re-executes
+    // with fresh callee summaries. Quarantine stands even in a dirty cone
+    // (the default summary it applies is callee-independent); a Retry
+    // re-runs by definition and dirties its callers, since a successful
+    // retry changes the summary its callers saw.
+    resume_plan_.clear();
+    if (store_ && opts_.resume) {
+        obs::Span plan_span("pipeline", "resume-plan");
+        FunctionStore::LookupContext ctx;
+        ctx.function_deadline_seconds = opts_.function_deadline_seconds;
+        ctx.function_solver_fuel = opts_.function_solver_fuel;
+        // SCC ids are reverse-topological (callees first), so one id-order
+        // sweep sees every callee SCC before its callers.
+        std::vector<char> scc_clean(cg.numSccs(), 1);
+        for (int scc = 0; scc < static_cast<int>(cg.numSccs()); scc++) {
+            bool clean = true;
+            std::vector<std::string> members;
+            for (int member : cg.sccMembers(scc)) {
+                for (int callee : cg.calleesOf(member)) {
+                    int cs = cg.sccOf(callee);
+                    if (cs != scc && !scc_clean[cs])
+                        clean = false;
+                }
+                const ir::Function *fn = mod_.find(cg.nameOf(member));
+                if (!fn || !tracked(*fn))
+                    continue; // declarations/specs: fixed via config_fp
+                ctx.want_analyze = shouldAnalyze(*fn);
+                FunctionStore::Action a = store_->lookup(
+                    {fn->name(), fn->fingerprint(), store_config_fp_},
+                    ctx, domain_table_);
+                if (a.plan != FunctionStore::Plan::Load &&
+                    a.plan != FunctionStore::Plan::Quarantine)
+                    clean = false;
+                members.push_back(fn->name());
+                resume_plan_[fn->name()] = std::move(a);
+            }
+            if (!clean) {
+                for (const auto &name : members) {
+                    auto &a = resume_plan_[name];
+                    if (a.plan == FunctionStore::Plan::Load)
+                        a = FunctionStore::Action{};
+                }
+            }
+            scc_clean[scc] = clean ? 1 : 0;
+        }
+    }
+
     auto processNode = [&](int node) -> std::vector<BugReport> {
         const ir::Function *fn = mod_.find(cg.nameOf(node));
         if (!fn)
             return {};
         try {
             obs::FailpointScope fp_scope(fn->name());
-            if (!shouldAnalyze(*fn)) {
-                if (!fn->isDeclaration() &&
-                    !db_.hasPredefined(fn->name())) {
+
+            FunctionStore::Action action;
+            bool have_plan = false;
+            if (store_ && tracked(*fn)) {
+                auto it = resume_plan_.find(fn->name());
+                if (it != resume_plan_.end()) {
+                    // Each key is visited exactly once per run; moving the
+                    // Action aside keeps the map itself read-only under
+                    // SCC-level parallelism.
+                    action = std::move(it->second);
+                    have_plan = true;
+                }
+            }
+            if (have_plan && action.plan == FunctionStore::Plan::Load) {
+                // Store hit: replay the recorded outcome and skip symexec.
+                // Counters are not replayed (stats describe work actually
+                // done this run); diagnostics are, so truncation notes
+                // survive a resume.
+                ins_.store_hits->inc();
+                if (action.defaulted) {
                     storeDefaultSummary(*fn);
                     ins_.functions_defaulted->inc();
+                } else {
+                    obs::FailpointSuppressScope suppress;
+                    db_.addComputed(std::move(action.summary));
+                }
+                if (action.status != FnStatus::Ok)
+                    recordDiagnostic(
+                        {fn->name(), action.status, action.reason});
+                return std::move(action.reports);
+            }
+            if (have_plan &&
+                action.plan == FunctionStore::Plan::Quarantine) {
+                // Retry ladder exhausted: conservative default summary,
+                // no symexec, and a provenance note saying why.
+                ins_.store_quarantined->inc();
+                storeDefaultSummary(*fn);
+                ins_.functions_degraded->inc();
+                recordDiagnostic(
+                    {fn->name(), FnStatus::Degraded, action.note});
+                return {};
+            }
+            if (store_ && tracked(*fn))
+                ins_.store_misses->inc();
+
+            if (!shouldAnalyze(*fn)) {
+                if (tracked(*fn)) {
+                    storeDefaultSummary(*fn);
+                    ins_.functions_defaulted->inc();
+                    recordToStore(*fn, FnStatus::Ok, "", true, nullptr,
+                                  {});
                 }
                 return {};
             }
@@ -589,29 +743,54 @@ Analyzer::run()
             if (run_budget_->expiredNow()) {
                 storeDefaultSummary(*fn);
                 ins_.functions_timeout->inc();
-                recordDiagnostic(
-                    {fn->name(), FnStatus::Timeout,
-                     std::string("run budget: ") +
-                         obs::budgetStopName(run_budget_->stopReason())});
+                std::string reason =
+                    std::string("run budget: ") +
+                    obs::budgetStopName(run_budget_->stopReason());
+                recordDiagnostic({fn->name(), FnStatus::Timeout, reason});
+                recordToStore(*fn, FnStatus::Timeout, reason, false,
+                              nullptr, {});
                 return {};
             }
-            return analyzeFunction(*fn);
+            double deadline = opts_.function_deadline_seconds;
+            uint64_t fuel = opts_.function_solver_fuel;
+            if (have_plan && action.plan == FunctionStore::Plan::Retry) {
+                ins_.store_retries->inc();
+                deadline = action.retry_deadline_seconds;
+                fuel = action.retry_fuel;
+            }
+            return analyzeFunction(*fn, deadline, fuel);
         } catch (const std::exception &e) {
             // Last-resort isolation for faults outside the guarded
             // analysis path (classification, summary storage, ...).
-            if (!fn->isDeclaration() && !db_.hasPredefined(fn->name()))
+            if (tracked(*fn))
                 storeDefaultSummary(*fn);
             ins_.functions_error->inc();
             recordDiagnostic({fn->name(), FnStatus::Error, e.what()});
+            recordToStore(*fn, FnStatus::Error, e.what(), false, nullptr,
+                          {});
             return {};
         }
     };
 
+    // Shard-level checkpoints: each one is a durability barrier (fsync);
+    // a killed run resumes from the last committed record, re-executing
+    // at most the in-flight tail.
+    uint64_t checkpoint_tag = 0;
+    auto storeCheckpoint = [&]() {
+        if (store_)
+            store_->checkpoint(checkpoint_tag++);
+    };
+
     if (opts_.threads <= 1) {
+        size_t since_checkpoint = 0;
         for (int node : cg.reverseTopoOrder()) {
             auto reports = processNode(node);
             for (auto &r : reports)
                 reports_.push_back(std::move(r));
+            if (store_ && ++since_checkpoint >= 64) {
+                storeCheckpoint();
+                since_checkpoint = 0;
+            }
         }
     } else {
         // Process SCC levels bottom-up; components within one level are
@@ -643,8 +822,10 @@ Analyzer::run()
                 for (auto &r : local)
                     reports_.push_back(std::move(r));
             }
+            storeCheckpoint();
         }
     }
+    storeCheckpoint();
     stats_.analyze_seconds = secondsSince(t1);
     ins_.analyze_seconds->set(stats_.analyze_seconds);
     refreshStatsFromRegistry();
@@ -679,6 +860,23 @@ Analyzer::run()
             ->gauge("rid_query_cache_evictions",
                     "Query-cache evictions (snapshot).")
             .set(static_cast<double>(qc.evictions));
+    }
+    if (store_) {
+        FunctionStore::IoStats io = store_->ioStats();
+        // Sync by delta against the last snapshot: repeated run() calls
+        // against one Analyzer must not double-count.
+        ins_.store_torn_frames->inc(io.torn_frames -
+                                    store_io_synced_.torn_frames);
+        store_io_synced_ = io;
+        stats_.store.active = true;
+        stats_.store.hits = ins_.store_hits->value();
+        stats_.store.misses = ins_.store_misses->value();
+        stats_.store.retried = ins_.store_retries->value();
+        stats_.store.quarantined = ins_.store_quarantined->value();
+        stats_.store.torn_frames = io.torn_frames;
+        stats_.store.loaded_records = io.loaded_records;
+        stats_.store.failed_writes = io.failed_writes;
+        stats_.store.bytes_appended = io.bytes_appended;
     }
 }
 

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/classifier.h"
@@ -62,6 +63,109 @@ struct FunctionDiagnostic
     /** Human-readable cause: exception message, budget stop reason or cap
      *  description. */
     std::string reason;
+};
+
+/**
+ * Durable analysis store hook (implemented by store::AnalysisStore).
+ *
+ * The Analyzer records every processed function's outcome through this
+ * interface and, on resume, consults it before running symexec: a
+ * function whose key — (body fingerprint, spec/domain-config
+ * fingerprint) — matches a committed record replays its summary,
+ * reports and diagnostic from the store and skips execution entirely.
+ * The interface lives here (not in src/store/) so the analysis library
+ * stays storage-agnostic; the store library depends on analysis, never
+ * the other way around. On-disk format: docs/STORE.md.
+ */
+class FunctionStore
+{
+  public:
+    /** Store key of one function under one configuration. */
+    struct Key
+    {
+        std::string function;
+        /** ir::Function::fingerprint() — stable over the printed IR. */
+        uint64_t body_fp = 0;
+        /** store::configFingerprint() over specs, domains and every
+         *  output-affecting AnalyzerOption. */
+        uint64_t config_fp = 0;
+    };
+
+    /** What the analyzer should do with one function on resume. */
+    enum class Plan : uint8_t {
+        Analyze,    ///< no usable record: run symexec normally
+        Load,       ///< replay summary/reports/diagnostic, skip symexec
+        Retry,      ///< previously failed: re-run under a reduced budget
+        Quarantine, ///< retry ladder exhausted: default summary, no symexec
+    };
+
+    struct Action
+    {
+        Plan plan = Plan::Analyze;
+        /** Load: the stored summary (unset when defaulted). */
+        summary::FunctionSummary summary;
+        /** Load: the stored reports, fully round-tripped. */
+        std::vector<BugReport> reports;
+        /** Load: the original status/reason, replayed as a diagnostic. */
+        FnStatus status = FnStatus::Ok;
+        std::string reason;
+        /** Load: the function was classification-skipped (category 3)
+         *  in the recorded run; replay stores the default summary. */
+        bool defaulted = false;
+        /** Retry: backoff-laddered budget (0 = keep the run's). */
+        double retry_deadline_seconds = 0;
+        uint64_t retry_fuel = 0;
+        /** Retry/Quarantine: failed attempts recorded so far. */
+        uint32_t prior_attempts = 0;
+        /** Quarantine: provenance note for the Degraded diagnostic. */
+        std::string note;
+    };
+
+    /** Run-side context a lookup decision needs. */
+    struct LookupContext
+    {
+        /** Current classification decision for the function. */
+        bool want_analyze = true;
+        /** The run's per-function budget (the retry ladder halves it). */
+        double function_deadline_seconds = 0;
+        uint64_t function_solver_fuel = 0;
+    };
+
+    /** Recovery/append accounting surfaced into AnalyzerStats. */
+    struct IoStats
+    {
+        size_t loaded_records = 0;
+        size_t torn_frames = 0;
+        size_t failed_writes = 0;
+        uint64_t bytes_loaded = 0;
+        uint64_t bytes_appended = 0;
+    };
+
+    virtual ~FunctionStore() = default;
+
+    /** The spec/domain/options fingerprint this store was opened with. */
+    virtual uint64_t configFingerprint() const = 0;
+
+    /** Decide what to do with @p key on resume. Thread-safe. */
+    virtual Action lookup(const Key &key, const LookupContext &ctx,
+                          const summary::DomainTable &domains) = 0;
+
+    /**
+     * Persist one function's outcome. Must not throw: storage faults are
+     * absorbed and counted (IoStats::failed_writes) so a failing disk
+     * degrades durability, never analysis results.
+     * @return bytes appended (0 when the write failed)
+     */
+    virtual size_t record(const Key &key, FnStatus status,
+                          const std::string &reason, bool defaulted,
+                          const summary::FunctionSummary *summary,
+                          const std::vector<BugReport> &reports) = 0;
+
+    /** Commit a shard-level checkpoint: append a checkpoint frame and
+     *  flush everything before it to stable storage. Must not throw. */
+    virtual void checkpoint(uint64_t tag) = 0;
+
+    virtual IoStats ioStats() const = 0;
 };
 
 struct AnalyzerOptions
@@ -148,6 +252,18 @@ struct AnalyzerOptions
     std::string failpoints;
     /** Seed for prob@P failpoint decisions (deterministic per seed). */
     uint64_t failpoint_seed = 0;
+    /** Directory of the durable analysis store (empty = no store).
+     *  Consumed by Rid::run(), which opens a store::AnalysisStore there
+     *  and injects it as `store`; the Analyzer itself only talks to the
+     *  FunctionStore interface. */
+    std::string store_path;
+    /** Resume from the store: functions whose (body, config) key holds a
+     *  committed record replay it and skip symexec; changed or
+     *  incomplete functions — and their SCC up-cone — re-execute, and
+     *  previously failed ones climb the supervisor's retry ladder. */
+    bool resume = false;
+    /** The injected store (null = no persistence). */
+    std::shared_ptr<FunctionStore> store;
 };
 
 struct AnalyzerStats
@@ -187,6 +303,35 @@ struct AnalyzerStats
     /** Reports per effect domain from the most recent run() (name-
      *  ordered; domains with zero reports are omitted). */
     std::map<std::string, size_t> reports_by_domain;
+    /** Durable-store accounting (zero when no store is configured). */
+    struct StoreStats
+    {
+        /** A store was attached to the run. */
+        bool active = false;
+        /** Functions replayed from the store (symexec skipped). */
+        size_t hits = 0;
+        /** Resume lookups that had to re-execute (changed key, dirty
+         *  SCC cone, incomplete record, or a supervised retry). */
+        size_t misses = 0;
+        /** Previously failed functions re-run under a laddered budget. */
+        size_t retried = 0;
+        /** Functions quarantined after exhausting the retry ladder. */
+        size_t quarantined = 0;
+        /** Frames dropped by the recovery scan (CRC mismatch / torn
+         *  tail / undecodable record). */
+        size_t torn_frames = 0;
+        size_t loaded_records = 0;
+        size_t failed_writes = 0;
+        uint64_t bytes_appended = 0;
+
+        double hitRate() const
+        {
+            size_t total = hits + misses;
+            return total ? static_cast<double>(hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+        }
+    } store;
 };
 
 class Analyzer
@@ -269,12 +414,23 @@ class Analyzer
         obs::Histogram *symexec_seconds;
         obs::Histogram *ipp_seconds;
         obs::Histogram *solver_query_seconds;
+        /** Store instruments; null when no store is configured. */
+        obs::Counter *store_hits = nullptr;
+        obs::Counter *store_misses = nullptr;
+        obs::Counter *store_retries = nullptr;
+        obs::Counter *store_quarantined = nullptr;
+        obs::Counter *store_torn_frames = nullptr;
+        obs::Histogram *store_record_bytes = nullptr;
     };
 
     /** Analyze one function and store its summary; returns its reports.
      *  Never throws: faults and budget expiry degrade the function to the
-     *  default summary and a diagnostic. */
-    std::vector<BugReport> analyzeFunction(const ir::Function &fn);
+     *  default summary and a diagnostic. @p deadline_seconds / @p fuel
+     *  form the function budget (normally the run's options; the
+     *  supervisor's retry ladder passes reduced values). */
+    std::vector<BugReport> analyzeFunction(const ir::Function &fn,
+                                           double deadline_seconds,
+                                           uint64_t fuel);
 
     /** The fault-susceptible body of analyzeFunction. */
     std::vector<BugReport> analyzeFunctionGuarded(const ir::Function &fn,
@@ -296,6 +452,13 @@ class Analyzer
     /** Derive the legacy AnalyzerStats counters from the registry. */
     void refreshStatsFromRegistry();
 
+    /** Persist one function's outcome to the store (no-op without one).
+     *  Never throws; a storage fault is the store's to absorb. */
+    void recordToStore(const ir::Function &fn, FnStatus status,
+                       const std::string &reason, bool defaulted,
+                       const summary::FunctionSummary *summary,
+                       const std::vector<BugReport> &reports);
+
     const ir::Module &mod_;
     summary::SummaryDb &db_;
     AnalyzerOptions opts_;
@@ -312,6 +475,17 @@ class Analyzer
     std::vector<FunctionDiagnostic> diagnostics_;
     std::unique_ptr<obs::Budget> run_budget_;
     std::mutex stats_mutex_;
+    /** Durable store (null = persistence off) and its config key part. */
+    std::shared_ptr<FunctionStore> store_;
+    uint64_t store_config_fp_ = 0;
+    /** Resume plan built bottom-up over the call graph before the
+     *  traversal: per tracked function, what to do with it. Read-only
+     *  (per-key moves aside) during the traversal, so workers need no
+     *  lock. */
+    std::unordered_map<std::string, FunctionStore::Action> resume_plan_;
+    /** Store ioStats() snapshot already synced into the registry (keeps
+     *  repeated run() calls from double-counting). */
+    FunctionStore::IoStats store_io_synced_;
 };
 
 } // namespace rid::analysis

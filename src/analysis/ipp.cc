@@ -139,6 +139,19 @@ checkAndMerge(const std::string &function,
                         summary::DomainPolicy::Balanced &&
                     it->second != 0 &&
                     rootKindOf(rc.counter) != smt::ExprKind::Ret) {
+                    // The pre-pass runs under the same accounting as the
+                    // pairwise check: its feasibility query consumes the
+                    // function's solver fuel (the solver is the caller's
+                    // budget-attached one), and the domain-scoped
+                    // failpoint lets the chaos suite fault exactly one
+                    // domain's balance checking.
+                    obs::FailpointScope domain_scope(rc.domain);
+                    obs::failpoint("analysis.ipp.balanced");
+                    if (!solver.isSat(entry.cons)) {
+                        // Unreachable path: a leak on it is not a bug.
+                        it = entry.changes.erase(it);
+                        continue;
+                    }
                     BugReport report;
                     report.function = function;
                     report.refcount = rc.counter.str();
@@ -149,6 +162,9 @@ checkAndMerge(const std::string &function,
                     report.lines_a = entry.origin.change_lines;
                     report.return_line_a = entry.origin.return_line;
                     report.callees_a = entry.origin.callees;
+                    // The feasibility query is the report's deciding
+                    // evidence, mirroring the overlap query below.
+                    report.queries.push_back(solver.lastQuery());
                     result.reports.push_back(std::move(report));
                     it = entry.changes.erase(it);
                     continue;

@@ -65,10 +65,10 @@ struct BugReport
     uint64_t fingerprint = 0;
     /** ir::Function::fingerprint() of the reported function. */
     uint64_t function_fp = 0;
-    /** Solver queries that decided this report (the IPP overlap check;
-     *  empty for must-analysis Unbalanced reports). Evidence only —
-     *  excluded from the fingerprint, since cache hit/miss varies with
-     *  run configuration. */
+    /** Solver queries that decided this report: the IPP overlap check,
+     *  or the path-feasibility check for must-analysis Unbalanced
+     *  reports. Evidence only — excluded from the fingerprint, since
+     *  cache hit/miss varies with run configuration. */
     std::vector<smt::QueryInfo> queries;
     /** Callee-summary instantiation chains of the two witness paths. */
     std::vector<std::string> callees_a, callees_b;

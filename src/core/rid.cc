@@ -9,6 +9,7 @@
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "store/store.h"
 #include "summary/spec.h"
 
 namespace rid {
@@ -134,6 +135,14 @@ RunResult::str() const
            << qc.evictions << " eviction(s), " << qc.entries
            << " resident\n";
     }
+    if (stats.store.active) {
+        os << "store: " << stats.store.hits << " hit(s) / "
+           << stats.store.misses << " miss(es) ("
+           << static_cast<int>(stats.store.hitRate() * 100 + 0.5)
+           << "% hit rate), " << stats.store.retried << " retried, "
+           << stats.store.quarantined << " quarantined, "
+           << stats.store.torn_frames << " torn frame(s)\n";
+    }
     os << "phases: classify " << stats.classify_seconds << "s, analyze "
        << stats.analyze_seconds << "s (symexec " << stats.symexec_seconds
        << "s, ipp " << stats.ipp_seconds << "s)\n";
@@ -250,6 +259,21 @@ RunResult::statsJson() const
     }
     w.endArray();
     w.endObject();
+    // Durable-store accounting (additive key; present only when a store
+    // was attached to the run).
+    if (s.store.active) {
+        w.key("store").beginObject();
+        w.key("hits").value(uint64_t{s.store.hits});
+        w.key("misses").value(uint64_t{s.store.misses});
+        w.key("retried").value(uint64_t{s.store.retried});
+        w.key("quarantined").value(uint64_t{s.store.quarantined});
+        w.key("torn_frames").value(uint64_t{s.store.torn_frames});
+        w.key("loaded_records").value(uint64_t{s.store.loaded_records});
+        w.key("failed_writes").value(uint64_t{s.store.failed_writes});
+        w.key("bytes_appended").value(s.store.bytes_appended);
+        w.key("hit_rate").value(s.store.hitRate());
+        w.endObject();
+    }
     w.endObject();
     return w.str();
 }
@@ -357,7 +381,21 @@ writeTextFile(const std::string &path, const std::string &contents,
 RunResult
 Rid::run()
 {
-    analysis::Analyzer analyzer(module_, db_, opts_);
+    analysis::AnalyzerOptions run_opts = opts_;
+    if (!run_opts.store && !run_opts.store_path.empty()) {
+        if (!store_) {
+            // The config fingerprint is taken now, after every spec/
+            // domain/summary load, so it keys exactly the inputs this
+            // run will analyze under.
+            store::AnalysisStore::Options sopts;
+            sopts.path = opts_.store_path;
+            sopts.resume = opts_.resume;
+            sopts.config_fp = store::configFingerprint(db_, opts_);
+            store_ = std::make_shared<store::AnalysisStore>(sopts);
+        }
+        run_opts.store = store_;
+    }
+    analysis::Analyzer analyzer(module_, db_, run_opts);
 
     // Abnormal-exit salvage: register every configured export with the
     // exit-flush registry before analysis starts, so a budget-expired

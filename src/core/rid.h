@@ -19,6 +19,7 @@
 #ifndef RID_CORE_RID_H
 #define RID_CORE_RID_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -157,6 +158,10 @@ class Rid
     ir::Module module_;
     summary::SummaryDb db_;
     std::vector<FileDiagnostic> file_errors_;
+    /** Durable analysis store, opened lazily by the first run() when
+     *  AnalyzerOptions::store_path is set and reused by later runs (so
+     *  repeated run() calls never re-truncate a fresh store). */
+    std::shared_ptr<analysis::FunctionStore> store_;
 };
 
 } // namespace rid

@@ -438,6 +438,31 @@ parseJournal(const std::string &text)
     return out;
 }
 
+JournalRecovery
+parseJournalTolerant(const std::string &text)
+{
+    JournalRecovery out;
+    std::istringstream lines(text);
+    std::string line;
+    size_t lineno = 0;
+    constexpr size_t kMaxErrors = 8;
+    while (std::getline(lines, line)) {
+        lineno++;
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        try {
+            JsonParser parser(line);
+            out.records.push_back(recordOf(parser.parse()));
+        } catch (const std::exception &e) {
+            out.skipped_lines++;
+            if (out.errors.size() < kMaxErrors)
+                out.errors.push_back("line " + std::to_string(lineno) +
+                                     ": " + e.what());
+        }
+    }
+    return out;
+}
+
 // --------------------------------------------------------------- explain
 
 namespace {

@@ -145,6 +145,28 @@ std::string renderJournal(std::vector<ProvenanceRecord> records);
  */
 std::vector<ProvenanceRecord> parseJournal(const std::string &text);
 
+/** Result of a tolerant journal parse: every complete record, plus what
+ *  had to be dropped to get them. */
+struct JournalRecovery
+{
+    std::vector<ProvenanceRecord> records;
+    /** Lines dropped as malformed (typically a torn tail from a killed
+     *  writer, but any undecodable line counts). */
+    size_t skipped_lines = 0;
+    /** Per-dropped-line descriptions ("line N: <parse error>"), capped
+     *  at a handful so a shredded journal stays reportable. */
+    std::vector<std::string> errors;
+};
+
+/**
+ * Torn-tail-tolerant variant of parseJournal(): malformed lines — e.g.
+ * the partially written last line of a journal whose writer was killed
+ * mid-flush — are skipped and counted instead of aborting the parse.
+ * Every complete record is recovered. Strict parseJournal() remains the
+ * round-trip oracle for tests.
+ */
+JournalRecovery parseJournalTolerant(const std::string &text);
+
 /** Human-readable witness narrative of one record (ridc explain). */
 std::string explainText(const ProvenanceRecord &record);
 

@@ -13,12 +13,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "core/rid.h"
+#include "kernel/domain_specs.h"
 #include "kernel/dpm_specs.h"
 #include "kernel/generator.h"
 #include "obs/failpoint.h"
@@ -375,6 +377,141 @@ TEST_F(RobustnessChaosTest, SyntaxErrorFileIsIsolatedFromTheScan)
     EXPECT_TRUE(figure9_bug);
     EXPECT_NE(tool.summaries().find("other_fn"), nullptr);
     EXPECT_NE(result.statsJson().find("broken.c"), std::string::npos);
+}
+
+/**
+ * Domain-targeted injection: a deterministic fault at the balanced-policy
+ * check, scoped to the lock domain, degrades exactly the function whose
+ * lock bookkeeping was being checked — the refcount (ipp-policy) analysis
+ * of the same run is untouched.
+ */
+TEST_F(RobustnessChaosTest, BalancedCheckFaultHitsOnlyTheTargetedDomain)
+{
+    const char *lock_source = R"(
+int do_op(struct device *dev, int a);
+
+int lock_leaky(struct device *dev, int arg) {
+    int ret;
+    spin_lock(&dev->lock);
+    ret = do_op(dev, arg);
+    if (ret < 0)
+        return ret;
+    spin_unlock(&dev->lock);
+    return 0;
+}
+)";
+    auto makeRun = [&](const std::string &failpoints) {
+        analysis::AnalyzerOptions opts;
+        opts.failpoints = failpoints;
+        auto tool = std::make_unique<Rid>(opts);
+        tool->loadSpecText(kernel::dpmSpecText());
+        tool->loadSpecText(kernel::lockSpecText());
+        tool->addSource(kFigure9Source);
+        tool->addSource(lock_source);
+        return tool;
+    };
+
+    auto clean = makeRun("");
+    RunResult clean_result = clean->run();
+    FailpointRegistry::instance().disarm();
+
+    // The clean run flags both the refcount bug and the lock leak, and
+    // the balanced-policy report carries the path-feasibility query that
+    // decided it (the pre-pass evidence, same discipline as IPP reports).
+    bool saw_ref = false, saw_lock = false;
+    for (const auto &r : clean_result.reports) {
+        if (r.function == "idmouse_open")
+            saw_ref = true;
+        if (r.function == "lock_leaky") {
+            saw_lock = true;
+            EXPECT_EQ(r.domain, "lock");
+            EXPECT_EQ(r.kind, analysis::BugKind::Unbalanced);
+            EXPECT_FALSE(r.queries.empty());
+        }
+    }
+    EXPECT_TRUE(saw_ref);
+    EXPECT_TRUE(saw_lock);
+
+    // Fault the balanced check only inside the lock domain's scope.
+    auto chaos = makeRun("analysis.ipp.balanced@lock=always");
+    RunResult chaos_result = chaos->run();
+
+    const FunctionDiagnostic *d = diagnosticFor(chaos_result, "lock_leaky");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->status, FnStatus::Degraded);
+    EXPECT_NE(d->reason.find("injected fault at analysis.ipp.balanced"),
+              std::string::npos)
+        << d->reason;
+
+    // The refcount analysis never enters the lock domain scope: the
+    // Figure 9 report survives and no other function degraded.
+    bool ref_survives = false;
+    for (const auto &r : chaos_result.reports)
+        ref_survives |= r.function == "idmouse_open";
+    EXPECT_TRUE(ref_survives);
+    for (const auto &diag : chaos_result.diagnostics)
+        EXPECT_EQ(diag.function, "lock_leaky") << diag.function;
+}
+
+/**
+ * Storage chaos: probabilistic append faults while a store records the
+ * run must be absorbed (counted, never surfaced as analysis failures),
+ * and a subsequent resume from the hole-riddled log re-analyzes exactly
+ * the lost functions back to a byte-identical report set.
+ */
+TEST_F(RobustnessChaosTest, StoreAppendChaosIsAbsorbedAndResumable)
+{
+    const std::string dir =
+        testing::TempDir() + "rid_chaos_store_append";
+    std::filesystem::remove_all(dir);
+
+    auto reportLines = [](const RunResult &result) {
+        std::multiset<std::string> lines;
+        for (const auto &r : result.reports)
+            lines.insert(r.str());
+        return lines;
+    };
+
+    // Storeless oracle.
+    Rid plain;
+    plain.loadSpecText(kernel::dpmSpecText());
+    for (const auto &file : corpus_.files)
+        plain.addSource(file.text);
+    auto oracle = reportLines(plain.run());
+
+    // Cold run with a store whose appends fail ~30% of the time.
+    analysis::AnalyzerOptions opts;
+    opts.store_path = dir;
+    opts.failpoints = "store.append=prob@0.3";
+    opts.failpoint_seed = 20260808;
+    Rid chaotic(opts);
+    chaotic.loadSpecText(kernel::dpmSpecText());
+    for (const auto &file : corpus_.files)
+        chaotic.addSource(file.text);
+    RunResult chaotic_result = chaotic.run();
+    FailpointRegistry::instance().disarm();
+
+    EXPECT_EQ(reportLines(chaotic_result), oracle);
+    ASSERT_TRUE(chaotic_result.stats.store.active);
+    EXPECT_GT(chaotic_result.stats.store.failed_writes, 0u);
+    EXPECT_EQ(chaotic_result.stats.functions_degraded, 0u);
+    EXPECT_EQ(chaotic_result.stats.functions_error, 0u);
+
+    // Resume with the faults gone: the surviving records replay, the
+    // dropped ones re-analyze, and the report set is unchanged.
+    analysis::AnalyzerOptions resume_opts;
+    resume_opts.store_path = dir;
+    resume_opts.resume = true;
+    Rid resumed(resume_opts);
+    resumed.loadSpecText(kernel::dpmSpecText());
+    for (const auto &file : corpus_.files)
+        resumed.addSource(file.text);
+    RunResult resumed_result = resumed.run();
+
+    EXPECT_EQ(reportLines(resumed_result), oracle);
+    ASSERT_TRUE(resumed_result.stats.store.active);
+    EXPECT_GT(resumed_result.stats.store.hits, 0u);
+    EXPECT_GT(resumed_result.stats.store.misses, 0u);
 }
 
 } // anonymous namespace
