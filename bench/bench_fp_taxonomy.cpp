@@ -35,6 +35,9 @@ reportedFunctions(const rid::kernel::Corpus &corpus, uint64_t drop_seed)
 {
     rid::analysis::AnalyzerOptions opts;
     opts.drop_seed = drop_seed;
+    // This study measures seed-to-seed report variation; the default
+    // deterministic drop would make every seed identical.
+    opts.deterministic_drop = false;
     rid::Rid tool(opts);
     tool.loadSpecText(rid::kernel::dpmSpecText());
     for (const auto &file : corpus.files)
@@ -170,6 +173,7 @@ int balanced_caller(struct device *dev, int flags) {
         for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
             rid::analysis::AnalyzerOptions opts;
             opts.drop_seed = seed;
+            opts.deterministic_drop = false;
             rid::Rid tool(opts);
             tool.loadSpecText(rid::kernel::dpmSpecText());
             tool.addSource(source);

@@ -205,6 +205,58 @@ BM_AnalyzeCorpusQueryCache(benchmark::State &state)
 BENCHMARK(BM_AnalyzeCorpusQueryCache)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+/** Wrapper-heavy corpus: the callee-summary hot path. Boosted wrapper
+ *  trios and get/put drivers make `summary::instantiate` the dominant
+ *  symexec cost — every state reaching a call re-instantiates the
+ *  callee's entries, and the spec summaries (pm_runtime_get_sync & co.)
+ *  repeat with identical actual shapes across the whole corpus. */
+rid::kernel::CorpusMix
+wrapperHeavyMix()
+{
+    using rid::kernel::PatternKind;
+    rid::kernel::CorpusMix mix;
+    mix.counts[PatternKind::WrapperGet] = 12;
+    mix.counts[PatternKind::WrapperPut] = 12;
+    mix.counts[PatternKind::BuggyWrapperCaller] = 12;
+    mix.counts[PatternKind::CorrectGetPut] = 30;
+    mix.counts[PatternKind::CorrectNoErrorCheck] = 15;
+    mix.counts[PatternKind::BuggyMissingPutOnError] = 10;
+    mix.counts[PatternKind::Cat2Helper] = 10;
+    return mix;
+}
+
+void
+BM_AnalyzeCorpusInterning(benchmark::State &state)
+{
+    // The callee-instantiation workload: Arg(1) attaches the shared
+    // instantiation cache (summary/inst_cache.h), Arg(0) instantiates
+    // every callee entry from scratch. Reports and summaries are
+    // byte-identical either way (determinism suite); only the number of
+    // from-scratch instantiations changes.
+    auto corpus = rid::kernel::generateCorpus(wrapperHeavyMix());
+    rid::ir::Module module;
+    for (const auto &file : corpus.files)
+        module.absorb(rid::frontend::compile(file.text));
+    uint64_t instantiated = 0;
+    uint64_t hits = 0;
+    for (auto _ : state) {
+        rid::summary::SummaryDb db;
+        rid::summary::loadSpecsInto(rid::kernel::dpmSpecText(), db);
+        rid::analysis::AnalyzerOptions opts;
+        opts.intern_instantiations = state.range(0) != 0;
+        rid::analysis::Analyzer analyzer(module, db, opts);
+        analyzer.run();
+        instantiated = analyzer.stats().entries_instantiated;
+        hits = analyzer.stats().inst_cache.hits;
+        benchmark::DoNotOptimize(analyzer.reports().size());
+    }
+    state.counters["entries_instantiated"] =
+        static_cast<double>(instantiated);
+    state.counters["inst_cache_hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_AnalyzeCorpusInterning)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_AnalyzeCorpusThreads(benchmark::State &state)
 {
@@ -343,7 +395,11 @@ BENCHMARK(BM_AnalyzeCorpusResume)->Unit(benchmark::kMillisecond);
  * journal cost (journal off vs on; see docs/PROVENANCE.md) —
  * "provenance_overhead" is the relative symexec slowdown journal-on —
  * and the durable-store resume differential ("resume_hit_rate",
- * cold/warm "symexec_seconds_resume_*"; see docs/STORE.md).
+ * cold/warm "symexec_seconds_resume_*"; see docs/STORE.md). The last
+ * pair runs the wrapper-heavy mix with instantiation interning off and
+ * on ("entries_instantiated_off"/"_on", "summary_entries_compacted",
+ * "symexec_seconds_inst_off"/"_on"; see DESIGN.md "Summary compaction
+ * and instantiation interning").
  */
 void
 writeBenchJson(const char *path)
@@ -435,6 +491,35 @@ writeBenchJson(const char *path)
     auto [store_warm, store_warm_wall] = runStore(true);
     std::filesystem::remove_all(store_dir);
 
+    // Instantiation-interning differential on the wrapper-heavy mix
+    // (the callee-summary hot path): same corpus, interning off vs on.
+    // Compaction stays at its default (on) for both runs, so
+    // "summary_entries_compacted" records how much the bottom-up pass
+    // shrinks what callers instantiate. Acceptance bound:
+    // entries_instantiated_on <= 0.5 * entries_instantiated_off with
+    // byte-identical reports (scripts/check.sh gates the ratio).
+    auto wcorpus = rid::kernel::generateCorpus(wrapperHeavyMix());
+    auto runInst = [&](bool intern) {
+        rid::analysis::AnalyzerOptions opts;
+        opts.intern_instantiations = intern;
+        rid::Rid tool(opts);
+        tool.loadSpecText(rid::kernel::dpmSpecText());
+        for (const auto &file : wcorpus.files)
+            tool.addSource(file.text);
+        auto t0 = std::chrono::steady_clock::now();
+        rid::RunResult result = tool.run();
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        return std::pair<rid::RunResult, double>(std::move(result), wall);
+    };
+    auto [inst_off, inst_off_wall] = runInst(false);
+    auto [inst_on, inst_on_wall] = runInst(true);
+    uint64_t ei_off = inst_off.stats.entries_instantiated;
+    uint64_t ei_on = inst_on.stats.entries_instantiated;
+    double inst_reduction =
+        ei_off ? 1.0 - static_cast<double>(ei_on) / ei_off : 0.0;
+
     std::ofstream out(path);
     out << "{\n";
     out << "  \"workload\": \"synthetic DPM corpus (scale 0.01), "
@@ -478,11 +563,28 @@ writeBenchJson(const char *path)
     out << "  \"resume_hit_rate\": " << store_warm.stats.store.hitRate()
         << ",\n";
     out << "  \"resume_store_bytes\": "
-        << store_cold.stats.store.bytes_appended << "\n";
+        << store_cold.stats.store.bytes_appended << ",\n";
+    out << "  \"inst_off\": " << inst_off.statsJson() << ",\n";
+    out << "  \"inst_on\": " << inst_on.statsJson() << ",\n";
+    out << "  \"wall_seconds_inst_off\": " << inst_off_wall << ",\n";
+    out << "  \"wall_seconds_inst_on\": " << inst_on_wall << ",\n";
+    out << "  \"entries_instantiated_off\": " << ei_off << ",\n";
+    out << "  \"entries_instantiated_on\": " << ei_on << ",\n";
+    out << "  \"instantiation_reduction\": " << inst_reduction << ",\n";
+    out << "  \"inst_cache_hit_rate\": "
+        << inst_on.stats.inst_cache.hitRate() << ",\n";
+    out << "  \"summary_entries_compacted\": "
+        << inst_on.stats.summary_entries_compacted << ",\n";
+    out << "  \"symexec_seconds_inst_off\": "
+        << inst_off.stats.symexec_seconds << ",\n";
+    out << "  \"symexec_seconds_inst_on\": "
+        << inst_on.stats.symexec_seconds << "\n";
     out << "}\n";
     std::printf("wrote %s (theory checks %llu -> %llu, hit rate %.2f; "
                 "prefix sharing: blocks %llu -> %llu, symexec -%.0f%%; "
-                "resume hit rate %.2f, warm symexec %.3fs)\n",
+                "resume hit rate %.2f, warm symexec %.3fs; "
+                "interning: instantiations %llu -> %llu (-%.0f%%), "
+                "%llu entries compacted)\n",
                 path, static_cast<unsigned long long>(checks_off),
                 static_cast<unsigned long long>(checks_on),
                 on.stats.query_cache.hitRate(),
@@ -490,7 +592,12 @@ writeBenchJson(const char *path)
                 static_cast<unsigned long long>(blocks_tree),
                 symexec_reduction * 100,
                 store_warm.stats.store.hitRate(),
-                store_warm.stats.symexec_seconds);
+                store_warm.stats.symexec_seconds,
+                static_cast<unsigned long long>(ei_off),
+                static_cast<unsigned long long>(ei_on),
+                inst_reduction * 100,
+                static_cast<unsigned long long>(
+                    inst_on.stats.summary_entries_compacted));
 }
 
 } // anonymous namespace

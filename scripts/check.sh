@@ -15,7 +15,10 @@
 # tree, building only the chaos test), runs the engine differential and
 # the tree-executor unit suite under the same sanitizers (the COW store
 # and persistent condition chain are exactly the kind of shared-
-# ownership code ASan exists for), refreshes BENCH_performance.json
+# ownership code ASan exists for), runs the summary-compaction unit
+# suite plus the compaction/interning determinism differentials under
+# ASan (the sharded instantiation cache is shared mutable state),
+# refreshes BENCH_performance.json
 # at the repo root (the microbenchmarks themselves are skipped via a
 # non-matching filter — only the trajectory-record workload runs,
 # including the prefix_off/prefix_on engine comparison and the
@@ -67,10 +70,34 @@ cmake --build build-asan -j --target test_analysis_tree_exec \
 ./build-asan/tests/test_analyzer_determinism \
     --gtest_filter='AnalyzerDeterminismTest.PrefixSharing*'
 
+# The sharded instantiation cache is cross-thread shared mutable state
+# (per-shard mutexes guarding LRU lists), and compaction runs solver
+# proofs over freshly merged formulas — both are prime ASan territory.
+echo "== sanitizer smoke (ASan+UBSan compaction + interning) =="
+cmake --build build-asan -j --target test_summary_compact
+./build-asan/tests/test_summary_compact
+./build-asan/tests/test_analyzer_determinism \
+    --gtest_filter='*Compaction*:*Interning*'
+
 echo "== performance trajectory record =="
 RID_BENCH_JSON="$PWD/BENCH_performance.json" \
     ./build/bench/bench_performance --benchmark_filter='^$none'
 test -s BENCH_performance.json
+
+# Interning must never be a pessimization: the cached run may not
+# execute more from-scratch instantiations than the uncached one.
+if command -v python3 > /dev/null; then
+    python3 - BENCH_performance.json <<'EOF'
+import json, sys
+record = json.load(open(sys.argv[1]))
+off = record["entries_instantiated_off"]
+on = record["entries_instantiated_on"]
+assert on <= off, \
+    f"interning regressed: {on} instantiations with cache > {off} without"
+print(f"instantiation gate: {off} -> {on} (reduction "
+      f"{record['instantiation_reduction']:.2f}x)")
+EOF
+fi
 
 # The standing cross-tool scoring harness: score RID and the cpychecker
 # baseline against LAVA-style injected ground truth at scale 0.05. The

@@ -11,6 +11,7 @@
 #include "analysis/callgraph.h"
 #include "analysis/paths.h"
 #include "obs/failpoint.h"
+#include "summary/compact.h"
 
 namespace rid::analysis {
 
@@ -47,6 +48,11 @@ Analyzer::Analyzer(const ir::Module &mod, summary::SummaryDb &db,
         smt::QueryCache::Options cache_opts;
         cache_opts.capacity = opts_.query_cache_capacity;
         query_cache_ = std::make_shared<smt::QueryCache>(cache_opts);
+    }
+    if (opts_.intern_instantiations) {
+        summary::InstCache::Options inst_opts;
+        inst_opts.capacity = opts_.inst_cache_capacity;
+        inst_cache_ = std::make_shared<summary::InstCache>(inst_opts);
     }
     tracer_ = opts_.tracer;
     if (!tracer_ && !opts_.trace_path.empty())
@@ -92,6 +98,14 @@ Analyzer::Analyzer(const ir::Module &mod, summary::SummaryDb &db,
         &m.counter("rid_subtrees_pruned_total",
                    "CFG subtrees skipped on an unsatisfiable path "
                    "condition (prefix-sharing engine).");
+    ins_.entries_instantiated =
+        &m.counter("rid_entries_instantiated_total",
+                   "Callee summary entries instantiated from scratch "
+                   "(inst-cache misses when interning is on).");
+    ins_.summary_entries_compacted =
+        &m.counter("rid_summary_entries_compacted_total",
+                   "Summary entries merged or dropped by bottom-up "
+                   "compaction before entering the database.");
     ins_.solver_queries =
         &m.counter("rid_solver_queries_total", "Solver check() calls.");
     ins_.solver_theory_checks = &m.counter(
@@ -203,6 +217,9 @@ Analyzer::refreshStatsFromRegistry()
     stats_.blocks_executed = ins_.blocks_executed->value();
     stats_.state_forks = ins_.state_forks->value();
     stats_.subtrees_pruned = ins_.subtrees_pruned->value();
+    stats_.entries_instantiated = ins_.entries_instantiated->value();
+    stats_.summary_entries_compacted =
+        ins_.summary_entries_compacted->value();
     stats_.symexec_seconds = ins_.symexec_seconds->sum();
     stats_.ipp_seconds = ins_.ipp_seconds->sum();
     stats_.solver.queries = ins_.solver_queries->value();
@@ -336,6 +353,7 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
     uint64_t blocks_executed = 0;
     uint64_t state_forks = 0;
     uint64_t subtrees_pruned = 0;
+    uint64_t entries_instantiated = 0;
     double symexec_seconds = 0;
 
     if (opts_.prefix_sharing) {
@@ -357,6 +375,7 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
             tree_opts.max_visits = 2;
             tree_opts.path_threads = opts_.path_threads;
             tree_opts.tracer = tracer_.get();
+            tree_opts.inst_cache = inst_cache_.get();
             if (opts_.path_threads > 1)
                 tree_opts.make_solver = [this, budget]() {
                     return makeSolver(budget);
@@ -372,6 +391,7 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
         blocks_executed = tree.blocks_executed;
         state_forks = tree.forks;
         subtrees_pruned = tree.subtrees_pruned;
+        entries_instantiated = tree.entries_instantiated;
         for (auto &outcome : tree.completed)
             for (auto &e : outcome.entries)
                 path_entries.push_back(std::move(e));
@@ -387,6 +407,7 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
     exec_opts.max_subcases = opts_.max_subcases;
     exec_opts.prune_infeasible = opts_.prune_infeasible;
     exec_opts.budget = budget;
+    exec_opts.inst_cache = inst_cache_.get();
 
     truncated = paths.truncated;
     num_paths = paths.paths.size();
@@ -441,6 +462,7 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
                 truncated = truncated || exec.truncated;
                 deadline_hit = deadline_hit || exec.deadline_hit;
                 blocks_executed += exec.blocks_executed;
+                entries_instantiated += exec.entries_instantiated;
                 for (auto &e : exec.entries)
                     path_entries.push_back(std::move(e));
             }
@@ -452,6 +474,7 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
                 truncated = truncated || exec.truncated;
                 deadline_hit = deadline_hit || exec.deadline_hit;
                 blocks_executed += exec.blocks_executed;
+                entries_instantiated += exec.entries_instantiated;
                 for (auto &e : exec.entries)
                     path_entries.push_back(std::move(e));
                 if (exec.deadline_hit)
@@ -467,6 +490,7 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
 
     IppOptions ipp_opts;
     ipp_opts.drop_seed = opts_.drop_seed;
+    ipp_opts.deterministic_drop = opts_.deterministic_drop;
     ipp_opts.domains = &domain_table_;
     ipp_opts.enabled_domains =
         opts_.enabled_domains.empty() ? nullptr : &opts_.enabled_domains;
@@ -523,6 +547,20 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
                             std::to_string(subtrees_pruned) +
                             " infeasible subtrees";
     }
+    // Bottom-up compaction, after every report-generating phase: merging
+    // call-boundary-indistinguishable entries (and dropping unsatisfiable
+    // ones) shrinks what callers instantiate without touching what this
+    // function reported. Runs against the same budget-attached solver, so
+    // its validity proofs consume the function's remaining fuel and an
+    // expiry degrades exactly like one inside IPP.
+    summary::CompactionStats compaction;
+    if (opts_.compact_summaries) {
+        obs::Span compact_span("phase", "summary-compact");
+        compact_span.arg("fn", fn.name());
+        compaction = summary::compactSummary(summary, solver);
+        if (timedOut())
+            return degradeToTimeout();
+    }
     // Persist before the summary is moved into the db: one frame carries
     // the complete outcome (status, summary, stamped reports).
     recordToStore(fn, truncated ? FnStatus::Truncated : FnStatus::Ok,
@@ -536,6 +574,9 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
     ins_.blocks_executed->inc(blocks_executed);
     ins_.state_forks->inc(state_forks);
     ins_.subtrees_pruned->inc(subtrees_pruned);
+    ins_.entries_instantiated->inc(entries_instantiated);
+    ins_.summary_entries_compacted->inc(compaction.merged +
+                                        compaction.dropped);
     if (truncated) {
         ins_.functions_truncated->inc();
         recordDiagnostic({fn.name(), FnStatus::Truncated, trunc_reason});
@@ -558,6 +599,7 @@ Analyzer::analyzeFunctionGuarded(const ir::Function &fn,
         cost.blocks_executed = blocks_executed;
         cost.forks = state_forks;
         cost.subtrees_pruned = subtrees_pruned;
+        cost.entries_instantiated = entries_instantiated;
         std::lock_guard<std::mutex> lock(stats_mutex_);
         function_costs_.push_back(std::move(cost));
     }
@@ -860,6 +902,26 @@ Analyzer::run()
             ->gauge("rid_query_cache_evictions",
                     "Query-cache evictions (snapshot).")
             .set(static_cast<double>(qc.evictions));
+    }
+    if (inst_cache_) {
+        stats_.inst_cache = inst_cache_->stats();
+        const auto &ic = stats_.inst_cache;
+        metrics_
+            ->gauge("rid_inst_cache_hits",
+                    "Shared instantiation-cache hits (snapshot).")
+            .set(static_cast<double>(ic.hits));
+        metrics_
+            ->gauge("rid_inst_cache_misses",
+                    "Shared instantiation-cache misses (snapshot).")
+            .set(static_cast<double>(ic.misses));
+        metrics_
+            ->gauge("rid_inst_cache_entries",
+                    "Resident instantiation-cache entries.")
+            .set(static_cast<double>(ic.entries));
+        metrics_
+            ->gauge("rid_inst_cache_evictions",
+                    "Instantiation-cache evictions (snapshot).")
+            .set(static_cast<double>(ic.evictions));
     }
     if (store_) {
         FunctionStore::IoStats io = store_->ioStats();

@@ -33,6 +33,7 @@
 #include "obs/trace.h"
 #include "smt/query_cache.h"
 #include "summary/db.h"
+#include "summary/inst_cache.h"
 
 namespace rid::analysis {
 
@@ -193,8 +194,26 @@ struct AnalyzerOptions
      *  (the Section 7 future-work item: "symbolically executing
      *  multiple paths in parallel"). 1 = sequential. */
     int path_threads = 1;
-    /** Seed for the inconsistent-entry drop choice. */
+    /** Seed for the inconsistent-entry drop choice (only consulted when
+     *  deterministic_drop is off). */
     uint64_t drop_seed = 0x5eed;
+    /** Deterministic IPP drop choice (IppOptions::deterministic_drop):
+     *  on, outputs are independent of drop_seed; off restores the
+     *  paper's seeded-random drop for differential testing. */
+    bool deterministic_drop = true;
+    /** Compact each computed summary before it enters the database:
+     *  merge entries indistinguishable at every call boundary (identical
+     *  changes/stores/ret) into one disjunctive entry and drop entries
+     *  with unsatisfiable constraints. Runs after report generation and
+     *  the summary check, so reports and diagnostics are byte-identical
+     *  with the pass on or off — pinned by the determinism suite. */
+    bool compact_summaries = true;
+    /** Hash-cons callee-entry instantiations in a sharded cache shared
+     *  across all path and SCC workers (summary/inst_cache.h).
+     *  Semantically invisible; only instantiation cost changes. */
+    bool intern_instantiations = true;
+    /** Capacity of the shared instantiation cache (entries). */
+    size_t inst_cache_capacity = 1 << 16;
     /** Effect domains to check (summary/domain.h); empty = all declared
      *  domains. Effects of unlisted domains are stripped from computed
      *  summaries and their seed specs are ignored by the classifier, so
@@ -296,10 +315,19 @@ struct AnalyzerStats
     double symexec_seconds = 0;
     /** Wall time of the IPP check-and-merge phase, summed per function. */
     double ipp_seconds = 0;
+    /** Callee summary entries instantiated from scratch during symbolic
+     *  execution (inst-cache misses when interning is on). */
+    size_t entries_instantiated = 0;
+    /** Summary entries removed by bottom-up compaction (merged into a
+     *  disjunctive sibling or dropped as unsatisfiable). */
+    size_t summary_entries_compacted = 0;
     /** Solver counters aggregated over every solver of the run. */
     smt::Solver::Stats solver;
     /** Shared query-cache counters (zero when the cache is off). */
     smt::QueryCache::Stats query_cache;
+    /** Shared instantiation-cache counters (zero when interning is
+     *  off). */
+    summary::InstCache::Stats inst_cache;
     /** Reports per effect domain from the most recent run() (name-
      *  ordered; domains with zero reports are omitted). */
     std::map<std::string, size_t> reports_by_domain;
@@ -363,6 +391,12 @@ class Analyzer
         return query_cache_;
     }
 
+    /** The shared instantiation cache (null when interning is off). */
+    const std::shared_ptr<summary::InstCache> &instCache() const
+    {
+        return inst_cache_;
+    }
+
     /** The run's span tracer (null when tracing is off). */
     const std::shared_ptr<obs::Tracer> &tracer() const { return tracer_; }
 
@@ -401,6 +435,8 @@ class Analyzer
         obs::Counter *blocks_executed;
         obs::Counter *state_forks;
         obs::Counter *subtrees_pruned;
+        obs::Counter *entries_instantiated;
+        obs::Counter *summary_entries_compacted;
         obs::Counter *solver_queries;
         obs::Counter *solver_theory_checks;
         obs::Counter *solver_branches;
@@ -468,6 +504,7 @@ class Analyzer
     AnalyzerStats stats_;
     std::unique_ptr<FunctionClassifier> classifier_;
     std::shared_ptr<smt::QueryCache> query_cache_;
+    std::shared_ptr<summary::InstCache> inst_cache_;
     std::shared_ptr<obs::Tracer> tracer_;
     std::shared_ptr<obs::MetricsRegistry> metrics_;
     Instruments ins_;

@@ -244,7 +244,34 @@ checkAndMerge(const std::string &function,
                     report.queries.push_back(overlap_query);
                     result.reports.push_back(std::move(report));
                 }
-                size_t drop = (rng() & 1) ? i : j;
+                // Drop one entry of the pair to stop cascading reports.
+                // Deterministic mode minimizes cross-domain information
+                // loss: an entry whose counters all reappear in some
+                // surviving sibling is redundant evidence, while one
+                // carrying the only effect on a counter is the sole
+                // witness for it — prefer dropping the covered entry.
+                size_t drop;
+                if (opts.deterministic_drop) {
+                    auto uncoveredKeys = [&entries](size_t victim) {
+                        size_t uncovered = 0;
+                        for (const auto &[rc, delta] :
+                             entries[victim].changes) {
+                            (void)delta;
+                            bool covered = false;
+                            for (size_t k = 0;
+                                 k < entries.size() && !covered; k++) {
+                                covered = k != victim &&
+                                          entries[k].changes.count(rc);
+                            }
+                            if (!covered)
+                                uncovered++;
+                        }
+                        return uncovered;
+                    };
+                    drop = uncoveredKeys(j) <= uncoveredKeys(i) ? j : i;
+                } else {
+                    drop = (rng() & 1) ? i : j;
+                }
                 entries.erase(entries.begin() + drop);
                 changed = true;
             }

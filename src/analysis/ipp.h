@@ -83,8 +83,16 @@ struct BugReport
 
 struct IppOptions
 {
-    /** Seed for the drop-one-of-the-pair choice. */
+    /** Seed for the drop-one-of-the-pair choice (legacy mode only). */
     uint64_t drop_seed = 0x5eed;
+    /** Replace the paper's seeded-random drop with a deterministic
+     *  choice that minimizes cross-domain information loss: of the
+     *  inconsistent pair, drop the entry more of whose (domain,
+     *  counter) keys are still covered by the surviving entries, so the
+     *  summary keeps a witness for as many counters as possible. Ties
+     *  drop the later entry. Removes every drop_seed dependence from
+     *  outputs; the seeded path is kept for differential testing. */
+    bool deterministic_drop = true;
     /** Declared effect domains; null means every domain is checked with
      *  the default `ipp` policy (pre-domain behavior). */
     const summary::DomainTable *domains = nullptr;

@@ -56,6 +56,65 @@ struct State
     }
 };
 
+/**
+ * Instantiate one callee summary entry for a call site (Algorithm 1):
+ * formal→actual substitution, opaque-return decision, result binding
+ * and local-store filtering. Both engines funnel every entry through
+ * here, so the instantiation is computed identically whether or not an
+ * InstCache is attached — a hit returns the exact value a fresh
+ * computation would, keyed by stable fingerprints and verified
+ * structurally. @p instantiated counts from-scratch computations only
+ * (cache misses), the quantity the interning exists to reduce.
+ */
+summary::CallInstantiation
+instantiateCallEntry(const summary::FunctionSummary &callee,
+                     size_t entry_index, const std::vector<Expr> &actuals,
+                     const std::string &temp_name, bool wants_result,
+                     summary::InstCache *cache, uint64_t &instantiated)
+{
+    summary::InstCache::Key key;
+    if (cache) {
+        key.summary_fp = callee.fingerprint;
+        key.entry_index = entry_index;
+        key.actuals = actuals;
+        key.slot = Expr::temp(temp_name);
+        key.wants_result = wants_result;
+        if (auto hit = cache->lookup(key))
+            return *hit;
+    }
+    instantiated++;
+    // Instantiate formals first, then decide how the return value is
+    // represented. A ret still mentioning callee state ([0] from a
+    // truncation default, or a local that escaped projection) is opaque
+    // to the caller and stands behind the call-site temp.
+    SummaryEntry inst = summary::instantiate(callee.entries[entry_index],
+                                             callee.params, actuals,
+                                             Expr(), callee.function);
+    Expr res;
+    if (inst.ret) {
+        bool opaque = inst.ret.containsIf([](const Expr &e) {
+                          return e.kind() == ExprKind::Ret;
+                      }) ||
+                      inst.ret.mentionsLocalState();
+        res = opaque ? Expr::temp(temp_name) : inst.ret;
+    } else if (wants_result) {
+        res = Expr::temp(temp_name);
+    }
+    if (res)
+        summary::bindResult(inst, res);
+    summary::CallInstantiation out;
+    out.cons = std::move(inst.cons);
+    out.changes = std::move(inst.changes);
+    for (const auto &store : inst.stores) {
+        if (!store.mentionsLocalState())
+            out.stores.insert(store);
+    }
+    out.result = res;
+    if (cache)
+        cache->insert(key, out);
+    return out;
+}
+
 const Expr *
 vmapFind(const std::map<std::string, Expr> &vmap, const std::string &name)
 {
@@ -430,34 +489,18 @@ executePath(const ir::Function &fn, const Path &path, int path_index,
                         next.push_back(std::move(s));
                         continue;
                     }
-                    for (const auto &entry : callee->entries) {
+                    for (size_t ei = 0; ei < callee->entries.size();
+                         ei++) {
                         if (static_cast<int>(next.size()) >=
                             opts.max_subcases) {
                             result.truncated = true;
                             break;
                         }
-                        // Instantiate formals first, then decide how the
-                        // return value is represented (Algorithm 1).
-                        SummaryEntry inst = summary::instantiate(
-                            entry, callee->params, actuals, Expr());
-                        Expr res;
-                        if (inst.ret) {
-                            bool opaque = inst.ret.containsIf(
-                                [](const Expr &e) {
-                                    return e.kind() == ExprKind::Ret;
-                                }) || inst.ret.mentionsLocalState();
-                            res = opaque ? Expr::temp(temp_name) : inst.ret;
-                        } else if (!in.dst.empty()) {
-                            res = Expr::temp(temp_name);
-                        }
-                        if (res) {
-                            inst.cons =
-                                inst.cons.substitute(Expr::ret(), res);
-                            summary::ChangeMap keyed;
-                            for (const auto &[rc, d] : inst.changes)
-                                keyed[rc.substitute(Expr::ret(), res)] += d;
-                            inst.changes = std::move(keyed);
-                        }
+                        summary::CallInstantiation inst =
+                            instantiateCallEntry(
+                                *callee, ei, actuals, temp_name,
+                                !in.dst.empty(), opts.inst_cache,
+                                result.entries_instantiated);
 
                         State forked = s;
                         forked.callees.push_back(in.callee);
@@ -467,13 +510,12 @@ executePath(const ir::Function &fn, const Path &path, int path_index,
                             forked.changes[rc] += delta;
                             forked.change_lines.push_back(in.line);
                         }
-                        for (const auto &store : inst.stores) {
-                            if (!store.mentionsLocalState())
-                                forked.stores.insert(store);
-                        }
+                        for (const auto &store : inst.stores)
+                            forked.stores.insert(store);
                         if (!in.dst.empty())
                             forked.vmap[in.dst] =
-                                res ? res : Expr::temp(temp_name);
+                                inst.result ? inst.result
+                                            : Expr::temp(temp_name);
                         if (!pruneState(forked))
                             next.push_back(std::move(forked));
                     }
@@ -779,34 +821,15 @@ TreeExecutor::stepBlock(RunCtx &ctx, ir::BlockId b,
                 }
                 if (callee->entries.size() > 1)
                     s.vmap.freeze();  // entry forks share the env
-                for (const auto &entry : callee->entries) {
+                for (size_t ei = 0; ei < callee->entries.size(); ei++) {
                     if (static_cast<int>(next.size()) >=
                         opts_.max_subcases) {
                         ctx.res->truncated = true;
                         break;
                     }
-                    // Instantiate formals first, then decide how the
-                    // return value is represented (Algorithm 1).
-                    SummaryEntry inst = summary::instantiate(
-                        entry, callee->params, actuals, Expr());
-                    Expr res;
-                    if (inst.ret) {
-                        bool opaque =
-                            inst.ret.containsIf([](const Expr &e) {
-                                return e.kind() == ExprKind::Ret;
-                            }) ||
-                            inst.ret.mentionsLocalState();
-                        res = opaque ? Expr::temp(temp_name) : inst.ret;
-                    } else if (!in.dst.empty()) {
-                        res = Expr::temp(temp_name);
-                    }
-                    if (res) {
-                        inst.cons = inst.cons.substitute(Expr::ret(), res);
-                        summary::ChangeMap keyed;
-                        for (const auto &[rc, d] : inst.changes)
-                            keyed[rc.substitute(Expr::ret(), res)] += d;
-                        inst.changes = std::move(keyed);
-                    }
+                    summary::CallInstantiation inst = instantiateCallEntry(
+                        *callee, ei, actuals, temp_name, !in.dst.empty(),
+                        opts_.inst_cache, ctx.res->entries_instantiated);
 
                     TreeState forked = s;
                     forked.callees.push_back(in.callee);
@@ -815,13 +838,13 @@ TreeExecutor::stepBlock(RunCtx &ctx, ir::BlockId b,
                         forked.changes[rc] += delta;
                         forked.change_lines.push_back(in.line);
                     }
-                    for (const auto &store : inst.stores) {
-                        if (!store.mentionsLocalState())
-                            forked.stores.insert(store);
-                    }
+                    for (const auto &store : inst.stores)
+                        forked.stores.insert(store);
                     if (!in.dst.empty())
                         forked.vmap.set(in.dst,
-                                        res ? res : Expr::temp(temp_name));
+                                        inst.result
+                                            ? inst.result
+                                            : Expr::temp(temp_name));
                     if (!pruneState(ctx, forked))
                         next.push_back(std::move(forked));
                 }
@@ -1083,6 +1106,7 @@ TreeExecutor::runParallel(smt::Solver &solver)
         res.blocks_executed += wr.blocks_executed;
         res.forks += wr.forks;
         res.subtrees_pruned += wr.subtrees_pruned;
+        res.entries_instantiated += wr.entries_instantiated;
     }
     return res;
 }

@@ -23,6 +23,7 @@
 #include "ir/function.h"
 #include "smt/solver.h"
 #include "summary/db.h"
+#include "summary/inst_cache.h"
 
 namespace rid::obs {
 class Tracer;
@@ -42,6 +43,10 @@ struct ExecOptions
      *  expiry stops execution and sets ExecResult::deadline_hit. Not
      *  owned; must outlive the call. */
     const obs::Budget *budget = nullptr;
+    /** Optional shared callee-instantiation cache (summary/inst_cache.h);
+     *  null instantiates every call entry from scratch. Semantically
+     *  invisible either way. Not owned; must outlive the call. */
+    summary::InstCache *inst_cache = nullptr;
 };
 
 struct ExecResult
@@ -57,6 +62,9 @@ struct ExecResult
      *  shared prefix is re-stepped once per path; the prefix-sharing
      *  engine's counter measures the redundancy it removes. */
     uint64_t blocks_executed = 0;
+    /** Callee summary entries instantiated from scratch (inst-cache
+     *  misses when a cache is attached; every call entry without). */
+    uint64_t entries_instantiated = 0;
 };
 
 /**
@@ -105,6 +113,9 @@ struct TreeExecOptions
     std::function<smt::Solver()> make_solver;
     /** Tracer re-established inside each worker thread; may be null. */
     obs::Tracer *tracer = nullptr;
+    /** Optional shared callee-instantiation cache; as ExecOptions. The
+     *  cache is thread-safe and shared across path workers. */
+    summary::InstCache *inst_cache = nullptr;
 };
 
 /** The summary entries of one completed feasible path, in the order the
@@ -134,6 +145,9 @@ struct TreeExecResult
     /** Branch sides (and mid-block state-set deaths) skipped because the
      *  path condition became unsatisfiable. */
     uint64_t subtrees_pruned = 0;
+    /** Callee summary entries instantiated from scratch (as ExecResult;
+     *  cache hits are not counted). */
+    uint64_t entries_instantiated = 0;
     /** Aggregated stats of per-worker solvers (path_threads > 1); the
      *  caller's own solver accumulates sequential work as usual. */
     smt::Solver::Stats worker_solver_stats;

@@ -135,6 +135,14 @@ RunResult::str() const
            << qc.evictions << " eviction(s), " << qc.entries
            << " resident\n";
     }
+    const auto &ic = stats.inst_cache;
+    if (ic.hits + ic.misses > 0) {
+        os << "inst cache: " << ic.hits << " hit(s) / " << ic.misses
+           << " miss(es) ("
+           << static_cast<int>(ic.hitRate() * 100 + 0.5) << "% hit rate), "
+           << ic.evictions << " eviction(s), " << ic.entries
+           << " resident\n";
+    }
     if (stats.store.active) {
         os << "store: " << stats.store.hits << " hit(s) / "
            << stats.store.misses << " miss(es) ("
@@ -191,6 +199,9 @@ RunResult::statsJson() const
     w.key("blocks_executed").value(uint64_t{s.blocks_executed});
     w.key("state_forks").value(uint64_t{s.state_forks});
     w.key("subtrees_pruned").value(uint64_t{s.subtrees_pruned});
+    w.key("entries_instantiated").value(uint64_t{s.entries_instantiated});
+    w.key("summary_entries_compacted")
+        .value(uint64_t{s.summary_entries_compacted});
     w.key("phases").beginObject();
     w.key("classify_seconds").value(s.classify_seconds);
     w.key("analyze_seconds").value(s.analyze_seconds);
@@ -214,6 +225,16 @@ RunResult::statsJson() const
     w.key("collisions").value(qc.collisions);
     w.key("entries").value(uint64_t{qc.entries});
     w.key("hit_rate").value(qc.hitRate());
+    w.endObject();
+    const auto &ic = s.inst_cache;
+    w.key("inst_cache").beginObject();
+    w.key("hits").value(ic.hits);
+    w.key("misses").value(ic.misses);
+    w.key("insertions").value(ic.insertions);
+    w.key("evictions").value(ic.evictions);
+    w.key("collisions").value(ic.collisions);
+    w.key("entries").value(uint64_t{ic.entries});
+    w.key("hit_rate").value(ic.hitRate());
     w.endObject();
     w.key("profile").raw(profile.json());
     // Per-effect-domain report counts (additive key; name-ordered, only

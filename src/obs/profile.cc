@@ -89,6 +89,7 @@ AnalysisProfile::json() const
         w.key("blocks_executed").value(f.blocks_executed);
         w.key("forks").value(f.forks);
         w.key("subtrees_pruned").value(f.subtrees_pruned);
+        w.key("entries_instantiated").value(f.entries_instantiated);
         w.key("truncated").value(f.truncated);
         w.endObject();
     }

@@ -40,6 +40,9 @@ struct FunctionCost
     uint64_t forks = 0;
     /** CFG subtrees skipped on an unsatisfiable path condition. */
     uint64_t subtrees_pruned = 0;
+    /** Callee summary entries instantiated from scratch (inst-cache
+     *  misses when interning is on). */
+    uint64_t entries_instantiated = 0;
 
     double totalSeconds() const { return symexec_seconds + ipp_seconds; }
 };

@@ -67,6 +67,21 @@ fpBytes(std::string_view s)
     return h;
 }
 
+/**
+ * Fold a sequence of fingerprints into @p h, length-prefixed so that
+ * e.g. {a,b} + {} and {a} + {b} key differently. The workhorse of
+ * multi-part cache keys (summary/inst_cache.h).
+ */
+template <typename It, typename Fp>
+inline uint64_t
+fpRange(uint64_t h, It first, It last, Fp fingerprintOf)
+{
+    uint64_t n = 0;
+    for (It it = first; it != last; ++it, ++n)
+        h = fpCombine(h, fingerprintOf(*it));
+    return fpCombine(h, n);
+}
+
 /** @} */
 
 /** Counters exposed by one intern table (monotonic except entries). */

@@ -1,0 +1,82 @@
+#include "summary/compact.h"
+
+#include <vector>
+
+#include "smt/solver.h"
+
+namespace rid::summary {
+
+namespace {
+
+/** Effect-indistinguishability at the call boundary: identical counter
+ *  deltas, identical caller-visible stores, identical return
+ *  expression. Constraints are deliberately not compared — they are
+ *  what the merge disjoins. */
+bool
+sameEffects(const SummaryEntry &a, const SummaryEntry &b)
+{
+    if (a.ret || b.ret) {
+        if (!a.ret || !b.ret || !a.ret.equals(b.ret))
+            return false;
+    }
+    return SummaryEntry::sameChanges(a, b) &&
+           SummaryEntry::sameStores(a, b);
+}
+
+} // anonymous namespace
+
+CompactionStats
+compactSummary(FunctionSummary &s, smt::Solver &solver)
+{
+    CompactionStats stats;
+    if (s.entries.size() <= 1)
+        return stats;
+
+    std::vector<SummaryEntry> out;
+    out.reserve(s.entries.size());
+    std::vector<bool> consumed(s.entries.size(), false);
+    for (size_t i = 0; i < s.entries.size(); i++) {
+        if (consumed[i])
+            continue;
+        if (s.entries[i].cons.isFalse()) {
+            stats.dropped++;
+            continue;
+        }
+        SummaryEntry keep = std::move(s.entries[i]);
+        std::vector<smt::Formula> disjuncts{keep.cons};
+        for (size_t j = i + 1; j < s.entries.size(); j++) {
+            if (consumed[j] || !sameEffects(keep, s.entries[j]))
+                continue;
+            consumed[j] = true;
+            if (s.entries[j].cons.isFalse()) {
+                stats.dropped++;
+                continue;
+            }
+            disjuncts.push_back(s.entries[j].cons);
+            for (int line : s.entries[j].origin.change_lines)
+                keep.origin.change_lines.push_back(line);
+            for (const auto &callee : s.entries[j].origin.callees)
+                keep.origin.callees.push_back(callee);
+            stats.merged++;
+        }
+        if (disjuncts.size() > 1) {
+            keep.cons = smt::Formula::disj(std::move(disjuncts));
+            keep.origin.path_index = -1;
+            // When the group's constraints cover the whole input space
+            // the disjunction is valid; callers then conjoin nothing.
+            // Only a definite Unsat of the negation proves it — Unknown
+            // (budget expiry, incompleteness) keeps the disjunction.
+            if (!keep.cons.isTrue() &&
+                solver.check(smt::Formula::negation(keep.cons)) ==
+                    smt::SatResult::Unsat) {
+                keep.cons = smt::Formula::top();
+                stats.proven_top++;
+            }
+        }
+        out.push_back(std::move(keep));
+    }
+    s.entries = std::move(out);
+    return stats;
+}
+
+} // namespace rid::summary

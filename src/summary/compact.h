@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bottom-up summary compaction.
+ *
+ * After IPP merging, a computed summary can still carry entries that no
+ * caller can tell apart: paths that branch on conditions invisible at
+ * the call boundary but end with identical effects (same counter
+ * deltas, same caller-visible stores, same return expression). Each
+ * such sibling costs every caller a state fork, an instantiation and a
+ * feasibility query — "Boosting Path-Sensitive Value Flow Analysis via
+ * Removal of Redundant Summaries" shows most of them never affect any
+ * caller's verdict.
+ *
+ * compactSummary() merges every group of effect-identical entries into
+ * one entry whose constraint is the disjunction of the group's
+ * constraints — semantically invisible at every call boundary, since a
+ * caller forks per entry and prunes on satisfiability, and
+ * sat(P ∧ (c1 ∨ c2)) ≡ sat(P ∧ c1) ∨ sat(P ∧ c2). When the solver
+ * proves the merged disjunction is valid (its negation unsatisfiable),
+ * the constraint collapses to `true`, so callers conjoin nothing at
+ * all. Entries whose constraint is structurally `false` are dropped
+ * outright (subsumed by any sibling; they contribute no feasible
+ * caller state).
+ *
+ * The pass runs after report generation and after the escape-rule
+ * summary check, so reports and diagnostics are byte-identical with
+ * compaction on or off; only the stored summary (and every caller's
+ * fan-out) shrinks. Proof queries run on the caller-provided solver, so
+ * they share the run's query cache and budget accounting; an Unknown
+ * verdict conservatively keeps the disjunction.
+ */
+
+#ifndef RID_SUMMARY_COMPACT_H
+#define RID_SUMMARY_COMPACT_H
+
+#include <cstddef>
+
+#include "summary/summary.h"
+
+namespace rid::smt {
+class Solver;
+}
+
+namespace rid::summary {
+
+struct CompactionStats
+{
+    /** Entries removed by merging into an effect-identical sibling. */
+    size_t merged = 0;
+    /** Entries dropped because their constraint is structurally false. */
+    size_t dropped = 0;
+    /** Merged constraints the solver proved valid (collapsed to true). */
+    size_t proven_top = 0;
+};
+
+/**
+ * Compact @p s in place: merge entries indistinguishable at every call
+ * boundary and drop unsatisfiable ones. Deterministic: surviving
+ * entries keep first-occurrence order, and each merged constraint
+ * disjoins its group's constraints in entry order. A summary with
+ * nothing to merge is left byte-identical.
+ */
+CompactionStats compactSummary(FunctionSummary &s, smt::Solver &solver);
+
+} // namespace rid::summary
+
+#endif // RID_SUMMARY_COMPACT_H

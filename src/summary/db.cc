@@ -27,6 +27,7 @@ SummaryDb::addPredefined(FunctionSummary s)
 {
     std::unique_lock lock(mutex_);
     s.is_predefined = true;
+    s.fingerprint = summaryFingerprint(s);
     predefined_[s.function] = std::move(s);
 }
 
@@ -36,6 +37,7 @@ SummaryDb::addComputed(FunctionSummary s)
     std::unique_lock lock(mutex_);
     if (predefined_.count(s.function))
         return;
+    s.fingerprint = summaryFingerprint(s);
     computed_[s.function] = std::move(s);
 }
 

@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "smt/intern.h"
+
 namespace rid::summary {
 
 void
@@ -153,10 +155,25 @@ FunctionSummary::str() const
     return os.str();
 }
 
+void
+bindResult(SummaryEntry &entry, const smt::Expr &result)
+{
+    entry.cons = entry.cons.substitute(smt::Expr::ret(), result);
+    ChangeMap keyed;
+    for (const auto &[rc, delta] : entry.changes)
+        keyed[rc.substitute(smt::Expr::ret(), result)] += delta;
+    entry.changes = std::move(keyed);
+    // Substitution can collapse two counters onto one key with opposite
+    // deltas; a surviving exact-zero delta would still count the entry
+    // as "changing" (and mint a bogus change line at the call site).
+    entry.normalizeChanges();
+}
+
 SummaryEntry
 instantiate(const SummaryEntry &entry,
             const std::vector<std::string> &formals,
-            const std::vector<smt::Expr> &actuals, const smt::Expr &result)
+            const std::vector<smt::Expr> &actuals, const smt::Expr &result,
+            const std::string &missing_scope)
 {
     SummaryEntry out = entry;
 
@@ -178,15 +195,54 @@ instantiate(const SummaryEntry &entry,
 
     for (size_t i = 0; i < formals.size(); i++) {
         smt::Expr formal = smt::Expr::arg(formals[i]);
-        smt::Expr actual = i < actuals.size()
-                               ? actuals[i]
-                               : smt::Expr::temp("missing$" + formals[i]);
+        // A formal with no actual becomes an unconstrained temp interned
+        // per (callee, formal): scoping by callee keeps two callees that
+        // share a formal name from aliasing one atom, and the stable
+        // name keeps repeated instantiations of one call shape
+        // fingerprint-identical (the inst-cache key contract).
+        smt::Expr actual =
+            i < actuals.size()
+                ? actuals[i]
+                : smt::Expr::temp(missing_scope.empty()
+                                      ? "missing$" + formals[i]
+                                      : "missing$" + missing_scope + "$" +
+                                            formals[i]);
         substituteAll(formal, actual);
     }
     if (result)
         substituteAll(smt::Expr::ret(), result);
     out.normalizeChanges();
     return out;
+}
+
+uint64_t
+summaryFingerprint(const FunctionSummary &s)
+{
+    using smt::fpBytes;
+    using smt::fpCombine;
+    uint64_t h = fpBytes("rid-summary-v1");
+    h = fpCombine(h, fpBytes(s.function));
+    h = smt::fpRange(h, s.params.begin(), s.params.end(),
+                     [](const std::string &p) { return fpBytes(p); });
+    h = fpCombine(h, static_cast<uint64_t>(s.returns_value));
+    h = fpCombine(h, static_cast<uint64_t>(s.is_default));
+    h = fpCombine(h, static_cast<uint64_t>(s.is_predefined));
+    h = fpCombine(h, static_cast<uint64_t>(s.is_truncated));
+    for (const auto &e : s.entries) {
+        h = fpCombine(h, e.cons.fingerprint());
+        for (const auto &[rc, delta] : e.changes) {
+            h = fpCombine(h, fpBytes(rc.domain));
+            h = fpCombine(h, rc.counter.fingerprint());
+            h = fpCombine(h,
+                          static_cast<uint64_t>(static_cast<int64_t>(delta)));
+        }
+        h = fpCombine(h, static_cast<uint64_t>(e.changes.size()));
+        h = smt::fpRange(h, e.stores.begin(), e.stores.end(),
+                         [](const smt::Expr &st) { return st.fingerprint(); });
+        h = fpCombine(h, e.ret.fingerprint());
+    }
+    h = fpCombine(h, static_cast<uint64_t>(s.entries.size()));
+    return h;
 }
 
 } // namespace rid::summary

@@ -154,6 +154,12 @@ struct FunctionSummary
     /** True when path or subcase limits truncated the analysis and a
      *  default entry was appended (Section 5.2). */
     bool is_truncated = false;
+    /** Content fingerprint over name, signature, flags and entries;
+     *  stamped by SummaryDb when the summary is added (0 before). The
+     *  instantiation cache (summary/inst_cache.h) keys on it, so any
+     *  edit to the summary — including compaction — changes every
+     *  derived cache key. */
+    uint64_t fingerprint = 0;
 
     /** True if any entry changes any counter, in any domain. */
     bool hasChanges() const;
@@ -181,11 +187,36 @@ struct FunctionSummary
  *                declarations; extra formals map to fresh unconstrained
  *                atoms via @p filler)
  * @param result  expression standing for the call's return value
+ * @param missing_scope scope string for the unconstrained temps minted
+ *                when actuals run out (typically the callee name):
+ *                formal `p` becomes `missing$<scope>$p`, so the temp is
+ *                interned per (callee, formal) and two callees sharing
+ *                a formal name never alias. Empty keeps the legacy
+ *                `missing$p` spelling.
  */
 SummaryEntry instantiate(const SummaryEntry &entry,
                          const std::vector<std::string> &formals,
                          const std::vector<smt::Expr> &actuals,
-                         const smt::Expr &result);
+                         const smt::Expr &result,
+                         const std::string &missing_scope = "");
+
+/**
+ * Substitute the return atom [0] by @p result across an instantiated
+ * entry's cons, changes and stores (the second half of Algorithm 1,
+ * applied once the call site has decided how the return value is
+ * represented). Counter keys that collapse onto each other have their
+ * deltas summed and exact-zero deltas are dropped, so an entry never
+ * reports a counter it does not net-change.
+ */
+void bindResult(SummaryEntry &entry, const smt::Expr &result);
+
+/**
+ * Stable content fingerprint of a summary: function name, parameters,
+ * flags and every entry's cons/changes/stores/return. Byte-stable
+ * across runs (smt/intern.h fingerprints); independent of entry origin
+ * provenance.
+ */
+uint64_t summaryFingerprint(const FunctionSummary &s);
 
 } // namespace rid::summary
 

@@ -70,12 +70,15 @@ runDigest(const kernel::Corpus &corpus, int threads, int path_threads,
           double fn_deadline = 0, uint64_t solver_fuel = 0,
           bool prefix_sharing = true, const std::string &failpoints = "",
           const std::vector<std::string> &enabled_domains = {},
-          bool load_domain_specs = false)
+          bool load_domain_specs = false, bool compact = true,
+          bool intern = true)
 {
     analysis::AnalyzerOptions opts;
     opts.threads = threads;
     opts.path_threads = path_threads;
     opts.use_query_cache = cache;
+    opts.compact_summaries = compact;
+    opts.intern_instantiations = intern;
     opts.run_deadline_seconds = run_deadline;
     opts.function_deadline_seconds = fn_deadline;
     opts.function_solver_fuel = solver_fuel;
@@ -112,6 +115,20 @@ runDigest(const kernel::Corpus &corpus, int threads, int path_threads,
         digest += d.function + " " + analysis::fnStatusName(d.status) +
                   " " + d.reason + "\n";
     return digest;
+}
+
+/** Reports + diagnostics only — the contract summary compaction pins:
+ *  it may reshape exported summaries (that is its job) but must not
+ *  move a single report or degradation outcome. */
+std::string
+stripSummaries(const std::string &digest)
+{
+    size_t summaries = digest.find("--- summaries ---\n");
+    size_t diagnostics = digest.find("--- diagnostics ---\n");
+    if (summaries == std::string::npos ||
+        diagnostics == std::string::npos)
+        return digest;
+    return digest.substr(0, summaries) + digest.substr(diagnostics);
 }
 
 class AnalyzerDeterminismTest : public ::testing::Test
@@ -324,6 +341,61 @@ TEST_F(AnalyzerDeterminismTest, MultiDomainScanIsByteIdentical)
               ref_only);
 }
 
+TEST_F(AnalyzerDeterminismTest, CompactionPreservesReportsAndDiagnostics)
+{
+    // Summary compaction merges call-boundary-indistinguishable entries
+    // AFTER the function's own reports and diagnostics are final, so
+    // toggling it may only change the summary export — reports and
+    // diagnostics must stay byte-identical to the uncompacted run,
+    // across thread counts and both engines.
+    std::string baseline = stripSummaries(
+        runDigest(corpus_, 1, 1, false, false, 0, 0, 0, true, "", {},
+                  false, /*compact=*/false));
+    ASSERT_FALSE(baseline.empty());
+    for (int threads : {1, 4}) {
+        for (bool prefix : {false, true}) {
+            for (bool compact : {false, true}) {
+                if (threads == 1 && prefix && !compact)
+                    continue;  // the baseline itself
+                EXPECT_EQ(stripSummaries(runDigest(
+                              corpus_, threads, threads, false, false, 0,
+                              0, 0, prefix, "", {}, false, compact)),
+                          baseline)
+                    << "threads=" << threads << " prefix=" << prefix
+                    << " compact=" << compact;
+            }
+        }
+    }
+}
+
+TEST_F(AnalyzerDeterminismTest, InterningIsByteIdenticalIncludingSummaries)
+{
+    // The instantiation cache is pure memoization: a hit returns exactly
+    // what a fresh instantiate() would have produced, so the FULL digest
+    // — reports, summaries and diagnostics — is byte-identical with the
+    // cache off and on, across thread counts and both engines.
+    // (Compaction is off so the summaries section exercises the raw
+    // per-entry path.)
+    std::string baseline =
+        runDigest(corpus_, 1, 1, false, false, 0, 0, 0, true, "", {},
+                  false, /*compact=*/false, /*intern=*/false);
+    ASSERT_FALSE(baseline.empty());
+    for (int threads : {1, 4}) {
+        for (bool prefix : {false, true}) {
+            for (bool intern : {false, true}) {
+                if (threads == 1 && prefix && !intern)
+                    continue;  // the baseline itself
+                EXPECT_EQ(runDigest(corpus_, threads, threads, false,
+                                    false, 0, 0, 0, prefix, "", {},
+                                    false, false, intern),
+                          baseline)
+                    << "threads=" << threads << " prefix=" << prefix
+                    << " intern=" << intern;
+            }
+        }
+    }
+}
+
 class InjectedDeterminismTest : public ::testing::Test
 {
   protected:
@@ -376,11 +448,14 @@ class InjectedDeterminismTest : public ::testing::Test
     }
 
     static ScoredRun
-    run(int path_threads, bool prefix_sharing)
+    run(int path_threads, bool prefix_sharing, bool compact = true,
+        bool intern = true)
     {
         analysis::AnalyzerOptions opts;
         opts.path_threads = path_threads;
         opts.prefix_sharing = prefix_sharing;
+        opts.compact_summaries = compact;
+        opts.intern_instantiations = intern;
         Rid tool(opts);
         tool.loadSpecText(kernel::dpmSpecText());
         tool.loadSpecText(kernel::lockSpecText());
@@ -441,6 +516,42 @@ TEST_F(InjectedDeterminismTest, InjectedScoresAreEngineAndThreadInvariant)
                 const auto &oc = other.score.by_domain.at(domain);
                 EXPECT_EQ(oc.precision(), counts.precision()) << domain;
                 EXPECT_EQ(oc.recall(), counts.recall()) << domain;
+            }
+        }
+    }
+}
+
+TEST_F(InjectedDeterminismTest, CompactionAndInterningDoNotMoveScores)
+{
+    // Ground-truth scores on the injected corpus must survive both
+    // perf attacks: report digests and per-domain precision/recall are
+    // identical with compaction and interning toggled in every
+    // combination, across path_threads {1, 4} and both engines.
+    ScoredRun baseline =
+        run(1, /*prefix_sharing=*/false, /*compact=*/false,
+            /*intern=*/false);
+    ASSERT_FALSE(baseline.digest.empty());
+    for (int path_threads : {1, 4}) {
+        for (bool prefix : {false, true}) {
+            for (bool compact : {false, true}) {
+                for (bool intern : {false, true}) {
+                    if (path_threads == 1 && !prefix && !compact &&
+                        !intern)
+                        continue;  // the baseline itself
+                    ScoredRun other =
+                        run(path_threads, prefix, compact, intern);
+                    EXPECT_EQ(other.digest, baseline.digest)
+                        << "path_threads=" << path_threads
+                        << " prefix=" << prefix
+                        << " compact=" << compact
+                        << " intern=" << intern;
+                    EXPECT_EQ(other.score.total.tp,
+                              baseline.score.total.tp);
+                    EXPECT_EQ(other.score.total.fp,
+                              baseline.score.total.fp);
+                    EXPECT_EQ(other.score.total.fn,
+                              baseline.score.total.fn);
+                }
             }
         }
     }

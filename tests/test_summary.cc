@@ -145,6 +145,102 @@ TEST(Instantiate, ChangeKeysThatCollideAccumulate)
     EXPECT_EQ(inst.changes.begin()->second, 2);
 }
 
+TEST(Instantiate, MissingActualTempsAreScopedPerCallee)
+{
+    // Two callees sharing a formal name must not alias one temp atom:
+    // the scoped spelling includes the callee, while repeated
+    // instantiations of one callee stay name-identical (the inst-cache
+    // key contract).
+    SummaryEntry e;
+    e.cons =
+        Formula::lit(Expr::cmp(Pred::Gt, Expr::arg("b"), Expr::intConst(0)));
+    e.changes[Expr::field(Expr::arg("b"), "pm")] = 1;
+
+    SummaryEntry callee1 =
+        instantiate(e, {"a", "b"}, {Expr::arg("x")}, Expr(), "callee1");
+    SummaryEntry again =
+        instantiate(e, {"a", "b"}, {Expr::arg("x")}, Expr(), "callee1");
+    SummaryEntry callee2 =
+        instantiate(e, {"a", "b"}, {Expr::arg("x")}, Expr(), "callee2");
+    EXPECT_EQ(callee1.cons.str(), "%missing$callee1$b > 0");
+    EXPECT_EQ(again.cons.str(), callee1.cons.str());
+    EXPECT_EQ(callee2.cons.str(), "%missing$callee2$b > 0");
+    EXPECT_EQ(callee1.changes.begin()->first.str(),
+              "%missing$callee1$b.pm");
+    // No scope keeps the legacy spelling.
+    SummaryEntry legacy =
+        instantiate(e, {"a", "b"}, {Expr::arg("x")}, Expr());
+    EXPECT_EQ(legacy.cons.str(), "%missing$b > 0");
+}
+
+TEST(BindResult, SubstitutesReturnAtomAndDropsZeroDeltas)
+{
+    // Binding [0] to an expression that collapses two counters with
+    // opposite deltas must drop the resulting exact-zero key: the entry
+    // nets no change on it and must not count as "changing".
+    SummaryEntry e;
+    e.cons = Formula::lit(Expr::cmp(Pred::Ge, Expr::ret(),
+                                    Expr::intConst(0)));
+    e.changes[Expr::field(Expr::ret(), "pm")] = 1;
+    e.changes[Expr::field(Expr::arg("d"), "pm")] = -1;
+    e.changes[Expr::field(Expr::arg("d"), "rc")] = 2;
+    bindResult(e, Expr::arg("d"));
+    EXPECT_EQ(e.cons.str(), "[d] >= 0");
+    ASSERT_EQ(e.changes.size(), 1u);
+    EXPECT_EQ(e.changes.begin()->first.str(), "[d].rc");
+    EXPECT_EQ(e.changes.begin()->second, 2);
+}
+
+TEST(BindResult, KeepsNonZeroCollapsedDeltas)
+{
+    SummaryEntry e;
+    e.changes[Expr::field(Expr::ret(), "pm")] = 2;
+    e.changes[Expr::field(Expr::arg("d"), "pm")] = -1;
+    bindResult(e, Expr::arg("d"));
+    ASSERT_EQ(e.changes.size(), 1u);
+    EXPECT_EQ(e.changes.begin()->second, 1);
+}
+
+TEST(SummaryFingerprint, StableAndContentSensitive)
+{
+    FunctionSummary s;
+    s.function = "f";
+    s.params = {"d"};
+    s.returns_value = true;
+    SummaryEntry e;
+    e.cons = Formula::top();
+    e.changes[Expr::field(Expr::arg("d"), "pm")] = 1;
+    e.ret = Expr::intConst(0);
+    s.entries.push_back(e);
+
+    uint64_t fp = summaryFingerprint(s);
+    EXPECT_EQ(summaryFingerprint(s), fp);
+
+    FunctionSummary renamed = s;
+    renamed.function = "g";
+    EXPECT_NE(summaryFingerprint(renamed), fp);
+    FunctionSummary changed = s;
+    changed.entries[0].changes[Expr::field(Expr::arg("d"), "pm")] = 2;
+    EXPECT_NE(summaryFingerprint(changed), fp);
+    FunctionSummary truncated = s;
+    truncated.is_truncated = true;
+    EXPECT_NE(summaryFingerprint(truncated), fp);
+}
+
+TEST(SummaryDb, StampsContentFingerprintOnAdd)
+{
+    SummaryDb db;
+    FunctionSummary computed;
+    computed.function = "f";
+    computed.params = {"d"};
+    computed.entries.push_back(SummaryEntry{});
+    db.addComputed(computed);
+    const FunctionSummary *found = db.find("f");
+    ASSERT_NE(found, nullptr);
+    EXPECT_NE(found->fingerprint, 0u);
+    EXPECT_EQ(found->fingerprint, summaryFingerprint(*found));
+}
+
 TEST(SummaryDb, PredefinedBeatsComputed)
 {
     SummaryDb db;
