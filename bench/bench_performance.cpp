@@ -515,6 +515,26 @@ writeBenchJson(const char *path)
     };
     auto [inst_off, inst_off_wall] = runInst(false);
     auto [inst_on, inst_on_wall] = runInst(true);
+
+    // Triage differential: the same scaled corpus with the automated
+    // triage pass on (shared query cache). "cross_pass_cache_hit_rate"
+    // is the fraction of cache hits answered across passes — triage
+    // queries re-hitting main-analysis verdicts (docs/TRIAGE.md).
+    auto runTriage = [&]() {
+        rid::analysis::AnalyzerOptions opts;
+        opts.triage = true;
+        rid::Rid tool(opts);
+        tool.loadSpecText(rid::kernel::dpmSpecText());
+        for (const auto &file : corpus.files)
+            tool.addSource(file.text);
+        auto t0 = std::chrono::steady_clock::now();
+        rid::RunResult result = tool.run();
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        return std::pair<rid::RunResult, double>(std::move(result), wall);
+    };
+    auto [triage_run, triage_wall] = runTriage();
     uint64_t ei_off = inst_off.stats.entries_instantiated;
     uint64_t ei_on = inst_on.stats.entries_instantiated;
     double inst_reduction =
@@ -578,7 +598,15 @@ writeBenchJson(const char *path)
     out << "  \"symexec_seconds_inst_off\": "
         << inst_off.stats.symexec_seconds << ",\n";
     out << "  \"symexec_seconds_inst_on\": "
-        << inst_on.stats.symexec_seconds << "\n";
+        << inst_on.stats.symexec_seconds << ",\n";
+    out << "  \"triage_on\": " << triage_run.statsJson() << ",\n";
+    out << "  \"wall_seconds_triage\": " << triage_wall << ",\n";
+    out << "  \"triage_seconds\": " << triage_run.triage.seconds
+        << ",\n";
+    out << "  \"cross_pass_cache_hits\": "
+        << triage_run.stats.query_cache.cross_pass_hits << ",\n";
+    out << "  \"cross_pass_cache_hit_rate\": "
+        << triage_run.stats.query_cache.crossPassRate() << "\n";
     out << "}\n";
     std::printf("wrote %s (theory checks %llu -> %llu, hit rate %.2f; "
                 "prefix sharing: blocks %llu -> %llu, symexec -%.0f%%; "
@@ -598,6 +626,11 @@ writeBenchJson(const char *path)
                 inst_reduction * 100,
                 static_cast<unsigned long long>(
                     inst_on.stats.summary_entries_compacted));
+    std::printf("triage: %zu report(s) -> %zu confirmed / %zu refuted, "
+                "cross-pass cache hit rate %.2f\n",
+                triage_run.triage.reports_triaged,
+                triage_run.triage.confirmed, triage_run.triage.refuted,
+                triage_run.stats.query_cache.crossPassRate());
 }
 
 } // anonymous namespace

@@ -10,9 +10,15 @@
  * per-domain precision/recall, throughput, the Table-1-style census —
  * go to stdout and to BENCH_truth.json (override with RID_TRUTH_JSON).
  *
- * Usage: bench_truth_score [scale] [seed]
- *   scale  corpus scale (default 0.05; 1.0 = the 270k-function regime)
- *   seed   layout seed (default 0x101)
+ * Usage: bench_truth_score [scale] [seed] [--triage]
+ *   scale    corpus scale (default 0.05; 1.0 = the 270k-function regime)
+ *   seed     layout seed (default 0x101)
+ *   --triage additionally run the triage-gate corpus (injected bugs plus
+ *            seeded FP-inducers) with the SMT refutation pass on, tally
+ *            tiers against ground truth (kernel::tallyTriage), and fold
+ *            the triage gate into the exit status: no injected bug may
+ *            be demoted below `unverified`, and >= 90% of FP-inducer
+ *            reports must be demoted to low-confidence or refuted.
  *
  * RID_SCALE_BENCH=1 additionally runs the full-scale sharded pass: the
  * paperCalibrated(1.0) population (seeded bugs and FP-inducers
@@ -25,6 +31,7 @@
  */
 
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -308,6 +315,162 @@ writeRunJson(std::ofstream &out, const char *indent, double scale,
     out << indent << "}";
 }
 
+/** One shard-by-shard run with the triage pass enabled, tallied against
+ *  injected ground truth and the seeded FP-inducer population. */
+struct TriageRun
+{
+    size_t functions = 0;
+    int shards = 0;
+    size_t reports = 0;
+    int confirmed = 0;
+    int unverified = 0;
+    int low_confidence = 0;
+    int refuted = 0;
+    uint64_t cache_lookups = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cross_pass_hits = 0;
+    rid::kernel::TriageTally tally;
+    double wall_seconds = 0;
+};
+
+/** The triage-gate population: the clean calibrated hosts (so the
+ *  injection engine has its usual recipes) plus a seeded Section 6.4
+ *  FP-inducer population — the refutation pass's primary prey. */
+rid::kernel::CorpusMix
+triageGateMix(double scale)
+{
+    using rid::kernel::CorpusMix;
+    using rid::kernel::PatternKind;
+    CorpusMix mix = CorpusMix::cleanCalibrated(scale);
+    mix.counts[PatternKind::FpBitmask] = 12;
+    mix.counts[PatternKind::FpListOp] = 10;
+    return mix;
+}
+
+/** Generate, inject, analyze shard by shard with the triage pass on,
+ *  and tally tiers against the injection log and corpus truth. */
+TriageRun
+runTriaged(const rid::kernel::CorpusMix &mix, uint64_t seed,
+           int files_per_shard)
+{
+    using namespace rid;
+
+    TriageRun out;
+    auto plan = kernel::InjectionPlan::calibrated(mix);
+    kernel::ShardOptions shard_opts;
+    shard_opts.files_per_shard = files_per_shard;
+    kernel::InjectionLog log;
+    std::vector<kernel::FunctionTruth> truth;
+    std::vector<analysis::BugReport> reports;
+
+    kernel::generateInjectedCorpusSharded(
+        mix, plan, seed, shard_opts,
+        [&](kernel::CorpusShard &&shard) {
+            out.shards++;
+            analysis::AnalyzerOptions opts;
+            opts.triage = true;
+            Rid tool(opts);
+            tool.loadSpecText(kernel::dpmSpecText());
+            tool.loadSpecText(kernel::lockSpecText());
+            tool.loadSpecText(kernel::allocSpecText());
+            for (const auto &file : shard.files)
+                tool.addSource(file.text);
+
+            auto t0 = Clock::now();
+            RunResult result = tool.run();
+            out.wall_seconds += secondsSince(t0);
+            out.confirmed += result.triage.confirmed;
+            out.unverified += result.triage.unverified;
+            out.low_confidence += result.triage.low_confidence;
+            out.refuted += result.triage.refuted;
+            out.cache_lookups += result.stats.query_cache.hits +
+                                 result.stats.query_cache.misses;
+            out.cache_hits += result.stats.query_cache.hits;
+            out.cross_pass_hits += result.stats.query_cache.cross_pass_hits;
+            for (auto &r : result.reports)
+                reports.push_back(std::move(r));
+            for (auto &t : shard.truth)
+                truth.push_back(std::move(t));
+        },
+        log);
+
+    out.functions = truth.size();
+    out.reports = reports.size();
+    out.tally = kernel::tallyTriage(log.injections, truth, reports);
+    return out;
+}
+
+/** The triage acceptance gate: every injected bug at or above the
+ *  `unverified` safety floor, >= 90% of FP-inducer reports demoted, and
+ *  both populations actually represented (a corpus that produced no
+ *  FP-inducer reports would pass vacuously). */
+bool
+meetsTriageGate(const TriageRun &run)
+{
+    return run.tally.injected_reports > 0 &&
+           run.tally.fp_inducer_reports > 0 &&
+           run.tally.injected_below_unverified == 0 &&
+           run.tally.demotionRate() >= 0.9;
+}
+
+void
+printTriage(const TriageRun &run)
+{
+    std::printf("== triage gate (SMT refutation pass) ==\n");
+    std::printf("functions %zu in %d shard(s); %zu report(s): "
+                "%d confirmed, %d unverified, %d low-confidence, "
+                "%d refuted  %.2fs\n",
+                run.functions, run.shards, run.reports, run.confirmed,
+                run.unverified, run.low_confidence, run.refuted,
+                run.wall_seconds);
+    std::printf("  injected-bug reports %d (%d below unverified)\n",
+                run.tally.injected_reports,
+                run.tally.injected_below_unverified);
+    std::printf("  fp-inducer reports %d (%d demoted, rate %.3f)\n",
+                run.tally.fp_inducer_reports, run.tally.fp_inducer_demoted,
+                run.tally.demotionRate());
+    std::printf("  query cache: %" PRIu64 " lookups, %" PRIu64
+                " hits (%" PRIu64 " cross-pass)\n",
+                run.cache_lookups, run.cache_hits, run.cross_pass_hits);
+    std::printf("  gate: %s\n", meetsTriageGate(run) ? "pass" : "FAIL");
+}
+
+void
+writeTriageJson(std::ofstream &out, const char *indent, double scale,
+                uint64_t seed, const TriageRun &run)
+{
+    out << "{\n";
+    out << indent << "  \"scale\": " << scale << ",\n";
+    out << indent << "  \"seed\": " << seed << ",\n";
+    out << indent << "  \"functions\": " << run.functions << ",\n";
+    out << indent << "  \"shards\": " << run.shards << ",\n";
+    out << indent << "  \"reports\": " << run.reports << ",\n";
+    out << indent << "  \"confirmed\": " << run.confirmed
+        << ", \"unverified\": " << run.unverified
+        << ", \"low_confidence\": " << run.low_confidence
+        << ", \"refuted\": " << run.refuted << ",\n";
+    out << indent
+        << "  \"injected_reports\": " << run.tally.injected_reports
+        << ",\n";
+    out << indent << "  \"injected_below_unverified\": "
+        << run.tally.injected_below_unverified << ",\n";
+    out << indent
+        << "  \"fp_inducer_reports\": " << run.tally.fp_inducer_reports
+        << ",\n";
+    out << indent
+        << "  \"fp_inducer_demoted\": " << run.tally.fp_inducer_demoted
+        << ",\n";
+    out << indent << "  \"fp_demotion_rate\": " << run.tally.demotionRate()
+        << ",\n";
+    out << indent << "  \"cache_lookups\": " << run.cache_lookups
+        << ", \"cache_hits\": " << run.cache_hits
+        << ", \"cross_pass_hits\": " << run.cross_pass_hits << ",\n";
+    out << indent << "  \"wall_seconds\": " << run.wall_seconds << ",\n";
+    out << indent << "  \"gate\": "
+        << (meetsTriageGate(run) ? "true" : "false") << "\n";
+    out << indent << "}";
+}
+
 /** The full-scale population: the paper-calibrated corpus (seeded bugs
  *  and FP-inducers included) grafted with the calibrated lock/alloc/
  *  nested-domain populations so every recipe has hosts at scale. */
@@ -333,9 +496,17 @@ fullScaleMix()
 int
 main(int argc, char **argv)
 {
-    double scale = argc > 1 ? std::atof(argv[1]) : 0.05;
-    uint64_t seed = argc > 2
-                        ? std::strtoull(argv[2], nullptr, 0)
+    bool do_triage = false;
+    std::vector<const char *> positional;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--triage") == 0)
+            do_triage = true;
+        else
+            positional.push_back(argv[i]);
+    }
+    double scale = positional.size() > 0 ? std::atof(positional[0]) : 0.05;
+    uint64_t seed = positional.size() > 1
+                        ? std::strtoull(positional[1], nullptr, 0)
                         : 0x101;
 
     auto mix = rid::kernel::CorpusMix::cleanCalibrated(scale);
@@ -353,6 +524,17 @@ main(int argc, char **argv)
         printRun("full-scale sharded run (paperCalibrated 1.0)", full);
     }
 
+    // The triage gate runs on a reduced host population: the refutation
+    // pass re-executes every reported function at higher precision, so
+    // the gate's signal comes from the injected/FP-inducer reports, not
+    // from filler volume.
+    const double triage_scale = scale * 0.2;
+    TriageRun triaged;
+    if (do_triage) {
+        triaged = runTriaged(triageGateMix(triage_scale), seed, 64);
+        printTriage(triaged);
+    }
+
     const char *path_env = std::getenv("RID_TRUTH_JSON");
     std::string path =
         path_env && *path_env ? path_env : "BENCH_truth.json";
@@ -364,11 +546,16 @@ main(int argc, char **argv)
         out << ",\n  \"scale_run\": ";
         writeRunJson(out, "  ", 1.0, seed, full);
     }
+    if (do_triage) {
+        out << ",\n  \"triage\": ";
+        writeTriageJson(out, "  ", triage_scale, seed, triaged);
+    }
     out << "\n}\n";
     out.close();
     std::printf("wrote %s\n", path.c_str());
 
-    bool pass = meetsGate(smoke) && (!do_scale || meetsGate(full));
+    bool pass = meetsGate(smoke) && (!do_scale || meetsGate(full)) &&
+                (!do_triage || meetsTriageGate(triaged));
     std::printf("%s\n", pass ? "PASS" : "FAIL");
     return pass ? 0 : 1;
 }

@@ -35,6 +35,11 @@
  *   --no-classify      analyze every function (skip Section 5.2 tiers)
  *   --model-bits       Section 5.4 extension: model `x & CONST` bit tests
  *   --model-stores     Section 5.4 extension: track caller-visible stores
+ *   --triage           run the automated triage pass: every report is
+ *                      re-queried at higher precision and stamped with a
+ *                      confidence tier and a deterministic rank
+ *   --triage-fuel N    solver fuel per triaged report (0 = unlimited)
+ *   --top N            print only the N best-ranked reports (triage only)
  *   --json             emit reports and statistics as JSON
  *   --grouped          group report listing by function
  *   --dot-callgraph    print the call graph (DOT, category-colored)
@@ -88,6 +93,7 @@ usage()
                  "            [--domains a,b] [--list-domains]\n"
                  "            [--provenance FILE] [--store DIR] "
                  "[--resume]\n"
+                 "            [--triage] [--triage-fuel N] [--top N]\n"
                  "            [--dump-ir] [--summaries] file.c ...\n"
                  "       ridc explain <fingerprint|all> <journal.jsonl>\n"
                  "       ridc diff-runs <old.jsonl> <new.jsonl>\n");
@@ -153,7 +159,13 @@ cmdDiffRuns(int argc, char **argv)
     auto new_run = readJournal(argv[3]);
     rid::obs::RunDiff diff = rid::obs::diffRuns(old_run, new_run);
     std::printf("%s", rid::obs::diffText(diff).c_str());
-    return diff.added.empty() ? 0 : 1;
+    // Exit 1 only on genuinely new, non-refuted findings: a report the
+    // triage pass already refuted should not fail a CI gate, and a tier
+    // flip on a known report is a reclassification, not a regression.
+    for (const auto &r : diff.added)
+        if (r.tier != "refuted")
+            return 1;
+    return 0;
 }
 
 } // anonymous namespace
@@ -179,6 +191,7 @@ main(int argc, char **argv)
     bool builtin_dpm = false, builtin_pyc = false;
     bool keep_going = false;
     bool list_domains = false;
+    int top_n = 0;
     std::vector<std::string> domain_filter;
 
     auto split_domains = [&](const std::string &list) {
@@ -239,6 +252,13 @@ main(int argc, char **argv)
             list_domains = true;
         else if (arg == "--keep-going")
             keep_going = true;
+        else if (arg == "--triage")
+            opts.triage = true;
+        else if (arg == "--triage-fuel")
+            opts.triage_fuel =
+                std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--top")
+            top_n = std::atoi(next().c_str());
         else if (arg == "--model-bits")
             lower_opts.model_bit_tests = true;
         else if (arg == "--model-stores")
@@ -347,8 +367,16 @@ main(int argc, char **argv)
     } else if (grouped) {
         std::printf("%s", rid::groupedText(result).c_str());
     } else {
-        for (const auto &report : result.reports)
+        // --top N: with triage on, reports are rank-ordered (confirmed
+        // first), so the head of the list is the highest-confidence cut.
+        size_t limit = top_n > 0 ? static_cast<size_t>(top_n)
+                                 : result.reports.size();
+        size_t printed = 0;
+        for (const auto &report : result.reports) {
+            if (printed++ >= limit)
+                break;
             std::printf("%s\n", report.str().c_str());
+        }
         std::fprintf(stderr, "%s", result.str().c_str());
     }
 

@@ -105,8 +105,15 @@ fi
 # effect domain AND strictly Pareto-dominates the baseline. Export
 # RID_SCALE_BENCH=1 before running check.sh to add the full-scale
 # (270k-function) sharded run to the record.
-echo "== injected-truth scoring harness (RID vs cpychecker) =="
-RID_TRUTH_JSON="$PWD/BENCH_truth.json" ./build/bench/bench_truth_score 0.05
+#
+# --triage additionally runs the triage-gate corpus (injected bugs plus
+# seeded Section 6.4 FP-inducers) with the SMT refutation pass on and
+# folds the triage gate into the exit status: the run fails if any
+# injected true positive is demoted below `unverified`, or if fewer than
+# 90% of the FP-inducer reports are demoted to low-confidence/refuted.
+echo "== injected-truth scoring harness (RID vs cpychecker, triage gate) =="
+RID_TRUTH_JSON="$PWD/BENCH_truth.json" \
+    ./build/bench/bench_truth_score 0.05 --triage
 test -s BENCH_truth.json
 
 # Append a compacted snapshot of the (gitignored) BENCH_performance.json

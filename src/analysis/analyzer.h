@@ -283,6 +283,23 @@ struct AnalyzerOptions
     bool resume = false;
     /** The injected store (null = no persistence). */
     std::shared_ptr<FunctionStore> store;
+    /** Run the automated triage pass (src/triage/) after analysis:
+     *  every report is re-queried at higher abstraction precision and
+     *  stamped with a confidence tier and a deterministic rank. Consumed
+     *  by Rid::run() (the pass needs the retained source text); the
+     *  Analyzer itself ignores it, but the toggle participates in the
+     *  store config fingerprint so --resume never replays across a
+     *  flip. */
+    bool triage = false;
+    /** Solver fuel per triaged report and per higher-precision function
+     *  re-execution (0 = unlimited). Fuel-only — no wall-clock component
+     *  — so triage verdicts stay deterministic. */
+    uint64_t triage_fuel = 0;
+    /** Caller-extension search depth bound for balanced/Unbalanced
+     *  reports (0 disables the downstream-release search). */
+    int triage_extension_depth = 2;
+    /** Node cap for one extension search. */
+    int triage_max_extension_functions = 64;
 };
 
 struct AnalyzerStats

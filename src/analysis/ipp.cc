@@ -10,6 +10,32 @@
 
 namespace rid::analysis {
 
+const char *
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::Untriaged: return "untriaged";
+      case Tier::Confirmed: return "confirmed";
+      case Tier::Unverified: return "unverified";
+      case Tier::LowConfidence: return "low-confidence";
+      case Tier::Refuted: return "refuted";
+    }
+    return "?";
+}
+
+bool
+tierOf(const std::string &name, Tier &out)
+{
+    for (Tier t : {Tier::Untriaged, Tier::Confirmed, Tier::Unverified,
+                   Tier::LowConfidence, Tier::Refuted}) {
+        if (name == tierName(t)) {
+            out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
 uint64_t
 BugReport::computeFingerprint(uint64_t function_fingerprint) const
 {
@@ -62,16 +88,20 @@ BugReport::str() const
             os << " " << l;
         os << "]";
     }
-    if (kind == BugKind::Unbalanced)
-        return os.str();
-    os << " vs " << (delta_b >= 0 ? "+" : "") << delta_b << " when ("
-       << cons_b << ")";
-    if (!lines_b.empty()) {
-        os << " [lines";
-        for (int l : lines_b)
-            os << " " << l;
-        os << "]";
+    if (kind != BugKind::Unbalanced) {
+        os << " vs " << (delta_b >= 0 ? "+" : "") << delta_b << " when ("
+           << cons_b << ")";
+        if (!lines_b.empty()) {
+            os << " [lines";
+            for (int l : lines_b)
+                os << " " << l;
+            os << "]";
+        }
     }
+    // Pre-triage rendering is byte-pinned by the determinism suite; the
+    // tier suffix appears only once the triage pass has stamped one.
+    if (tier != Tier::Untriaged)
+        os << " {" << tierName(tier) << "}";
     return os.str();
 }
 

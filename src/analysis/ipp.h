@@ -39,6 +39,31 @@ enum class BugKind : uint8_t {
     Unbalanced,
 };
 
+/**
+ * Confidence tier assigned by the automated triage pass (src/triage/).
+ * Reports are demoted, never deleted: a Refuted report stays in the
+ * output, ranked last. Untriaged (the default) keeps pre-triage runs
+ * byte-identical — tier and rank render only once triage has run.
+ * Semantics: docs/TRIAGE.md.
+ */
+enum class Tier : uint8_t {
+    Untriaged = 0,  ///< triage did not run (or has not reached this report)
+    Confirmed,      ///< witness reproduced at higher precision (decisive)
+    Unverified,     ///< triage could not decide (fault, budget, truncation,
+                    ///< missing source, non-re-derivable report kind)
+    LowConfidence,  ///< witness survives only via Unknown verdicts, or a
+                    ///< bounded extension search found a downstream release
+    Refuted,        ///< complete higher-precision re-execution dissolved
+                    ///< the witness
+};
+
+/** Stable slug ("confirmed", "unverified", "low-confidence", "refuted",
+ *  "untriaged") used by report_format, provenance and ridc. */
+const char *tierName(Tier t);
+
+/** Parse a tierName() slug. @return false if @p name is unknown */
+bool tierOf(const std::string &name, Tier &out);
+
 /** One reported bug on a tracked counter. */
 struct BugReport
 {
@@ -72,6 +97,16 @@ struct BugReport
     std::vector<smt::QueryInfo> queries;
     /** Callee-summary instantiation chains of the two witness paths. */
     std::vector<std::string> callees_a, callees_b;
+
+    /** Triage verdict (Untriaged until the triage pass runs). Excluded
+     *  from the fingerprint: the report's identity is its witness shape,
+     *  so a tier flip shows up as `reclassified` in diff-runs, not as a
+     *  new + resolved pair. */
+    Tier tier = Tier::Untriaged;
+    /** 1-based deterministic rank among the run's reports (0 until
+     *  triage runs): confirmed first, refuted last, ties broken by
+     *  (function, domain, counter, kind, fingerprint). */
+    int rank = 0;
 
     std::string str() const;
 

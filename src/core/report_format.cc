@@ -55,6 +55,12 @@ writeReport(obs::JsonWriter &w, const analysis::BugReport &report)
     // e.g. a BugReport constructed directly in tests).
     if (report.fingerprint)
         w.key("fingerprint").value(obs::fpHex(report.fingerprint));
+    // Additive keys, present only once the triage pass stamped a tier;
+    // pre-triage JSON stays byte-identical.
+    if (report.tier != analysis::Tier::Untriaged) {
+        w.key("tier").value(analysis::tierName(report.tier));
+        w.key("rank").value(report.rank);
+    }
     w.endObject();
 }
 

@@ -84,6 +84,13 @@ provenanceRecords(const std::vector<analysis::BugReport> &reports,
         }
         for (const auto &q : r.queries)
             rec.queries.push_back(queryRecordOf(q));
+        if (r.tier != analysis::Tier::Untriaged) {
+            // Triage verdict plus rank; the deciding refutation queries
+            // are already on r.queries (appended by the triage pass), so
+            // the record carries its own evidence.
+            rec.tier = analysis::tierName(r.tier);
+            rec.rank = r.rank;
+        }
         if (auto it = by_fn.find(r.function); it != by_fn.end()) {
             rec.status = analysis::fnStatusName(it->second->status);
             rec.budget = it->second->reason;
@@ -106,6 +113,15 @@ RunResult::str() const
     os << reports.size() << " report(s)\n";
     for (const auto &r : reports)
         os << "  " << r.str() << "\n";
+    if (triage.ran) {
+        os << "triage: " << triage.confirmed << " confirmed, "
+           << triage.unverified << " unverified, " << triage.low_confidence
+           << " low-confidence, " << triage.refuted << " refuted; "
+           << triage.hp_functions_executed << " function(s) re-executed ("
+           << triage.hp_functions_incomplete << " incomplete), "
+           << triage.extension_searches << " extension search(es), "
+           << triage.downstream_releases_found << " downstream release(s)\n";
+    }
     // Ref-only runs keep the pre-domain output byte for byte; the
     // breakdown line appears only once another domain reports.
     bool non_ref = false;
@@ -225,6 +241,11 @@ RunResult::statsJson() const
     w.key("collisions").value(qc.collisions);
     w.key("entries").value(uint64_t{qc.entries});
     w.key("hit_rate").value(qc.hitRate());
+    // Cross-pass sharing (additive keys): hits whose entry was inserted
+    // by the other pass (main analysis vs. triage). Zero unless the
+    // triage pass ran and re-hit main-pass verdicts (or vice versa).
+    w.key("cross_pass_hits").value(qc.cross_pass_hits);
+    w.key("cross_pass_hit_rate").value(qc.crossPassRate());
     w.endObject();
     const auto &ic = s.inst_cache;
     w.key("inst_cache").beginObject();
@@ -280,6 +301,34 @@ RunResult::statsJson() const
     }
     w.endArray();
     w.endObject();
+    // Triage accounting (additive key; present only when the triage pass
+    // ran). Tier counts partition `reports`.
+    if (triage.ran) {
+        w.key("triage").beginObject();
+        w.key("reports_triaged").value(uint64_t{triage.reports_triaged});
+        w.key("confirmed").value(uint64_t{triage.confirmed});
+        w.key("unverified").value(uint64_t{triage.unverified});
+        w.key("low_confidence").value(uint64_t{triage.low_confidence});
+        w.key("refuted").value(uint64_t{triage.refuted});
+        w.key("hp_functions_executed")
+            .value(uint64_t{triage.hp_functions_executed});
+        w.key("hp_functions_incomplete")
+            .value(uint64_t{triage.hp_functions_incomplete});
+        w.key("extension_searches")
+            .value(uint64_t{triage.extension_searches});
+        w.key("downstream_releases_found")
+            .value(uint64_t{triage.downstream_releases_found});
+        w.key("faults").value(uint64_t{triage.faults});
+        w.key("budget_stops").value(uint64_t{triage.budget_stops});
+        w.key("solver").beginObject();
+        w.key("queries").value(triage.solver.queries);
+        w.key("cache_hits").value(triage.solver.cache_hits);
+        w.key("cache_misses").value(triage.solver.cache_misses);
+        w.key("budget_stops").value(triage.solver.budget_stops);
+        w.endObject();
+        w.key("seconds").value(triage.seconds);
+        w.endObject();
+    }
     // Durable-store accounting (additive key; present only when a store
     // was attached to the run).
     if (s.store.active) {
@@ -324,6 +373,10 @@ void
 Rid::addSource(const std::string &kernel_c_source)
 {
     module_.absorb(frontend::compile(kernel_c_source, lower_opts_));
+    // Retained past the compile so a later triage run can re-lower the
+    // unit at higher precision; only units that compiled are kept (the
+    // tolerant path must not feed triage a unit the run rejected).
+    sources_.emplace_back(std::string(), kernel_c_source);
 }
 
 bool
@@ -465,6 +518,30 @@ Rid::run()
                           opts_.profile_top_n > 0
                               ? static_cast<size_t>(opts_.profile_top_n)
                               : 0);
+    if (opts_.triage) {
+        // Runs after the analysis result is assembled (stored records
+        // carry pre-triage reports; resumed runs re-triage) and before
+        // the provenance journal is written, so journaled records carry
+        // tiers and ranks. The pass shares the run's query cache: its
+        // higher-precision queries differ structurally from the base
+        // pass's exactly where the precision matters, so shared verdicts
+        // are sound and the overlap is genuine cross-pass reuse.
+        triage::TriageOptions topts;
+        topts.fuel = opts_.triage_fuel;
+        topts.extension_depth = opts_.triage_extension_depth;
+        topts.max_extension_functions = opts_.triage_max_extension_functions;
+        topts.max_paths = opts_.max_paths;
+        topts.max_subcases = opts_.max_subcases;
+        topts.lower = lower_opts_;
+        triage::TriagePass pass(module_, db_, sources_,
+                                analyzer.queryCache(), topts);
+        pass.run(result.reports);
+        result.triage = pass.stats();
+        // The cache snapshot in AnalyzerStats predates the pass; refresh
+        // it so statsJson's cross-pass counters see the triage traffic.
+        if (analyzer.queryCache())
+            result.stats.query_cache = analyzer.queryCache()->stats();
+    }
     if (!opts_.trace_path.empty() && analyzer.tracer())
         writeTextFile(opts_.trace_path,
                       analyzer.tracer()->chromeTraceJson(), "trace");

@@ -29,6 +29,7 @@
 #include "obs/profile.h"
 #include "obs/provenance.h"
 #include "summary/db.h"
+#include "triage/triage.h"
 
 namespace rid {
 
@@ -55,6 +56,10 @@ struct RunResult
     std::vector<analysis::FunctionDiagnostic> diagnostics;
     /** Files rejected by addSourceTolerant() before this run. */
     std::vector<FileDiagnostic> file_errors;
+    /** Triage-pass accounting (triage.ran is false — and every report
+     *  stays Untriaged with rank 0 — unless AnalyzerOptions::triage was
+     *  set). When it ran, `reports` is ordered by rank. */
+    triage::TriageStats triage;
 
     /** Human-readable multi-line report. */
     std::string str() const;
@@ -158,6 +163,11 @@ class Rid
     ir::Module module_;
     summary::SummaryDb db_;
     std::vector<FileDiagnostic> file_errors_;
+    /** Retained (name, source) pairs of every successfully added unit,
+     *  kept so the triage pass can re-lower reported functions at higher
+     *  precision. Modules added pre-lowered (addModule) have no source
+     *  here; their reports triage as `unverified`. */
+    std::vector<std::pair<std::string, std::string>> sources_;
     /** Durable analysis store, opened lazily by the first run() when
      *  AnalyzerOptions::store_path is set and reused by later runs (so
      *  repeated run() calls never re-truncate a fresh store). */

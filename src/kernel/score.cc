@@ -97,6 +97,42 @@ scoreReports(const std::vector<Injection> &injections,
     return result;
 }
 
+TriageTally
+tallyTriage(const std::vector<Injection> &injections,
+            const std::vector<FunctionTruth> &truth,
+            const std::vector<analysis::BugReport> &reports)
+{
+    std::map<std::string, const Injection *> injected_by_fn;
+    for (const auto &inj : injections)
+        injected_by_fn[inj.function] = &inj;
+    std::map<std::string, const FunctionTruth *> truth_by_name;
+    for (const auto &t : truth)
+        truth_by_name[t.name] = &t;
+
+    TriageTally tally;
+    for (const auto &r : reports) {
+        bool demoted = r.tier == analysis::Tier::LowConfidence ||
+                       r.tier == analysis::Tier::Refuted;
+        auto inj_it = injected_by_fn.find(r.function);
+        if (inj_it != injected_by_fn.end() &&
+            inj_it->second->domain == r.domain) {
+            tally.injected_reports++;
+            if (demoted)
+                tally.injected_below_unverified++;
+            continue;
+        }
+        auto truth_it = truth_by_name.find(r.function);
+        if (truth_it != truth_by_name.end() &&
+            truth_it->second->induces_fp &&
+            !truth_it->second->injected) {
+            tally.fp_inducer_reports++;
+            if (demoted)
+                tally.fp_inducer_demoted++;
+        }
+    }
+    return tally;
+}
+
 const std::map<std::string, pyc::ApiAttr> &
 kernelApiAttrs()
 {

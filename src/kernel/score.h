@@ -91,6 +91,45 @@ ScoreResult scoreReports(const std::vector<Injection> &injections,
                          const std::vector<ReportClaim> &claims);
 
 /**
+ * Triage-gate tally: how the triage pass's tiers line up with injected
+ * ground truth. The acceptance gate (scripts/check.sh via
+ * bench_truth_score --triage) requires injected_below_unverified == 0
+ * (no real bug may be demoted past the `unverified` safety floor) and
+ * demotionRate() >= 0.9 (at least 90% of reports on seeded FP-inducer
+ * functions demoted to low-confidence or refuted).
+ */
+struct TriageTally
+{
+    /** Reports claiming an injected (ground-truth-bug) function in the
+     *  injection's domain. */
+    int injected_reports = 0;
+    /** Of those, reports tiered below `unverified` (low-confidence or
+     *  refuted) — each one is a real bug triage buried. */
+    int injected_below_unverified = 0;
+    /** Reports claiming a seeded FP-inducer function. */
+    int fp_inducer_reports = 0;
+    /** Of those, reports demoted to low-confidence or refuted. */
+    int fp_inducer_demoted = 0;
+
+    /** Fraction of FP-inducer reports demoted (1.0 when there were
+     *  none to demote). */
+    double
+    demotionRate() const
+    {
+        return fp_inducer_reports
+                   ? static_cast<double>(fp_inducer_demoted) /
+                         fp_inducer_reports
+                   : 1.0;
+    }
+};
+
+/** Tally triage tiers against the injection log and corpus truth.
+ *  Reports still Untriaged count as neither demoted nor buried. */
+TriageTally tallyTriage(const std::vector<Injection> &injections,
+                        const std::vector<FunctionTruth> &truth,
+                        const std::vector<analysis::BugReport> &reports);
+
+/**
  * ApiAttr table teaching the cpychecker-style escape checker the
  * kernel APIs of the generated corpus: the pm_runtime get/put families
  * as per-argument deltas, kmalloc/kzalloc as new-reference allocators

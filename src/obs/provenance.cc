@@ -86,6 +86,13 @@ ProvenanceRecord::json() const
     w.key("counter").value(counter);
     w.key("status").value(status);
     w.key("budget").value(budget);
+    // Triage keys are emitted only once a tier was assigned: pre-triage
+    // journals stay byte-identical to the pre-triage schema, and the
+    // optional parse below round-trips both shapes.
+    if (!tier.empty()) {
+        w.key("tier").value(tier);
+        w.key("rank").value(rank);
+    }
     w.key("path_a");
     writeWitnessPath(w, path_a);
     if (has_path_b) {
@@ -404,6 +411,10 @@ recordOf(const JsonValue &v)
     r.counter = require(v, "counter").string;
     r.status = require(v, "status").string;
     r.budget = require(v, "budget").string;
+    if (const JsonValue *tier = v.find("tier")) {
+        r.tier = tier->string;
+        r.rank = static_cast<int>(require(v, "rank").number);
+    }
     r.path_a = witnessOf(require(v, "path_a"));
     if (const JsonValue *pb = v.find("path_b")) {
         r.has_path_b = true;
@@ -515,6 +526,8 @@ explainText(const ProvenanceRecord &r)
                << ", fuel " << q.fuel << "\n";
         }
     }
+    if (!r.tier.empty())
+        os << "  triage: " << r.tier << ", rank " << r.rank << "\n";
     os << "  analysis status: " << r.status;
     if (!r.budget.empty())
         os << " (" << r.budget << ")";
@@ -537,9 +550,12 @@ diffRuns(const std::vector<ProvenanceRecord> &old_run,
                   });
         return v;
     };
-    std::set<uint64_t> old_fps, new_fps;
+    // First record per fingerprint in the old run; the within-run dedup
+    // below keeps the partitions one-record-per-fingerprint too.
+    std::map<uint64_t, const ProvenanceRecord *> old_by_fp;
     for (const auto &r : old_run)
-        old_fps.insert(r.fingerprint);
+        old_by_fp.emplace(r.fingerprint, &r);
+    std::set<uint64_t> new_fps;
     for (const auto &r : new_run)
         new_fps.insert(r.fingerprint);
 
@@ -548,8 +564,16 @@ diffRuns(const std::vector<ProvenanceRecord> &old_run,
     for (const auto &r : new_run) {
         if (!emitted.insert(r.fingerprint).second)
             continue;  // fingerprint dedup within the run
-        (old_fps.count(r.fingerprint) ? diff.persisting : diff.added)
-            .push_back(r);
+        auto it = old_by_fp.find(r.fingerprint);
+        if (it == old_by_fp.end()) {
+            diff.added.push_back(r);
+        } else if (it->second->tier != r.tier) {
+            // Same report, different triage verdict: a tier flip is a
+            // reclassification, not a new + resolved pair.
+            diff.reclassified.emplace_back(*it->second, r);
+        } else {
+            diff.persisting.push_back(r);
+        }
     }
     emitted.clear();
     for (const auto &r : old_run) {
@@ -561,6 +585,12 @@ diffRuns(const std::vector<ProvenanceRecord> &old_run,
     diff.added = ordered(std::move(diff.added));
     diff.resolved = ordered(std::move(diff.resolved));
     diff.persisting = ordered(std::move(diff.persisting));
+    std::sort(diff.reclassified.begin(), diff.reclassified.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.fingerprint != b.second.fingerprint)
+                      return a.second.fingerprint < b.second.fingerprint;
+                  return a.second.json() < b.second.json();
+              });
     return diff;
 }
 
@@ -586,6 +616,18 @@ diffText(const RunDiff &diff)
     std::ostringstream os;
     describePartition(os, "new", diff.added);
     describePartition(os, "resolved", diff.resolved);
+    if (!diff.reclassified.empty()) {
+        // Only printed when present, so pre-triage diffs keep the
+        // three-partition output scripts already grep.
+        os << "reclassified (" << diff.reclassified.size() << "):\n";
+        for (const auto &[prev, cur] : diff.reclassified) {
+            os << "  " << fpHex(cur.fingerprint) << " " << cur.function
+               << ": " << cur.kind << " " << cur.domain << " "
+               << cur.counter << " ["
+               << (prev.tier.empty() ? "untriaged" : prev.tier) << " -> "
+               << (cur.tier.empty() ? "untriaged" : cur.tier) << "]\n";
+        }
+    }
     describePartition(os, "persisting", diff.persisting);
     return os.str();
 }

@@ -109,6 +109,14 @@ struct ProvenanceRecord
     std::string status = "ok";
     /** Budget/degradation context (diagnostic reason; empty if clean). */
     std::string budget;
+    /** Triage tier slug ("confirmed", "unverified", "low-confidence",
+     *  "refuted"); empty when the triage pass did not run. The deciding
+     *  refutation queries appear in `queries` alongside the base pass's
+     *  evidence. Excluded from the fingerprint, so a tier flip diffs as
+     *  `reclassified`, not as a new + resolved pair. */
+    std::string tier;
+    /** Deterministic 1-based triage rank (0 when triage did not run). */
+    int rank = 0;
 
     /** Render as one JSONL journal line (no trailing newline). */
     std::string json() const;
@@ -121,7 +129,8 @@ struct ProvenanceRecord
                kind == o.kind && counter == o.counter &&
                path_a == o.path_a && has_path_b == o.has_path_b &&
                path_b == o.path_b && queries == o.queries &&
-               status == o.status && budget == o.budget;
+               status == o.status && budget == o.budget &&
+               tier == o.tier && rank == o.rank;
     }
 };
 
@@ -177,8 +186,13 @@ struct RunDiff
     std::vector<ProvenanceRecord> added;
     /** In the old run only. */
     std::vector<ProvenanceRecord> resolved;
-    /** In both (the new run's record is kept). */
+    /** In both with the same triage tier (the new run's record kept). */
     std::vector<ProvenanceRecord> persisting;
+    /** In both but with a different triage tier: (old, new) pairs. A
+     *  report whose identity is unchanged but whose confidence moved —
+     *  e.g. confirmed in the last run, refuted now — is a
+     *  reclassification, not a new + resolved pair. */
+    std::vector<std::pair<ProvenanceRecord, ProvenanceRecord>> reclassified;
 };
 
 /** Diff two runs' records by fingerprint (duplicates collapse). Each

@@ -15,7 +15,7 @@ QueryCache::QueryCache(Options opts)
 }
 
 std::optional<SatResult>
-QueryCache::lookup(const Formula &f)
+QueryCache::lookup(const Formula &f, uint8_t pass)
 {
     uint64_t fp = f.fingerprint();
     Shard &shard = shards_[shardOf(fp)];
@@ -33,11 +33,13 @@ QueryCache::lookup(const Formula &f)
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     shard.hits++;
+    if (entry.pass != pass)
+        shard.cross_pass_hits++;
     return entry.result;
 }
 
 void
-QueryCache::insert(const Formula &f, SatResult result)
+QueryCache::insert(const Formula &f, SatResult result, uint8_t pass)
 {
     obs::failpoint("smt.query_cache.insert");
     uint64_t fp = f.fingerprint();
@@ -54,10 +56,11 @@ QueryCache::insert(const Formula &f, SatResult result)
             entry.formula = f;
         }
         entry.result = result;
+        entry.pass = pass;
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         return;
     }
-    shard.lru.push_front(Entry{fp, f, result});
+    shard.lru.push_front(Entry{fp, f, result, pass});
     shard.index[fp] = shard.lru.begin();
     shard.insertions++;
     if (shard.lru.size() > shard_capacity_) {
@@ -78,6 +81,7 @@ QueryCache::stats() const
         total.insertions += s.insertions;
         total.evictions += s.evictions;
         total.collisions += s.collisions;
+        total.cross_pass_hits += s.cross_pass_hits;
         total.entries += s.lru.size();
     }
     return total;

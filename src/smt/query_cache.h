@@ -54,6 +54,10 @@ class QueryCache
         uint64_t evictions = 0;
         /** Fingerprint matched but formula differed (treated as miss). */
         uint64_t collisions = 0;
+        /** Hits on an entry inserted by a *different* pass (the pass
+         *  label of Solver::Options::cache_pass): how much the IPP /
+         *  balanced / triage phases actually share verdicts. */
+        uint64_t cross_pass_hits = 0;
         size_t entries = 0;
 
         double
@@ -62,17 +66,32 @@ class QueryCache
             uint64_t lookups = hits + misses;
             return lookups ? static_cast<double>(hits) / lookups : 0.0;
         }
+
+        /** Fraction of hits that crossed a pass boundary. */
+        double
+        crossPassRate() const
+        {
+            return hits ? static_cast<double>(cross_pass_hits) / hits
+                        : 0.0;
+        }
     };
 
     QueryCache() : QueryCache(Options()) {}
     explicit QueryCache(Options opts);
 
-    /** Cached verdict for @p f, or nullopt. Promotes the entry to MRU. */
-    std::optional<SatResult> lookup(const Formula &f);
+    /**
+     * Cached verdict for @p f, or nullopt. Promotes the entry to MRU.
+     * @p pass is an attribution label only (Solver::Options::cache_pass):
+     * keying is pass-agnostic — the solver is deterministic for a given
+     * Options, so every pass may consume every verdict — but a hit on an
+     * entry another pass inserted is counted as a cross-pass hit.
+     */
+    std::optional<SatResult> lookup(const Formula &f, uint8_t pass = 0);
 
     /** Record the verdict for @p f, evicting the shard's LRU entry if
-     *  full. Re-inserting an existing formula refreshes it. */
-    void insert(const Formula &f, SatResult result);
+     *  full. Re-inserting an existing formula refreshes it (the inserting
+     *  pass label is updated too). */
+    void insert(const Formula &f, SatResult result, uint8_t pass = 0);
 
     /** Aggregate counters across shards. */
     Stats stats() const;
@@ -90,6 +109,7 @@ class QueryCache
         uint64_t fp;
         Formula formula;  // for verification of fingerprint hits
         SatResult result;
+        uint8_t pass;  // cache_pass label of the inserting solver
     };
 
     struct Shard
@@ -102,6 +122,7 @@ class QueryCache
         uint64_t insertions = 0;
         uint64_t evictions = 0;
         uint64_t collisions = 0;
+        uint64_t cross_pass_hits = 0;
     };
 
     static size_t

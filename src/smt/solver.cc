@@ -141,7 +141,7 @@ Solver::check(const Formula &f)
     SatResult r;
     bool cached_hit = false;
     if (cache_) {
-        if (auto cached = cache_->lookup(f)) {
+        if (auto cached = cache_->lookup(f, opts_.cache_pass)) {
             stats_.cache_hits++;
             cached_hit = true;
             r = *cached;
@@ -156,7 +156,7 @@ Solver::check(const Formula &f)
         int budget = opts_.max_branches;
         r = enumerate(n, acc, space, budget);
         if (cache_)
-            cache_->insert(f, r);
+            cache_->insert(f, r, opts_.cache_pass);
     }
     uint64_t ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -215,7 +215,7 @@ Solver::checkChain(const CondChain &chain)
     SatResult r;
     bool cached_hit = false;
     if (cache_) {
-        if (auto cached = cache_->lookup(f)) {
+        if (auto cached = cache_->lookup(f, opts_.cache_pass)) {
             stats_.cache_hits++;
             cached_hit = true;
             r = *cached;
@@ -242,7 +242,7 @@ Solver::checkChain(const CondChain &chain)
                           budget);
         }
         if (cache_)
-            cache_->insert(f, r);
+            cache_->insert(f, r, opts_.cache_pass);
     }
     uint64_t ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(

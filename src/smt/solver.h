@@ -86,6 +86,11 @@ class Solver
         /** Open one obs::Span per non-trivial check() against the
          *  ambient tracer (noisy; for deep trace drill-downs). */
         bool trace_queries = false;
+        /** Pass label for cross-pass attribution in the attached
+         *  QueryCache (0 = main analysis, 1 = triage). Does not change
+         *  cache keys or verdicts — verdicts are shared across passes —
+         *  only which hits count as cross-pass. */
+        uint8_t cache_pass = 0;
     };
 
     struct Stats

@@ -251,7 +251,7 @@ configFingerprint(const summary::SummaryDb &db,
 {
     using smt::fpBytes;
     using smt::fpCombine;
-    uint64_t h = fpBytes("rid-store-config-v2");
+    uint64_t h = fpBytes("rid-store-config-v3");
 
     // Declared effect domains (name-ordered) and their policies.
     for (const auto &d : db.domains().all()) {
@@ -295,6 +295,17 @@ configFingerprint(const summary::SummaryDb &db,
     for (const auto &d : opts.enabled_domains)
         h = fpCombine(h, fpBytes(d));
     h = fpCombine(h, static_cast<uint64_t>(bool(opts.summary_check)));
+    // Triage toggles (the v3 bump). Stored records hold pre-triage
+    // reports and tiers are recomputed after every resume, but the
+    // toggles still hash: a replayed run must describe the same
+    // configuration it claims to, and distinguishing the fingerprints
+    // keeps mixed-triage stores from aliasing.
+    h = fpCombine(h, static_cast<uint64_t>(opts.triage));
+    h = fpCombine(h, opts.triage_fuel);
+    h = fpCombine(h, static_cast<uint64_t>(
+                         static_cast<int64_t>(opts.triage_extension_depth)));
+    h = fpCombine(h, static_cast<uint64_t>(static_cast<int64_t>(
+                         opts.triage_max_extension_functions)));
     return h;
 }
 

@@ -400,6 +400,7 @@ class InjectedDeterminismTest : public ::testing::Test
 {
   protected:
     static kernel::InjectedCorpus injected_;
+    static kernel::InjectedCorpus triage_injected_;
 
     static void
     SetUpTestSuite()
@@ -407,6 +408,41 @@ class InjectedDeterminismTest : public ::testing::Test
         auto mix = kernel::CorpusMix::cleanCalibrated(0.05);
         injected_ = kernel::generateInjectedCorpus(
             mix, kernel::InjectionPlan::calibrated(mix));
+        // The triage differential needs both tier extremes represented:
+        // injected true positives (confirmed) and seeded Section 6.4
+        // FP-inducers (refuted).
+        auto tmix = kernel::CorpusMix::cleanCalibrated(0.01);
+        tmix.counts[kernel::PatternKind::FpBitmask] = 6;
+        tmix.counts[kernel::PatternKind::FpListOp] = 5;
+        triage_injected_ = kernel::generateInjectedCorpus(
+            tmix, kernel::InjectionPlan::calibrated(tmix));
+    }
+
+    /** One triaged run's full ordered report list: rank, fingerprint
+     *  and the tier-suffixed rendering — any tier or rank divergence
+     *  across configurations shows up byte-for-byte. */
+    static std::string
+    triageDigest(int path_threads, bool prefix_sharing, bool cache)
+    {
+        analysis::AnalyzerOptions opts;
+        opts.path_threads = path_threads;
+        opts.prefix_sharing = prefix_sharing;
+        opts.use_query_cache = cache;
+        opts.triage = true;
+        Rid tool(opts);
+        tool.loadSpecText(kernel::dpmSpecText());
+        tool.loadSpecText(kernel::lockSpecText());
+        tool.loadSpecText(kernel::allocSpecText());
+        for (const auto &file : triage_injected_.corpus.files)
+            tool.addSource(file.text);
+        RunResult result = tool.run();
+        EXPECT_FALSE(result.reports.empty());
+        std::string digest;
+        for (const auto &report : result.reports)
+            digest += std::to_string(report.rank) + " " +
+                      obs::fpHex(report.fingerprint) + " " +
+                      report.str() + "\n";
+        return digest;
     }
 
     struct ScoredRun
@@ -478,6 +514,34 @@ class InjectedDeterminismTest : public ::testing::Test
 };
 
 kernel::InjectedCorpus InjectedDeterminismTest::injected_;
+kernel::InjectedCorpus InjectedDeterminismTest::triage_injected_;
+
+TEST_F(InjectedDeterminismTest, TriageTiersAndRanksAreConfigInvariant)
+{
+    // The triage contract: tiers and ranks are byte-identical across
+    // path_threads {1, 4} x both engines x query cache {on, off}. The
+    // digest is the rank-ordered report list, so a rank permutation is
+    // as visible as a tier flip.
+    std::string baseline =
+        triageDigest(1, /*prefix_sharing=*/false, /*cache=*/false);
+    ASSERT_FALSE(baseline.empty());
+    // Non-vacuity: both tier extremes are present in the baseline.
+    ASSERT_NE(baseline.find("{confirmed}"), std::string::npos)
+        << baseline;
+    ASSERT_NE(baseline.find("{refuted}"), std::string::npos) << baseline;
+    for (int path_threads : {1, 4}) {
+        for (bool prefix : {false, true}) {
+            for (bool cache : {false, true}) {
+                if (path_threads == 1 && !prefix && !cache)
+                    continue;  // the baseline itself
+                EXPECT_EQ(triageDigest(path_threads, prefix, cache),
+                          baseline)
+                    << "path_threads=" << path_threads
+                    << " prefix_sharing=" << prefix << " cache=" << cache;
+            }
+        }
+    }
+}
 
 TEST_F(InjectedDeterminismTest, InjectedScoresAreEngineAndThreadInvariant)
 {

@@ -514,5 +514,99 @@ TEST_F(RobustnessChaosTest, StoreAppendChaosIsAbsorbedAndResumable)
     EXPECT_GT(resumed_result.stats.store.misses, 0u);
 }
 
+/**
+ * Triage chaos: a deterministic fault at the refutation site of one
+ * report demotes exactly that report to `unverified` — the victim's
+ * report survives (demoted, never deleted) and every bystander's tier
+ * and rank are byte-identical to the clean triaged run's.
+ */
+TEST_F(RobustnessChaosTest, TriageFaultDegradesOnlyTheVictimReport)
+{
+    // The Section 6.4 FP pair plus a real bug: three reports, three
+    // distinct clean tiers to compare against.
+    const char *source = R"(
+int fp_bitmask_fn(struct device *dev, int flags) {
+    if (flags & 4) {
+        pm_runtime_get_noresume(dev);
+        mark_async_1(dev);
+    }
+    return 0;
+}
+void mark_async_1(struct device *dev);
+int fp_listop_fn(struct device *dev, struct list *busy) {
+    if (list_empty_1(busy)) {
+        pm_runtime_get_noresume(dev);
+        busy->head = dev;
+        busy->len = busy->len + 1;
+    }
+    return 0;
+}
+int list_empty_1(struct list *l);
+int tp_missing_put(struct intf *interface) {
+    int result;
+    result = autopm_get_1(interface);
+    if (result)
+        goto error;
+    result = create_image_1(interface);
+    if (result)
+        goto error;
+    autopm_put_1(interface);
+error:
+    return result;
+}
+int create_image_1(struct intf *i);
+int autopm_get_1(struct intf *i) {
+    int status;
+    status = pm_runtime_get_sync(&i->dev);
+    if (status < 0)
+        pm_runtime_put_sync(&i->dev);
+    if (status > 0)
+        status = 0;
+    return status;
+}
+void autopm_put_1(struct intf *i);
+)";
+    const std::string victim = "tp_missing_put";
+
+    auto makeRun = [&](const std::string &failpoints) {
+        analysis::AnalyzerOptions opts;
+        opts.triage = true;
+        opts.failpoints = failpoints;
+        Rid tool(opts);
+        tool.loadSpecText(kernel::dpmSpecText());
+        tool.addSource(source);
+        return tool.run();
+    };
+
+    RunResult clean = makeRun("");
+    FailpointRegistry::instance().disarm();
+    RunResult chaos =
+        makeRun("analysis.triage.refute@" + victim + "=always");
+
+    ASSERT_EQ(clean.reports.size(), 3u);
+    ASSERT_EQ(chaos.reports.size(), 3u);
+    EXPECT_EQ(clean.triage.faults, 0u);
+    EXPECT_EQ(chaos.triage.faults, 1u);
+
+    std::map<std::string, const analysis::BugReport *> clean_by_fn;
+    for (const auto &r : clean.reports)
+        clean_by_fn[r.function] = &r;
+    for (const auto &r : chaos.reports) {
+        ASSERT_TRUE(clean_by_fn.count(r.function)) << r.function;
+        const analysis::BugReport *c = clean_by_fn[r.function];
+        if (r.function == victim) {
+            // The clean run confirms the bug; the faulted run falls
+            // back to the unverified safety floor.
+            EXPECT_EQ(c->tier, analysis::Tier::Confirmed);
+            EXPECT_EQ(r.tier, analysis::Tier::Unverified);
+            continue;
+        }
+        // Bystanders byte-identical, rank included (the victim's tier
+        // flip keeps it ranked ahead of the refuted pair either way).
+        EXPECT_EQ(r.str(), c->str());
+        EXPECT_EQ(r.rank, c->rank);
+    }
+}
+
 } // anonymous namespace
 } // namespace rid
